@@ -1,0 +1,58 @@
+// Shared helpers for the experiment binaries (E01–E14).
+//
+// Every binary prints self-contained markdown tables. Default problem
+// sizes are laptop-friendly; set MESHROUTE_BENCH_SCALE=large to extend the
+// sweeps (and =small to shrink them for smoke testing).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "harness/csv_export.hpp"
+
+namespace mr::bench {
+
+enum class Scale { Small, Default, Large };
+
+inline Scale scale() {
+  const char* env = std::getenv("MESHROUTE_BENCH_SCALE");
+  if (env == nullptr) return Scale::Default;
+  const std::string v(env);
+  if (v == "small") return Scale::Small;
+  if (v == "large") return Scale::Large;
+  return Scale::Default;
+}
+
+namespace detail {
+inline std::string& current_experiment() {
+  static std::string id = "experiment";
+  return id;
+}
+inline int& table_counter() {
+  static int n = 0;
+  return n;
+}
+}  // namespace detail
+
+inline void header(const std::string& id, const std::string& title,
+                   const std::string& paper_ref) {
+  detail::current_experiment() = id;
+  std::cout << "## " << id << ": " << title << "\n";
+  std::cout << "(paper: " << paper_ref << ")\n\n";
+}
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+/// Prints the table as markdown and, when MESHROUTE_OUTPUT_DIR is set,
+/// also exports it as <dir>/<experiment>_<i>.csv.
+inline void print(const Table& t) {
+  t.print(std::cout);
+  std::cout.flush();
+  export_csv(t, detail::current_experiment() + "_" +
+                    std::to_string(detail::table_counter()++));
+}
+
+}  // namespace mr::bench

@@ -1,0 +1,110 @@
+// E02 — Lemmas 1–8 (Figure 2): i-box escape discipline of the construction.
+//
+// Runs the §3 construction and tallies, per class i, how many N_i/E_i
+// packets leave the i-box before the window ((i−1)·dn, i·dn] opens
+// (Lemma 1 forbids any), inside it (Lemma 2 caps at one of each type per
+// step, so ≤ dn over the window), and after it closes (unconstrained).
+// Also reports the Corollary 9 census of class-⌊l⌋ packets still confined
+// at step ⌊l⌋·dn.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "lower_bound/main_construction.hpp"
+#include "routing/registry.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace mr;
+
+struct EscapeTally : Observer {
+  const MainGeometry* geo = nullptr;
+  std::int32_t dn = 0;
+  std::vector<std::int64_t> in_window_n, in_window_e, early, late;
+  std::vector<std::int64_t> step_n, step_e;
+  std::int64_t max_per_step = 0;
+
+  EscapeTally(const MainGeometry& g, std::int32_t dn_steps) {
+    geo = &g;
+    dn = dn_steps;
+    const auto classes = static_cast<std::size_t>(g.classes()) + 1;
+    in_window_n.assign(classes, 0);
+    in_window_e.assign(classes, 0);
+    early.assign(classes, 0);
+    late.assign(classes, 0);
+    step_n.assign(classes, 0);
+    step_e.assign(classes, 0);
+  }
+
+  void on_move(const Engine& e, const Packet& pk, NodeId from,
+               NodeId to) override {
+    const PacketClass cls = geo->classify(e.mesh().coord_of(pk.source),
+                                          e.mesh().coord_of(pk.dest));
+    if (cls.type == ClassType::None) return;
+    if (!geo->in_box(e.mesh().coord_of(from), cls.i) ||
+        geo->in_box(e.mesh().coord_of(to), cls.i))
+      return;
+    const Step t = e.step();
+    if (t <= (cls.i - 1) * dn) {
+      ++early[cls.i];
+    } else if (t <= cls.i * dn) {
+      (cls.type == ClassType::N ? in_window_n : in_window_e)[cls.i]++;
+      auto& per_step = cls.type == ClassType::N ? step_n : step_e;
+      max_per_step = std::max(max_per_step, ++per_step[cls.i]);
+    } else {
+      ++late[cls.i];
+    }
+  }
+
+  void on_step_end(const Engine&) override {
+    std::fill(step_n.begin(), step_n.end(), 0);
+    std::fill(step_e.begin(), step_e.end(), 0);
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace mr;
+  bench::header("E02", "i-box escape discipline during the construction",
+                "Lemmas 1-8, Figure 2");
+
+  const int n = bench::scale() == bench::Scale::Small ? 120 : 216;
+  const int k = 1;
+  const MainLbParams par = main_lb_params(n, k);
+  const Mesh mesh = Mesh::square(n);
+
+  for (const std::string& algorithm : dx_minimal_algorithm_names()) {
+    MainConstruction construction(mesh, par);
+    EscapeTally tally(construction.geometry(), par.dn);
+    const auto result = construction.run_construction(algorithm, k, &tally);
+
+    bench::note("### algorithm: " + algorithm + "  (n=" + std::to_string(n) +
+                ", k=" + std::to_string(k) +
+                ", dn=" + std::to_string(par.dn) + ")");
+    Table table({"class i", "escapes before window (Lemma 1: 0)",
+                 "N_i escapes in window (<= dn)",
+                 "E_i escapes in window (<= dn)", "escapes after window"});
+    for (std::int64_t i = 1; i <= par.classes; ++i) {
+      table.row()
+          .add(i)
+          .add(tally.early[i])
+          .add(tally.in_window_n[i])
+          .add(tally.in_window_e[i])
+          .add(tally.late[i]);
+    }
+    bench::print(table);
+
+    Table summary({"max escapes/step/type (Lemma 2: 1)", "exchanges",
+                   "class-l packets still boxed", "Cor.9 floor 2(p-dn)",
+                   "undelivered at l*dn"});
+    summary.row()
+        .add(tally.max_per_step)
+        .add(std::uint64_t(result.exchanges))
+        .add(result.last_class_in_box)
+        .add(2 * (par.p - par.dn))
+        .add(std::uint64_t(result.undelivered));
+    bench::print(summary);
+  }
+  return 0;
+}

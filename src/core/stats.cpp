@@ -1,0 +1,102 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace mr {
+
+void RunningStat::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void Histogram::add(std::int64_t value, std::int64_t count) {
+  MR_REQUIRE_MSG(value >= 0, "Histogram stores non-negative values");
+  MR_REQUIRE(count >= 0);
+  const auto idx = static_cast<std::size_t>(value);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += count;
+  total_ += count;
+}
+
+std::int64_t Histogram::min() const {
+  for (std::size_t v = 0; v < counts_.size(); ++v)
+    if (counts_[v] > 0) return static_cast<std::int64_t>(v);
+  return 0;
+}
+
+std::int64_t Histogram::max() const {
+  for (std::size_t v = counts_.size(); v-- > 0;)
+    if (counts_[v] > 0) return static_cast<std::int64_t>(v);
+  return 0;
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t v = 0; v < counts_.size(); ++v)
+    sum += static_cast<double>(v) * static_cast<double>(counts_[v]);
+  return sum / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::int64_t seen = 0;
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    seen += counts_[v];
+    if (seen >= target) return static_cast<std::int64_t>(v);
+  }
+  return max();
+}
+
+std::int64_t Histogram::count_at(std::int64_t v) const {
+  if (v < 0 || static_cast<std::size_t>(v) >= counts_.size()) return 0;
+  return counts_[static_cast<std::size_t>(v)];
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "mean=" << mean() << " p50=" << percentile(0.50)
+     << " p99=" << percentile(0.99) << " max=" << max();
+  return os.str();
+}
+
+}  // namespace mr

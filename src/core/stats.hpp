@@ -1,0 +1,55 @@
+// Lightweight statistics collectors used by the simulator's metrics layer
+// and the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mr {
+
+/// Streaming min/max/mean/variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Integer-valued histogram with exact counts for small values.
+/// Used for queue occupancies and per-packet latencies.
+class Histogram {
+ public:
+  void add(std::int64_t value, std::int64_t count = 1);
+
+  std::int64_t total() const { return total_; }
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+  /// Smallest v such that at least q fraction of samples are <= v.
+  std::int64_t percentile(double q) const;
+  /// Count of samples equal to v.
+  std::int64_t count_at(std::int64_t v) const;
+
+  std::string summary() const;  ///< "mean=.. p50=.. p99=.. max=.."
+
+ private:
+  std::vector<std::int64_t> counts_;  // counts_[v] = multiplicity of value v
+  std::int64_t total_ = 0;
+};
+
+}  // namespace mr

@@ -1,0 +1,42 @@
+// Column-aligned table printer for the benchmark binaries.
+//
+// Every experiment binary prints one or more tables in GitHub-flavoured
+// markdown (readable in a terminal, paste-able into EXPERIMENTS.md) and can
+// also emit CSV for downstream plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mr {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begins a new row. Subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(std::int64_t v);
+  Table& add(std::uint64_t v);
+  Table& add(int v);
+  Table& add(double v, int precision = 3);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Markdown with aligned pipes.
+  std::string to_markdown() const;
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;  ///< markdown + trailing newline
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mr

@@ -1,0 +1,71 @@
+// Fundamental identifier and direction types shared by all meshroute modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mr {
+
+/// Linear index of a mesh node (row-major: id = row * width + col).
+using NodeId = std::int32_t;
+/// Stable identifier of a packet for the lifetime of a simulation.
+using PacketId = std::int32_t;
+/// Simulation step counter. Step 1 is the first executed step (paper §3).
+using Step = std::int64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr PacketId kInvalidPacket = -1;
+
+/// The four mesh link directions. Values are used as array indices.
+enum class Dir : std::uint8_t { North = 0, East = 1, South = 2, West = 3 };
+
+inline constexpr int kNumDirs = 4;
+
+constexpr Dir kAllDirs[kNumDirs] = {Dir::North, Dir::East, Dir::South,
+                                    Dir::West};
+
+constexpr int dir_index(Dir d) { return static_cast<int>(d); }
+
+constexpr Dir opposite(Dir d) {
+  return static_cast<Dir>((dir_index(d) + 2) % kNumDirs);
+}
+
+constexpr const char* dir_name(Dir d) {
+  switch (d) {
+    case Dir::North: return "N";
+    case Dir::East: return "E";
+    case Dir::South: return "S";
+    case Dir::West: return "W";
+  }
+  return "?";
+}
+
+/// Bitmask over directions; bit i corresponds to Dir with dir_index i.
+/// This is the *profitable outlink* representation: the only piece of a
+/// packet's destination a destination-exchangeable policy may observe.
+using DirMask = std::uint8_t;
+
+constexpr DirMask dir_bit(Dir d) {
+  return static_cast<DirMask>(1u << dir_index(d));
+}
+constexpr bool mask_has(DirMask m, Dir d) { return (m & dir_bit(d)) != 0; }
+constexpr int mask_count(DirMask m) {
+  int c = 0;
+  for (Dir d : kAllDirs) c += mask_has(m, d) ? 1 : 0;
+  return c;
+}
+
+/// Row/column coordinate. Following the paper, the bench/table output layer
+/// uses 1-based "column 1..n west to east, row 1..n south to north"; the
+/// internal representation is 0-based with row 0 the southernmost.
+struct Coord {
+  std::int32_t col = 0;  ///< 0-based, increases eastward
+  std::int32_t row = 0;  ///< 0-based, increases northward
+
+  friend constexpr bool operator==(Coord a, Coord b) {
+    return a.col == b.col && a.row == b.row;
+  }
+  friend constexpr bool operator!=(Coord a, Coord b) { return !(a == b); }
+};
+
+}  // namespace mr

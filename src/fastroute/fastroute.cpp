@@ -1,0 +1,553 @@
+#include "fastroute/fastroute.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+#include "fastroute/bounds.hpp"
+#include "fastroute/tiling.hpp"
+
+namespace mr {
+
+namespace {
+
+/// One clockwise quarter-turn of the mesh: (c, r) → (r, n−1−c).
+Coord rot_cw(Coord c, std::int32_t n) { return Coord{c.row, n - 1 - c.col}; }
+
+/// Class of a packet from its source→dest displacement. 0 NE (north or
+/// northeast), 1 NW (west or northwest), 2 SW (south or southwest),
+/// 3 SE (east or southeast).
+int classify_packet(Coord src, Coord dst) {
+  const std::int32_t dx = dst.col - src.col;
+  const std::int32_t dy = dst.row - src.row;
+  if (dy > 0 && dx >= 0) return 0;
+  if (dx < 0 && dy >= 0) return 1;
+  if (dy < 0 && dx <= 0) return 2;
+  return 3;  // dx > 0 && dy <= 0 (also the degenerate dx==dy==0 case)
+}
+
+/// Rotations needed to map each class onto canonical NE.
+constexpr int kRotations[4] = {0, 1, 2, 3};  // NE, NW, SW, SE
+
+}  // namespace
+
+FastRouteAlgorithm::FastRouteAlgorithm(Options options) : options_(options) {
+  MR_REQUIRE(options_.q0 >= 1 && options_.q_later >= 1);
+}
+
+const char* FastRouteAlgorithm::kind_name(Kind k) {
+  switch (k) {
+    case Kind::March: return "March";
+    case Kind::SortSmoothEven: return "Sort&Smooth(even)";
+    case Kind::SortSmoothOdd: return "Sort&Smooth(odd)";
+    case Kind::Balance: return "Balance";
+    case Kind::BaseCase: return "BaseCase";
+  }
+  return "?";
+}
+
+const char* FastRouteAlgorithm::class_name(int cls) {
+  constexpr const char* names[4] = {"NE", "NW", "SW", "SE"};
+  return names[cls & 3];
+}
+
+void FastRouteAlgorithm::build_schedule(std::int32_t n) {
+  segments_.clear();
+  Step t = 0;
+  auto push = [&](Kind kind, int cls, int j, int tiling, bool horizontal,
+                  std::int32_t tile, std::int32_t d, Step length) {
+    Segment seg;
+    seg.kind = kind;
+    seg.cls = cls;
+    seg.j = j;
+    seg.tiling = tiling;
+    seg.horizontal = horizontal;
+    seg.tile = tile;
+    seg.d = d;
+    seg.start = t;
+    seg.length = length;
+    MR_REQUIRE(length >= 1);
+    segments_.push_back(seg);
+    t += length;
+  };
+  for (int cls = 0; cls < 4; ++cls) {
+    for (std::int32_t tile = n, j = 0; tile >= 27; tile /= 3, ++j) {
+      const std::int32_t d = tile / 27;
+      const int q = j == 0 ? options_.q0 : options_.q_later;
+      const Step march = static_cast<Step>(q) * d - 1;
+      const Step ss = (d - 1) + static_cast<Step>(q) * d;
+      const Step balance = 3 * static_cast<Step>(tile) - 4;
+      for (const bool horizontal : {false, true}) {
+        const int tilings = j == 0 ? 1 : 3;
+        for (int o = 0; o < tilings; ++o) {
+          push(Kind::March, cls, j, o, horizontal, tile, d, march);
+          push(Kind::SortSmoothEven, cls, j, o, horizontal, tile, d, ss);
+          push(Kind::SortSmoothOdd, cls, j, o, horizontal, tile, d, ss);
+          push(Kind::Balance, cls, j, o, horizontal, tile, d, balance);
+        }
+      }
+    }
+    push(Kind::BaseCase, cls, 0, 0, false, 0, 0,
+         FastRouteBounds::base_case_steps());
+  }
+  schedule_length_ = t;
+}
+
+void FastRouteAlgorithm::init(Engine& e) {
+  n_ = e.mesh().width();
+  MR_REQUIRE_MSG(e.mesh().height() == n_ && !e.mesh().is_torus(),
+                 "fastroute needs a square mesh");
+  std::int32_t m = n_;
+  while (m % 3 == 0) m /= 3;
+  MR_REQUIRE_MSG(m == 1 && n_ >= 27,
+                 "fastroute needs n a power of 3, n >= 27 (got " << n_ << ")");
+  MR_REQUIRE_MSG(e.queue_capacity() >= queue_bound(),
+                 "engine queue capacity below the Lemma 28 bound "
+                     << queue_bound());
+  build_schedule(n_);
+
+  const std::size_t np = e.num_packets();
+  packet_class_.resize(np);
+  prev_location_.resize(np);
+  moved_north_at_.assign(np, -1);
+  participates_.assign(np, 0);
+  active_.assign(np, 0);
+  dest_strip_.assign(np, 0);
+  ss_forward_.assign(np, 0);
+  const std::size_t nn = static_cast<std::size_t>(e.mesh().num_nodes());
+  staged_count_.assign(nn, 0);
+  ss_received_.assign(nn, 0);
+  active_count_.assign(nn, 0);
+  for (std::size_t i = 0; i < np; ++i) {
+    const Packet& pk = e.packet(static_cast<PacketId>(i));
+    packet_class_[i] = classify_packet(e.mesh().coord_of(pk.source),
+                                       e.mesh().coord_of(pk.dest));
+    prev_location_[i] = pk.location;
+  }
+  current_segment_ = 0;
+  cached_step_ = 0;
+  enter_segment(e, 0);
+}
+
+Coord FastRouteAlgorithm::to_canon(Coord real) const {
+  Coord c = real;
+  for (int r = 0; r < rotation_; ++r) c = rot_cw(c, n_);
+  if (transposed_) std::swap(c.col, c.row);
+  return c;
+}
+
+Dir FastRouteAlgorithm::canon_north_real() const { return canon_north_; }
+Dir FastRouteAlgorithm::canon_east_real() const { return canon_east_; }
+
+// (declarations kept in the header for test introspection)
+
+std::int32_t FastRouteAlgorithm::tile_origin_row(Coord canon) const {
+  const Segment& seg = segments_[current_segment_];
+  const std::int32_t shift = seg.tiling * seg.tile / 3;
+  return ((canon.row + shift) / seg.tile) * seg.tile - shift;
+}
+
+std::int32_t FastRouteAlgorithm::tile_origin_col(Coord canon) const {
+  const Segment& seg = segments_[current_segment_];
+  const std::int32_t shift = seg.tiling * seg.tile / 3;
+  return ((canon.col + shift) / seg.tile) * seg.tile - shift;
+}
+
+std::int32_t FastRouteAlgorithm::strip_of(Coord canon) const {
+  const Segment& seg = segments_[current_segment_];
+  return (canon.row - tile_origin_row(canon)) / seg.d;
+}
+
+void FastRouteAlgorithm::enter_segment(Engine& e, std::size_t idx) {
+  current_segment_ = idx;
+  if (idx >= segments_.size()) return;
+  Segment& seg = segments_[idx];
+  rotation_ = kRotations[seg.cls];
+  transposed_ = seg.horizontal;
+  q_ = seg.j == 0 ? options_.q0 : options_.q_later;
+
+  // Resolve which real directions are canonical north/east by transforming
+  // the unit deltas: rot_cw maps delta (a,b) → (b,−a).
+  auto canon_delta = [&](Dir d) {
+    std::int32_t a = 0, b = 0;
+    switch (d) {
+      case Dir::North: b = 1; break;
+      case Dir::South: b = -1; break;
+      case Dir::East: a = 1; break;
+      case Dir::West: a = -1; break;
+    }
+    for (int r = 0; r < rotation_; ++r) {
+      const std::int32_t na = b, nb = -a;
+      a = na;
+      b = nb;
+    }
+    if (transposed_) std::swap(a, b);
+    return std::pair{a, b};
+  };
+  for (Dir d : kAllDirs) {
+    const auto [a, b] = canon_delta(d);
+    if (a == 0 && b == 1) canon_north_ = d;
+    if (a == 1 && b == 0) canon_east_ = d;
+  }
+
+  if (seg.kind == Kind::March) {
+    // Subphase start: freeze participation and activity (§6.1 step 1).
+    std::fill(staged_count_.begin(), staged_count_.end(), 0);
+    for (std::size_t i = 0; i < packet_class_.size(); ++i) {
+      const PacketId p = static_cast<PacketId>(i);
+      participates_[i] = 0;
+      active_[i] = 0;
+      if (packet_class_[i] != seg.cls) continue;
+      const Packet& pk = e.packet(p);
+      if (pk.delivered() || pk.location == kInvalidNode) continue;
+      const Coord loc = to_canon(e.mesh().coord_of(pk.location));
+      const Coord dst = to_canon(e.mesh().coord_of(pk.dest));
+      if (tile_origin_row(loc) != tile_origin_row(dst) ||
+          tile_origin_col(loc) != tile_origin_col(dst)) {
+        continue;  // location and destination not in a common tile
+      }
+      participates_[i] = 1;
+      dest_strip_[i] = strip_of(dst);
+      if (dest_strip_[i] - strip_of(loc) >= 3) {
+        active_[i] = 1;
+        if (strip_of(loc) == dest_strip_[i] - 3)
+          ++staged_count_[pk.location];
+      }
+    }
+  } else if (seg.kind == Kind::SortSmoothEven ||
+             seg.kind == Kind::SortSmoothOdd) {
+    std::fill(ss_received_.begin(), ss_received_.end(), 0);
+    std::fill(ss_forward_.begin(), ss_forward_.end(), 0);
+  } else if (seg.kind == Kind::Balance) {
+    std::fill(active_count_.begin(), active_count_.end(), 0);
+    for (std::size_t i = 0; i < packet_class_.size(); ++i) {
+      if (!active_[i]) continue;
+      const Packet& pk = e.packet(static_cast<PacketId>(i));
+      if (pk.delivered() || pk.location == kInvalidNode) continue;
+      ++active_count_[pk.location];
+      seg.peak_active_per_node =
+          std::max(seg.peak_active_per_node, active_count_[pk.location]);
+    }
+  } else if (seg.kind == Kind::BaseCase) {
+    // Everyone undelivered in the class participates; Lemma 18 places them
+    // within 2 rows and 2 columns of their destinations.
+    for (std::size_t i = 0; i < packet_class_.size(); ++i) {
+      participates_[i] = 0;
+      active_[i] = 0;
+      if (packet_class_[i] != seg.cls) continue;
+      const Packet& pk = e.packet(static_cast<PacketId>(i));
+      if (pk.delivered() || pk.location == kInvalidNode) continue;
+      participates_[i] = 1;
+      active_[i] = 1;
+      const Coord loc = to_canon(e.mesh().coord_of(pk.location));
+      const Coord dst = to_canon(e.mesh().coord_of(pk.dest));
+      MR_REQUIRE_MSG(dst.col - loc.col <= 2 && dst.row - loc.row <= 2,
+                     "Lemma 18 violated: packet too far from destination at "
+                     "base case ("
+                         << dst.col - loc.col << "," << dst.row - loc.row
+                         << ")");
+    }
+  }
+}
+
+void FastRouteAlgorithm::check_segment_end(Engine& e, const Segment& seg) {
+  // Per-phase postconditions (Lemmas 29–32).
+  for (std::size_t i = 0; i < packet_class_.size(); ++i) {
+    if (packet_class_[i] != seg.cls) continue;
+    const Packet& pk = e.packet(static_cast<PacketId>(i));
+    if (pk.delivered() || pk.location == kInvalidNode) {
+      MR_REQUIRE_MSG(seg.kind == Kind::BaseCase || !active_[i],
+                     "active packet delivered mid-subphase");
+      continue;
+    }
+    if (!participates_[i] || !active_[i]) {
+      if (seg.kind == Kind::BaseCase) {
+        MR_REQUIRE_MSG(!participates_[i],
+                       "Lemma 32 violated: base case left packet "
+                           << pk.id << " undelivered");
+      }
+      continue;
+    }
+    const Coord loc = to_canon(e.mesh().coord_of(pk.location));
+    const std::int32_t s = strip_of(loc);
+    switch (seg.kind) {
+      case Kind::March:
+        MR_REQUIRE_MSG(s == dest_strip_[i] - 3,
+                       "Lemma 29 violated: active packet not in its staging "
+                       "strip after the March (strip "
+                           << s << ", staging " << dest_strip_[i] - 3 << ")");
+        break;
+      case Kind::SortSmoothEven:
+        if (dest_strip_[i] % 2 == 0)
+          MR_REQUIRE_MSG(s == dest_strip_[i] - 2,
+                         "Lemma 30 violated (even substep)");
+        break;
+      case Kind::SortSmoothOdd:
+        MR_REQUIRE_MSG(s == dest_strip_[i] - 2,
+                       "Lemma 30 violated (odd substep), strip "
+                           << s << " vs " << dest_strip_[i] - 2);
+        break;
+      case Kind::Balance:
+        break;  // per-node bound checked below
+      case Kind::BaseCase:
+        MR_REQUIRE_MSG(false, "Lemma 32 violated: packet survived base case");
+    }
+  }
+  if (seg.kind == Kind::Balance) {
+    // Lemma 24: at most two active packets end Balancing in any node.
+    for (std::size_t u = 0; u < active_count_.size(); ++u) {
+      MR_REQUIRE_MSG(active_count_[u] <= 2,
+                     "Lemma 24 violated: " << active_count_[u]
+                                           << " active packets in node " << u
+                                           << " after Balancing");
+    }
+  }
+}
+
+void FastRouteAlgorithm::detect_moves(Engine& e) {
+  if (current_segment_ >= segments_.size()) return;
+  Segment& seg = segments_[current_segment_];
+  const Step t = e.step();  // moves being detected happened at step t−1
+  for (std::size_t i = 0; i < packet_class_.size(); ++i) {
+    if (packet_class_[i] != seg.cls) continue;
+    const PacketId p = static_cast<PacketId>(i);
+    const Packet& pk = e.packet(p);
+    const NodeId now = pk.location;
+    const NodeId before = prev_location_[i];
+    if (now == before) continue;
+    prev_location_[i] = now;
+    ++seg.moves;
+    seg.last_move_offset = (t - 1) - seg.start;
+    if (!participates_[i]) continue;
+
+    const Coord canon_before = to_canon(e.mesh().coord_of(before));
+    const Coord canon_now =
+        now == kInvalidNode ? canon_before : to_canon(e.mesh().coord_of(now));
+    const bool moved_north = now != kInvalidNode &&
+                             canon_now.row == canon_before.row + 1 &&
+                             canon_now.col == canon_before.col;
+    if (moved_north) moved_north_at_[i] = t - 1;
+
+    switch (seg.kind) {
+      case Kind::March: {
+        if (!active_[i]) break;
+        const std::int32_t staging = dest_strip_[i] - 3;
+        if (strip_of(canon_before) == staging) --staged_count_[before];
+        if (now != kInvalidNode && strip_of(canon_now) == staging) {
+          ++staged_count_[now];
+          seg.peak_active_per_node =
+              std::max(seg.peak_active_per_node, staged_count_[now]);
+          MR_REQUIRE_MSG(staged_count_[now] <= q_,
+                         "March staging capacity q exceeded");
+        }
+        break;
+      }
+      case Kind::SortSmoothEven:
+      case Kind::SortSmoothOdd: {
+        if (!active_[i] || now == kInvalidNode) break;
+        if (strip_of(canon_now) == dest_strip_[i] - 2) {
+          // Entered (or advanced within) strip i−2: the receiving node
+          // counts it; the t-th node from the strip's north end holds
+          // every t-th packet it receives and forwards the rest.
+          const std::int32_t row_in_strip =
+              canon_now.row - tile_origin_row(canon_now) -
+              (dest_strip_[i] - 2) * seg.d;
+          const std::int64_t t_n = seg.d - row_in_strip;
+          const std::int64_t count = ++ss_received_[now];
+          ss_forward_[i] = (count % t_n) != 0 ? 1 : 0;
+        } else {
+          ss_forward_[i] = 0;  // still merging inside strip i−3
+        }
+        break;
+      }
+      case Kind::Balance: {
+        if (!active_[i]) break;
+        --active_count_[before];
+        if (now != kInvalidNode) {
+          ++active_count_[now];
+          seg.peak_active_per_node =
+              std::max(seg.peak_active_per_node, active_count_[now]);
+        }
+        break;
+      }
+      case Kind::BaseCase:
+        break;
+    }
+  }
+}
+
+void FastRouteAlgorithm::refresh(Engine& e) {
+  const Step t = e.step();
+  if (t == cached_step_) return;
+  MR_REQUIRE(t == cached_step_ + 1);
+  cached_step_ = t;
+  detect_moves(e);
+  while (current_segment_ < segments_.size() &&
+         t > segments_[current_segment_].start +
+                 segments_[current_segment_].length) {
+    check_segment_end(e, segments_[current_segment_]);
+    enter_segment(e, current_segment_ + 1);
+  }
+}
+
+void FastRouteAlgorithm::plan_out(Engine& e, NodeId u, OutPlan& plan) {
+  refresh(e);
+  if (current_segment_ >= segments_.size()) return;
+  switch (segments_[current_segment_].kind) {
+    case Kind::March: plan_march(e, u, plan); break;
+    case Kind::SortSmoothEven: plan_sort_smooth(e, u, plan, true); break;
+    case Kind::SortSmoothOdd: plan_sort_smooth(e, u, plan, false); break;
+    case Kind::Balance: plan_balance(e, u, plan); break;
+    case Kind::BaseCase: plan_base_case(e, u, plan); break;
+  }
+}
+
+void FastRouteAlgorithm::plan_in(Engine& e, NodeId, std::span<const Offer> offers,
+                                 InPlan& plan) {
+  refresh(e);
+  // All refusal logic is sender-side (a node can observe its neighbour's
+  // staging occupancy); the engine still validates the Lemma 28 capacity.
+  plan.accept.assign(offers.size(), true);
+}
+
+void FastRouteAlgorithm::plan_march(Engine& e, NodeId u, OutPlan& plan) {
+  const Segment& seg = segments_[current_segment_];
+  const Step t = e.step();
+  const NodeId north = e.mesh().neighbor(u, canon_north_);
+  if (north == kInvalidNode) return;
+  const Coord canon_north_coord = to_canon(e.mesh().coord_of(north));
+
+  PacketId best = kInvalidPacket;
+  int best_rank = 0;  // lower is better
+  Step best_arrived = 0;
+  for (PacketId p : e.packets_at(u)) {
+    const std::size_t i = static_cast<std::size_t>(p);
+    if (packet_class_[i] != seg.cls || !active_[i]) continue;
+    const Coord loc = to_canon(e.mesh().coord_of(u));
+    const std::int32_t s = strip_of(loc);
+    const std::int32_t staging = dest_strip_[i] - 3;
+    bool wants = false;
+    if (s < staging) {
+      wants = true;  // transit northward
+    } else if (s == staging && strip_of(canon_north_coord) == staging) {
+      wants = true;  // pack farther north within the staging strip
+    }
+    if (!wants) continue;
+    // The staging node refuses packets of its group once it holds q.
+    if (strip_of(canon_north_coord) == staging &&
+        staged_count_[north] >= q_) {
+      continue;
+    }
+    // Priority (Lemma 29): the packet that moved north last step first,
+    // then transit before packing, then FIFO.
+    const bool convoy = moved_north_at_[i] == t - 1;
+    const int rank = (convoy ? 0 : 2) + (s < staging ? 0 : 1);
+    const Step arrived = e.packet(p).arrived_at;
+    if (best == kInvalidPacket || rank < best_rank ||
+        (rank == best_rank && arrived < best_arrived)) {
+      best = p;
+      best_rank = rank;
+      best_arrived = arrived;
+    }
+  }
+  if (best != kInvalidPacket) plan.schedule(canon_north_, best);
+}
+
+void FastRouteAlgorithm::plan_sort_smooth(Engine& e, NodeId u, OutPlan& plan,
+                                          bool even) {
+  const Segment& seg = segments_[current_segment_];
+  const Coord loc = to_canon(e.mesh().coord_of(u));
+  const std::int32_t s = strip_of(loc);
+  const Step local = e.step() - seg.start;  // 1-based within the segment
+
+  // Role 1: node of strip i−3 (stash): from local step t_pos on, send the
+  // stashed packet with the farthest east to go.
+  const std::int32_t row_in_strip = loc.row - tile_origin_row(loc) -
+                                    s * seg.d;
+  const std::int32_t t_pos = row_in_strip + 1;  // 1 = southernmost
+  PacketId stash_best = kInvalidPacket;
+  std::int32_t stash_dist = -1;
+  // Role 2: node of strip i−2: forward the marked packets FIFO.
+  PacketId fwd_best = kInvalidPacket;
+  Step fwd_arrived = 0;
+
+  for (PacketId p : e.packets_at(u)) {
+    const std::size_t i = static_cast<std::size_t>(p);
+    if (packet_class_[i] != seg.cls || !active_[i]) continue;
+    if ((dest_strip_[i] % 2 == 0) != even) continue;
+    const Packet& pk = e.packet(p);
+    const Coord dst = to_canon(e.mesh().coord_of(pk.dest));
+    if (s == dest_strip_[i] - 3) {
+      if (local < t_pos) continue;
+      const std::int32_t dist = dst.col - loc.col;
+      if (dist > stash_dist) {
+        stash_dist = dist;
+        stash_best = p;
+      }
+    } else if (s == dest_strip_[i] - 2 && ss_forward_[i]) {
+      if (fwd_best == kInvalidPacket || pk.arrived_at < fwd_arrived) {
+        fwd_best = p;
+        fwd_arrived = pk.arrived_at;
+      }
+    }
+  }
+  // A node is in strip i−3 for one parity and i−2 for the other, so at most
+  // one of the two roles is live in any substep; prefer the stash if both
+  // somehow apply.
+  const PacketId chosen =
+      stash_best != kInvalidPacket ? stash_best : fwd_best;
+  if (chosen != kInvalidPacket) plan.schedule(canon_north_, chosen);
+}
+
+void FastRouteAlgorithm::plan_balance(Engine& e, NodeId u, OutPlan& plan) {
+  const Segment& seg = segments_[current_segment_];
+  if (active_count_[u] <= 2) return;  // the 2-rule
+  const Coord loc = to_canon(e.mesh().coord_of(u));
+  PacketId best = kInvalidPacket;
+  std::int32_t best_dist = 0;
+  for (PacketId p : e.packets_at(u)) {
+    const std::size_t i = static_cast<std::size_t>(p);
+    if (packet_class_[i] != seg.cls || !active_[i]) continue;
+    const Coord dst = to_canon(e.mesh().coord_of(e.packet(p).dest));
+    const std::int32_t dist = dst.col - loc.col;
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = p;
+    }
+  }
+  // Lemmas 16/17 guarantee a node with > 2 active packets holds one with
+  // ground still to cover eastward; otherwise the invariant broke.
+  MR_REQUIRE_MSG(best != kInvalidPacket,
+                 "2-rule found no eastward-profitable active packet (Lemma "
+                 "16/17 violated) at node "
+                     << u);
+  plan.schedule(canon_east_, best);
+}
+
+void FastRouteAlgorithm::plan_base_case(Engine& e, NodeId u, OutPlan& plan) {
+  const Segment& seg = segments_[current_segment_];
+  const Coord loc = to_canon(e.mesh().coord_of(u));
+  PacketId east_best = kInvalidPacket, north_best = kInvalidPacket;
+  std::int32_t east_dist = 0, north_dist = 0;
+  for (PacketId p : e.packets_at(u)) {
+    const std::size_t i = static_cast<std::size_t>(p);
+    if (packet_class_[i] != seg.cls) continue;
+    const Coord dst = to_canon(e.mesh().coord_of(e.packet(p).dest));
+    const std::int32_t de = dst.col - loc.col;
+    const std::int32_t dn = dst.row - loc.row;
+    if (de > 0) {
+      if (de > east_dist) {
+        east_dist = de;
+        east_best = p;
+      }
+    } else if (dn > 0) {
+      if (dn > north_dist) {
+        north_dist = dn;
+        north_best = p;
+      }
+    }
+  }
+  if (east_best != kInvalidPacket) plan.schedule(canon_east_, east_best);
+  if (north_best != kInvalidPacket) plan.schedule(canon_north_, north_best);
+}
+
+}  // namespace mr

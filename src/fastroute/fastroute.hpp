@@ -1,0 +1,146 @@
+// The §6 deterministic, minimal adaptive, O(n)-time, O(1)-queue routing
+// algorithm (Theorem 34).
+//
+// Structure (paper §6.1): the four direction classes NE, NW, SE, SW are
+// routed sequentially. For each class, iterations j = 0, 1, ... use tiles
+// of side T = n/3^j (three shifted tilings per Lemma 19, one at j = 0); a
+// Vertical Phase (March → Sort&Smooth even → Sort&Smooth odd → Horizontal
+// Balancing) runs for each tiling, then a Horizontal Phase (the transpose)
+// for each tiling. When T < 27 the remaining packets — now within 2 rows
+// and 2 columns of their destinations (Lemma 18 with d = 1) — are finished
+// by ≤ 14 steps of farthest-first dimension-order routing (Lemma 32).
+//
+// Every phase has an a-priori duration (Lemmas 29–31), so nodes need no
+// global communication: the whole schedule is a fixed timeline computed
+// from n and q. The implementation runs through the standard Engine (which
+// enforces minimality and queue capacity) with this class as the Algorithm;
+// all per-phase rules are expressed in a canonical coordinate frame
+// (rotation per class, plus a transpose for horizontal phases) so the
+// Vertical Phase code serves all eight phase variants.
+//
+// The implementation checks the paper's per-phase lemmas online:
+//   * March ends with every active packet in its staging strip (Lemma 29),
+//   * Sort&Smooth ends with every active packet in strip i−2 (Lemma 30),
+//   * Balancing ends with ≤ 2 active packets per node (Lemmas 24/31),
+//   * the 2-rule never selects a packet with nothing left to gain
+//     (Lemmas 16/17: no overshoot),
+//   * the base case drains within its 14 steps (Lemma 32).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/algorithm.hpp"
+#include "sim/engine.hpp"
+
+namespace mr {
+
+class FastRouteAlgorithm final : public Algorithm {
+ public:
+  struct Options {
+    /// March/staging capacity: q = 17·(27−3) = 408 in the baseline
+    /// analysis; §6.4's improvement uses q = 17·(9−3) = 102 for j ≥ 1.
+    int q0 = 408;
+    int q_later = 408;  ///< set to 102 for the "improved" variant
+
+    static Options baseline() { return Options{408, 408}; }
+    static Options improved() { return Options{408, 102}; }
+  };
+
+  explicit FastRouteAlgorithm(Options options = Options::baseline());
+
+  std::string name() const override { return "fastroute"; }
+  bool minimal() const override { return true; }
+
+  void init(Engine& e) override;
+  void plan_out(Engine& e, NodeId u, OutPlan& plan) override;
+  void plan_in(Engine& e, NodeId v, std::span<const Offer> offers,
+               InPlan& plan) override;
+
+  // ---- schedule introspection (tests / E09 / E10) ----------------------
+  enum class Kind : std::uint8_t {
+    March,
+    SortSmoothEven,
+    SortSmoothOdd,
+    Balance,
+    BaseCase,
+  };
+
+  struct Segment {
+    Kind kind = Kind::March;
+    int cls = 0;        ///< 0 NE, 1 NW, 2 SW, 3 SE
+    int j = 0;          ///< iteration
+    int tiling = 0;     ///< 0..2
+    bool horizontal = false;  ///< part of a Horizontal Phase (transposed)
+    std::int32_t tile = 0;    ///< tile side T
+    std::int32_t d = 0;       ///< strip height T/27 (0 for base case)
+    Step start = 0;           ///< segment covers steps (start, start+len]
+    Step length = 0;
+    // measured during the run:
+    Step last_move_offset = 0;  ///< last step-within-segment that moved
+    std::int64_t moves = 0;
+    int peak_active_per_node = 0;
+  };
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  Step schedule_length() const { return schedule_length_; }
+  static const char* kind_name(Kind k);
+  static const char* class_name(int cls);
+
+  /// Total queue bound the engine should be configured with (Lemma 28).
+  int queue_bound() const { return 2 * options_.q0 + 18; }
+
+ private:
+  struct ClassInfo;  // per-packet bookkeeping
+
+  void build_schedule(std::int32_t n);
+  void refresh(Engine& e);
+  void enter_segment(Engine& e, std::size_t idx);
+  void check_segment_end(Engine& e, const Segment& seg);
+  void detect_moves(Engine& e);
+
+  // canonical-frame helpers for the current segment
+  Coord to_canon(Coord real) const;
+  Dir canon_north_real() const;
+  Dir canon_east_real() const;
+  std::int32_t strip_of(Coord canon) const;          // within its tile
+  std::int32_t tile_origin_row(Coord canon) const;   // canonical tile row0
+  std::int32_t tile_origin_col(Coord canon) const;
+
+  void plan_march(Engine& e, NodeId u, OutPlan& plan);
+  void plan_sort_smooth(Engine& e, NodeId u, OutPlan& plan, bool even);
+  void plan_balance(Engine& e, NodeId u, OutPlan& plan);
+  void plan_base_case(Engine& e, NodeId u, OutPlan& plan);
+
+  Options options_;
+  std::int32_t n_ = 0;
+  std::vector<Segment> segments_;
+  Step schedule_length_ = 0;
+
+  // per-packet state
+  std::vector<int> packet_class_;        // 0..3
+  std::vector<NodeId> prev_location_;    // real node ids
+  std::vector<Step> moved_north_at_;     // last step moved canonical north
+  // subphase-frozen flags
+  std::vector<std::uint8_t> participates_;
+  std::vector<std::uint8_t> active_;
+  std::vector<std::int32_t> dest_strip_;   // canonical, frozen per subphase
+  std::vector<std::uint8_t> ss_forward_;   // Sort&Smooth: forward (not hold)
+
+  // per-node state (indexed by real NodeId)
+  std::vector<std::int32_t> staged_count_;   // March staging occupancy
+  std::vector<std::int64_t> ss_received_;    // Sort&Smooth receive counters
+  std::vector<std::int32_t> active_count_;   // active participants per node
+
+  std::size_t current_segment_ = 0;
+  Step cached_step_ = -1;
+  int rotation_ = 0;       // class rotation count for current segment
+  bool transposed_ = false;
+  int q_ = 408;            // q for current segment
+  Dir canon_north_ = Dir::North;  // real direction of canonical north
+  Dir canon_east_ = Dir::East;    // real direction of canonical east
+};
+
+}  // namespace mr

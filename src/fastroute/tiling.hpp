@@ -1,0 +1,72 @@
+// Tilings for the §6 algorithm (Lemma 19).
+//
+// At iteration j the mesh is covered by three tilings with square tiles of
+// side T = n/3^j, displaced by T/3 in both dimensions. Lemma 19: any two
+// nodes within T/3 of each other both vertically and horizontally lie in a
+// common tile of at least one of the tilings. Tiles overhanging the mesh
+// edge are "virtual": their origin may be negative and their area is
+// clipped to the mesh (no packet ever moves outside the real mesh).
+#pragma once
+
+#include <cstdint>
+
+#include "core/assert.hpp"
+#include "core/types.hpp"
+
+namespace mr {
+
+class Tiling {
+ public:
+  /// tile side T (must be divisible by 3), offset index 0, 1 or 2
+  /// (displacement = offset·T/3 in both dimensions).
+  Tiling(std::int32_t n, std::int32_t tile_side, int offset_index)
+      : n_(n), side_(tile_side), shift_(offset_index * tile_side / 3) {
+    MR_REQUIRE(tile_side >= 3 && tile_side % 3 == 0);
+    MR_REQUIRE(offset_index >= 0 && offset_index <= 2);
+    MR_REQUIRE(n >= 1);
+  }
+
+  std::int32_t side() const { return side_; }
+  std::int32_t mesh_size() const { return n_; }
+
+  /// Virtual origin (southwest corner) of the tile containing coordinate x
+  /// in one dimension; may be negative for edge tiles.
+  std::int32_t origin1d(std::int32_t x) const {
+    // Tiles start at positions ≡ −shift (mod side).
+    const std::int32_t s = x + shift_;
+    return (s / side_) * side_ - shift_;
+  }
+
+  struct Tile {
+    std::int32_t col0 = 0;  ///< virtual SW corner (may be negative)
+    std::int32_t row0 = 0;
+
+    friend bool operator==(const Tile&, const Tile&) = default;
+  };
+
+  Tile tile_of(Coord c) const {
+    MR_REQUIRE(c.col >= 0 && c.col < n_ && c.row >= 0 && c.row < n_);
+    return Tile{origin1d(c.col), origin1d(c.row)};
+  }
+
+  bool same_tile(Coord a, Coord b) const { return tile_of(a) == tile_of(b); }
+
+ private:
+  std::int32_t n_;
+  std::int32_t side_;
+  std::int32_t shift_;
+};
+
+/// Lemma 19 cover search: index (0–2) of a tiling whose tile contains both
+/// nodes, or −1 (possible only when the nodes are farther than T/3 apart in
+/// some dimension).
+inline int covering_tiling(std::int32_t n, std::int32_t tile_side, Coord a,
+                           Coord b) {
+  for (int o = 0; o < 3; ++o) {
+    const Tiling t(n, tile_side, o);
+    if (t.same_tile(a, b)) return o;
+  }
+  return -1;
+}
+
+}  // namespace mr

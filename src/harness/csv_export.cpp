@@ -1,0 +1,33 @@
+#include "harness/csv_export.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+
+namespace mr {
+
+std::string csv_output_dir() {
+  const char* env = std::getenv("MESHROUTE_OUTPUT_DIR");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+std::string export_csv(const Table& table, const std::string& slug) {
+  const std::string dir = csv_output_dir();
+  if (dir.empty()) return {};
+  std::string name;
+  for (char ch : slug) {
+    const char lower = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(ch)));
+    name += (std::isalnum(static_cast<unsigned char>(lower)) || lower == '-' ||
+             lower == '_')
+                ? lower
+                : '_';
+  }
+  const std::string path = dir + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) return {};
+  out << table.to_csv();
+  return path;
+}
+
+}  // namespace mr

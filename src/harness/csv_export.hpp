@@ -1,0 +1,19 @@
+// Optional CSV export for experiment tables: when MESHROUTE_OUTPUT_DIR is
+// set, every exported table is also written as <dir>/<slug>.csv for
+// downstream plotting. No-op otherwise.
+#pragma once
+
+#include <string>
+
+#include "core/table.hpp"
+
+namespace mr {
+
+/// Returns the configured output directory, or empty when export is off.
+std::string csv_output_dir();
+
+/// Writes `table` as <dir>/<slug>.csv if MESHROUTE_OUTPUT_DIR is set.
+/// `slug` is sanitised to [a-z0-9_-]. Returns the path written, or empty.
+std::string export_csv(const Table& table, const std::string& slug);
+
+}  // namespace mr

@@ -1,0 +1,45 @@
+#include "harness/runner.hpp"
+
+#include "routing/registry.hpp"
+
+namespace mr {
+
+Step default_step_budget(std::int32_t width, std::int32_t height, int k) {
+  const std::int64_t n = std::max(width, height);
+  // Theorem 15 upper bound is O(n²/k + n); §6 runs in ≤ 972n. A budget of
+  // 8·n²/k + 4000·n covers every algorithm in the suite with slack.
+  return 8 * n * n / std::max(1, k) + 4000 * n;
+}
+
+RunResult run_workload(const RunSpec& spec, const Workload& workload) {
+  const Mesh mesh(spec.width, spec.height, spec.torus);
+  auto algorithm = make_algorithm(spec.algorithm);
+  Engine::Config config;
+  config.queue_capacity = spec.queue_capacity;
+  config.stall_limit = spec.stall_limit;
+  Engine engine(mesh, config, *algorithm);
+  for (const Demand& d : workload)
+    engine.add_packet(d.source, d.dest, d.injected_at);
+
+  MetricsObserver metrics;
+  engine.add_observer(&metrics);
+  engine.prepare();
+
+  const Step budget = spec.max_steps > 0
+                          ? spec.max_steps
+                          : default_step_budget(spec.width, spec.height,
+                                                spec.queue_capacity);
+  RunResult result;
+  result.steps = engine.run(budget);
+  result.all_delivered = engine.all_delivered();
+  result.stalled = engine.stalled();
+  result.packets = engine.num_packets();
+  result.delivered = engine.delivered_count();
+  result.max_queue = engine.max_occupancy_seen();
+  result.total_moves = engine.total_moves();
+  result.latency_p50 = metrics.latency().percentile(0.5);
+  result.latency_max = metrics.latency().max();
+  return result;
+}
+
+}  // namespace mr

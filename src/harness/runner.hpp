@@ -1,0 +1,46 @@
+// Run driver: executes one routing instance (mesh + workload + algorithm)
+// and collects the result metrics used by tests and benchmarks.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "topo/mesh.hpp"
+#include "workload/permutation.hpp"
+
+namespace mr {
+
+struct RunSpec {
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  bool torus = false;
+  int queue_capacity = 1;  ///< k
+  std::string algorithm;   ///< registry name
+  Step max_steps = 0;      ///< 0 = auto (generous bound from mesh size)
+  Step stall_limit = 500000;
+};
+
+struct RunResult {
+  Step steps = 0;              ///< last executed step
+  bool all_delivered = false;
+  bool stalled = false;
+  std::size_t packets = 0;
+  std::size_t delivered = 0;
+  int max_queue = 0;           ///< peak single-queue occupancy
+  std::int64_t total_moves = 0;
+  Step latency_p50 = 0;
+  Step latency_max = 0;
+};
+
+/// Runs the workload to completion (or to max_steps / stall).
+RunResult run_workload(const RunSpec& spec, const Workload& workload);
+
+/// Convenience: default max step budget for an n×m mesh with queue size k —
+/// comfortably above the Theorem 15 upper bound.
+Step default_step_budget(std::int32_t width, std::int32_t height, int k);
+
+}  // namespace mr

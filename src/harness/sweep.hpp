@@ -1,0 +1,22 @@
+// Parameter-sweep driver: runs independent simulation instances across a
+// thread pool and collects results position-addressed (deterministic output
+// regardless of scheduling).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/parallel.hpp"
+
+namespace mr {
+
+/// Evaluates fn(i) for every index in parallel; results keep their slot.
+template <typename Result>
+std::vector<Result> sweep(std::size_t count,
+                          const std::function<Result(std::size_t)>& fn) {
+  std::vector<Result> results(count);
+  parallel_for(count, [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace mr

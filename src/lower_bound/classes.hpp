@@ -1,0 +1,80 @@
+// Packet classes and box geometry for the main construction (paper §2
+// "Definitions" and Figure 1), shared by the torus and h-h variants.
+//
+// All coordinates here are 0-based. With γ = cn − 2 (0-based index of the
+// N_1-column minus one... precisely: the paper's 1-based "(cn−1+i)-th
+// column" is 0-based column γ+i where γ = cn − 2):
+//   * N_i-column: column γ+i ; E_i-row: row γ+i.
+//   * i-box: columns 0..γ+i and rows 0..γ+i (a square).
+//   * 0-box: columns 0..γ and rows 0..γ.
+//   * N_i-packet: destined for column γ+i strictly north of row γ+i.
+//   * E_i-packet: destined for row γ+i strictly east of column γ+i.
+// A construction embedded in a torus submesh (§5) uses `size` < mesh side;
+// everything is confined to columns/rows [0, size).
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "lower_bound/constants.hpp"
+#include "topo/mesh.hpp"
+
+namespace mr {
+
+enum class ClassType : std::uint8_t { None = 0, N = 1, E = 2 };
+
+struct PacketClass {
+  ClassType type = ClassType::None;
+  std::int64_t i = 0;  ///< class index, 1-based; 0 when type == None
+
+  friend bool operator==(const PacketClass& a, const PacketClass& b) {
+    return a.type == b.type && a.i == b.i;
+  }
+};
+
+/// Geometry of the main construction for side `size` and cn as chosen by
+/// main_lb_params (or hh_lb_params).
+class MainGeometry {
+ public:
+  MainGeometry(std::int32_t size, std::int32_t cn, std::int64_t classes)
+      : size_(size), cn_(cn), classes_(classes), gamma_(cn - 2) {}
+
+  std::int32_t size() const { return size_; }
+  std::int32_t cn() const { return cn_; }
+  std::int64_t classes() const { return classes_; }
+
+  /// 0-based column of the N_i-column / row of the E_i-row.
+  std::int32_t line(std::int64_t i) const {
+    return static_cast<std::int32_t>(gamma_ + i);
+  }
+
+  /// True if c lies inside the i-box (i = 0 allowed).
+  bool in_box(Coord c, std::int64_t i) const {
+    return c.col <= line(i) && c.row <= line(i);
+  }
+
+  /// Classifies a packet. Per the paper's definition an N_i/E_i-packet
+  /// must both START in the cn×cn submesh (the 1-box) and be destined for
+  /// the N_i-column/E_i-row outside the i-box; filler packets originating
+  /// elsewhere are never classed. Only classes 1..classes() are reported.
+  PacketClass classify(Coord source, Coord dest) const {
+    if (!in_box(source, 1)) return PacketClass{};
+    if (dest.col > gamma_ && dest.col <= line(classes_) &&
+        dest.row > dest.col) {
+      return PacketClass{ClassType::N, dest.col - gamma_};
+    }
+    if (dest.row > gamma_ && dest.row <= line(classes_) &&
+        dest.col > dest.row) {
+      return PacketClass{ClassType::E, dest.row - gamma_};
+    }
+    return PacketClass{};
+  }
+
+ private:
+  std::int32_t size_;
+  std::int32_t cn_;
+  std::int64_t classes_;
+  std::int32_t gamma_;
+};
+
+}  // namespace mr

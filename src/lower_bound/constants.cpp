@@ -1,0 +1,112 @@
+#include "lower_bound/constants.hpp"
+
+#include <algorithm>
+
+namespace mr {
+
+namespace {
+using I64 = std::int64_t;
+}
+
+MainLbParams main_lb_params(std::int32_t n, int k) {
+  MainLbParams par;
+  par.n = n;
+  par.k = k;
+  // Largest c ≤ 1/(2(k+2)) with cn integral; largest d ≤ 2/5 with dn
+  // integral (§4.3).
+  par.cn = n / (2 * (k + 2));
+  par.dn = 2 * n / 5;
+  if (par.cn < 1 || par.dn < 1) return par;
+
+  const I64 cn = par.cn;
+  const I64 dn = par.dn;
+  // p = ⌊(k+1)(cn + c²n) + dn⌋ where c²n = cn²/n (exact rational).
+  par.p = (I64(k + 1) * (cn * n + cn * cn)) / n + dn;
+  // l = c²n²/(2p) = cn²/(2p).
+  par.classes = (cn * cn) / (2 * par.p);
+  par.certified_steps = par.classes * dn;
+
+  // Constraint 1: p + l ≤ (1-c)n  ⟺  2p² + cn² ≤ 2p(n − cn).
+  const bool c1 = 2 * par.p * par.p + cn * cn <= 2 * par.p * (I64(n) - cn);
+  // Constraint 3 (Lemmas 3/4): l ≤ c²n  ⟺  n ≤ 2p.
+  const bool c3 = I64(n) <= 2 * par.p;
+  par.valid = c1 && c3 && par.classes >= 1;
+  par.theorem_regime = I64(n) >= 24 * I64(k + 2) * I64(k + 2);
+  return par;
+}
+
+DimOrderLbParams dim_order_lb_params(std::int32_t n, int k) {
+  DimOrderLbParams par;
+  par.n = n;
+  par.k = k;
+  par.cn = n / (2 * (k + 2));
+  par.dn = 2 * n / 5;
+  if (par.cn < 1 || par.dn < 1) return par;
+
+  const I64 cn = par.cn;
+  // §5: p = (k+1)cn + dn; l = (1−c)cn²/p = (n − cn)·cn / p.
+  par.p = I64(k + 1) * cn + par.dn;
+  const I64 l_floor = ((I64(n) - cn) * cn) / par.p;
+  // Only the cn+1 easternmost columns exist as N_i-columns
+  // (column (1−c)n−1+i ≤ n requires i ≤ cn+1).
+  par.classes = std::min<I64>(l_floor, cn + 1);
+  par.certified_steps = par.classes * par.dn;
+
+  // Destination capacity: the N_i-column offers (1−c)n rows north of row
+  // cn... the northernmost (1−c)n nodes; need p ≤ (1−c)n.
+  const bool cap = par.p <= I64(n) - cn;
+  par.valid = cap && par.classes >= 1;
+  return par;
+}
+
+FarthestFirstLbParams farthest_first_lb_params(std::int32_t n, int k) {
+  FarthestFirstLbParams par;
+  par.n = n;
+  par.k = k;
+  // §5: c ≤ 1/(4(k+1)), d ≤ 1/2 (we take the conservative 2/5 the final
+  // bound uses).
+  par.cn = n / (4 * (k + 1));
+  par.dn = 2 * n / 5;
+  if (par.cn < 1 || par.dn < 1) return par;
+
+  const I64 cn = par.cn;
+  // p = (2k+1)cn + dn; l = cn²/p (total class packets p·l = cn·n, one per
+  // node of the southernmost cn rows).
+  par.p = I64(2 * k + 1) * cn + par.dn;
+  const I64 l_floor = (cn * I64(n)) / par.p;
+  // N_i-column is the (n+1−i)-th column; destinations sit north of row cn,
+  // so at most n − 1 classes are geometrically possible.
+  par.classes = std::min<I64>(l_floor, I64(n) - 1);
+  par.certified_steps = par.classes * par.dn;
+
+  const bool cap = par.p <= I64(n) - cn;  // unique rows north of row cn
+  par.valid = cap && par.classes >= 1;
+  return par;
+}
+
+HhLbParams hh_lb_params(std::int32_t n, int k, int h) {
+  HhLbParams par;
+  par.n = n;
+  par.k = k;
+  par.h = h;
+  // §5: c ≤ h/(3(k+1+h)), d ≤ 5h/9.
+  par.cn = static_cast<std::int32_t>(I64(h) * n / (3 * I64(k + 1 + h)));
+  par.dn = static_cast<std::int32_t>(5 * I64(h) * n / 9);
+  if (par.cn < 1 || par.dn < 1) return par;
+
+  const I64 cn = par.cn;
+  par.p = (I64(k + 1) * (cn * n + cn * cn)) / n + par.dn;
+  // l = h·c²n²/(2p).
+  par.classes = (I64(h) * cn * cn) / (2 * par.p);
+  par.certified_steps = par.classes * par.dn;
+
+  // Constraint 1: p + h·l ≤ h(1−c)n ⟺ 2p² + h²cn² ≤ 2p·h(n−cn).
+  const bool c1 = 2 * par.p * par.p + I64(h) * h * cn * cn <=
+                  2 * par.p * I64(h) * (I64(n) - cn);
+  // Constraint 3: l ≤ c²n ⟺ h·n ≤ 2p.
+  const bool c3 = I64(h) * n <= 2 * par.p;
+  par.valid = c1 && c3 && par.classes >= 1;
+  return par;
+}
+
+}  // namespace mr

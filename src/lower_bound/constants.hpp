@@ -1,0 +1,73 @@
+// Constant selection for the lower-bound constructions (paper §4.3, §5).
+//
+// All arithmetic is exact: c and d are represented by the integers cn and
+// dn (the paper requires cn, dn integral), and the constraints are checked
+// with integer cross-multiplication, never floating point.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace mr {
+
+/// §3/§4: constants for the main Ω(n²/k²) construction.
+struct MainLbParams {
+  std::int32_t n = 0;
+  int k = 1;
+  std::int32_t cn = 0;   ///< cn = ⌊n/(2(k+2))⌋ (largest c ≤ 1/(2(k+2)))
+  std::int32_t dn = 0;   ///< dn = ⌊2n/5⌋       (largest d ≤ 2/5)
+  std::int64_t p = 0;    ///< ⌊(k+1)(cn+c²n)+dn⌋, packets per class
+  std::int64_t classes = 0;  ///< ⌊l⌋, l = c²n²/(2p)
+  std::int64_t certified_steps = 0;  ///< ⌊l⌋·dn (Theorem 13)
+  bool valid = false;    ///< all three §4.3 constraints hold
+  bool theorem_regime = false;  ///< n ≥ 24(k+2)² (Theorem 14 case 1)
+};
+MainLbParams main_lb_params(std::int32_t n, int k);
+
+/// §5: constants for the dimension-order Ω(n²/k) construction.
+/// Here p = (k+1)cn + dn and l = (1-c)cn²/p; the number of usable classes
+/// is additionally capped by the cn+1 easternmost columns.
+struct DimOrderLbParams {
+  std::int32_t n = 0;
+  int k = 1;
+  std::int32_t cn = 0;
+  std::int32_t dn = 0;
+  std::int64_t p = 0;
+  std::int64_t classes = 0;
+  std::int64_t certified_steps = 0;
+  bool valid = false;
+};
+DimOrderLbParams dim_order_lb_params(std::int32_t n, int k);
+
+/// §5: constants for the farthest-first Ω(n²/k) construction:
+/// p = (2k+1)cn + dn, l = cn²/p, N_i-column is the (n+1−i)-th column.
+struct FarthestFirstLbParams {
+  std::int32_t n = 0;
+  int k = 1;
+  std::int32_t cn = 0;
+  std::int32_t dn = 0;
+  std::int64_t p = 0;
+  std::int64_t classes = 0;
+  std::int64_t certified_steps = 0;
+  bool valid = false;
+};
+FarthestFirstLbParams farthest_first_lb_params(std::int32_t n, int k);
+
+/// §5: constants for the h-h extension of the main construction:
+/// p = ⌊(k+1)(cn+c²n)+dn⌋ with c ≈ h/(3(k+1+h)), d ≈ 5h/9,
+/// l = h·c²n²/(2p); bound Ω(h³n²/(k+h)²).
+struct HhLbParams {
+  std::int32_t n = 0;
+  int k = 1;
+  int h = 1;
+  std::int32_t cn = 0;
+  std::int32_t dn = 0;
+  std::int64_t p = 0;
+  std::int64_t classes = 0;
+  std::int64_t certified_steps = 0;
+  bool valid = false;
+};
+HhLbParams hh_lb_params(std::int32_t n, int k, int h);
+
+}  // namespace mr

@@ -1,0 +1,88 @@
+#include "routing/bounded_dimension_order.hpp"
+
+namespace mr {
+
+namespace {
+
+constexpr DirMask kHorizontal = dir_bit(Dir::East) | dir_bit(Dir::West);
+
+/// The outlink this packet wants: straight continuation while horizontally
+/// profitable, else the turn into its destination column.
+bool wanted_dir(const PacketDxView& v, bool& straight, Dir& out) {
+  const Dir came_from = static_cast<Dir>(v.queue);  // inlink direction
+  const Dir travel = opposite(came_from);
+  if ((v.profitable & kHorizontal) != 0) {
+    // Row phase. A row packet always continues in its travel direction
+    // (minimality: the opposite row direction is never profitable).
+    out = mask_has(v.profitable, Dir::East) ? Dir::East : Dir::West;
+    straight = (out == travel);
+    return true;
+  }
+  // Column phase: turn (from a row queue) or continue (from a column queue).
+  if (mask_has(v.profitable, Dir::North)) {
+    out = Dir::North;
+  } else if (mask_has(v.profitable, Dir::South)) {
+    out = Dir::South;
+  } else {
+    return false;  // at destination; engine will have delivered it
+  }
+  straight = (out == travel);
+  return true;
+}
+
+}  // namespace
+
+void BoundedDimensionOrderRouter::dx_plan_out(
+    NodeCtx&, std::span<const PacketDxView> resident, OutPlan& plan) {
+  // Two passes: straight packets claim outlinks first (priority), then
+  // turning packets fill what remains. Within a pass, `resident` order is
+  // queue order = FIFO.
+  struct Best {
+    PacketId p = kInvalidPacket;
+    Step arrived = 0;
+  };
+  std::array<Best, kNumDirs> straight_best;
+  std::array<Best, kNumDirs> turn_best;
+  for (const PacketDxView& v : resident) {
+    bool straight = false;
+    Dir d;
+    if (!wanted_dir(v, straight, d)) continue;
+    auto& slot = straight ? straight_best[dir_index(d)]
+                          : turn_best[dir_index(d)];
+    if (slot.p == kInvalidPacket || v.arrived_at < slot.arrived) {
+      slot.p = v.id;
+      slot.arrived = v.arrived_at;
+    }
+  }
+  for (Dir d : kAllDirs) {
+    const int i = dir_index(d);
+    if (straight_best[i].p != kInvalidPacket) {
+      plan.schedule(d, straight_best[i].p);
+    } else if (turn_best[i].p != kInvalidPacket) {
+      plan.schedule(d, turn_best[i].p);
+    }
+  }
+}
+
+void BoundedDimensionOrderRouter::dx_plan_in(
+    NodeCtx& ctx, std::span<const PacketDxView> resident,
+    std::span<const DxOffer> offers, InPlan& plan) {
+  // Occupancy per inlink queue at the start of the step.
+  std::array<int, kNumDirs> occupancy{0, 0, 0, 0};
+  for (const PacketDxView& v : resident) {
+    if (v.queue < kNumDirs) ++occupancy[v.queue];
+  }
+  for (std::size_t i = 0; i < offers.size(); ++i) {
+    const Dir travel = offers[i].travel_dir;
+    const int queue = dir_index(opposite(travel));
+    if (travel == Dir::North || travel == Dir::South) {
+      // Column queues always accept (§5 Theorem 15 proof): a non-empty
+      // column queue is guaranteed to eject one packet this very step.
+      plan.accept[i] = true;
+    } else {
+      plan.accept[i] = occupancy[queue] < ctx.capacity;
+    }
+  }
+}
+
+}  // namespace mr

@@ -1,0 +1,72 @@
+#include "routing/dx.hpp"
+
+namespace mr {
+
+DxAlgorithm::NodeCtx DxAlgorithm::make_ctx(const Engine& e, NodeId u) const {
+  NodeCtx ctx;
+  ctx.node = u;
+  ctx.coord = e.mesh().coord_of(u);
+  ctx.width = e.mesh().width();
+  ctx.height = e.mesh().height();
+  ctx.torus = e.mesh().is_torus();
+  ctx.step = e.step();
+  ctx.capacity = e.queue_capacity();
+  ctx.state = e.node_state(u);
+  return ctx;
+}
+
+void DxAlgorithm::fill_views(const Engine& e, NodeId u) {
+  views_.clear();
+  for (PacketId p : e.packets_at(u)) {
+    const Packet& pk = e.packet(p);
+    views_.push_back(PacketDxView{p, pk.source, pk.state, pk.arrived_at,
+                                  pk.queue, pk.arrival_inlink,
+                                  e.profitable_mask(p)});
+  }
+}
+
+void DxAlgorithm::init(Engine& e) {
+  for (NodeId u = 0; u < e.mesh().num_nodes(); ++u) {
+    if (e.packets_at(u).empty()) continue;
+    NodeCtx ctx = make_ctx(e, u);
+    fill_views(e, u);
+    dx_init(ctx, std::span<PacketDxView>(views_));
+    e.set_node_state(u, ctx.state);
+    for (const PacketDxView& v : views_) e.set_packet_state(v.id, v.state);
+  }
+}
+
+void DxAlgorithm::plan_out(Engine& e, NodeId u, OutPlan& plan) {
+  NodeCtx ctx = make_ctx(e, u);
+  fill_views(e, u);
+  dx_plan_out(ctx, std::span<const PacketDxView>(views_), plan);
+  // Outqueue policies may not change state (§3 updates states in (e)).
+}
+
+void DxAlgorithm::plan_in(Engine& e, NodeId v, std::span<const Offer> offers,
+                          InPlan& plan) {
+  NodeCtx ctx = make_ctx(e, v);
+  fill_views(e, v);
+  dx_offers_.clear();
+  for (const Offer& o : offers) {
+    const Packet& pk = e.packet(o.packet);
+    dx_offers_.push_back(
+        DxOffer{PacketDxView{o.packet, pk.source, pk.state, pk.arrived_at,
+                             pk.queue, pk.arrival_inlink,
+                             o.profitable_from_sender},
+                o.dir});
+  }
+  dx_plan_in(ctx, std::span<const PacketDxView>(views_),
+             std::span<const DxOffer>(dx_offers_), plan);
+}
+
+void DxAlgorithm::update_state(Engine& e, NodeId v) {
+  NodeCtx ctx = make_ctx(e, v);
+  fill_views(e, v);
+  dx_update(ctx, std::span<PacketDxView>(views_));
+  e.set_node_state(v, ctx.state);
+  for (const PacketDxView& view : views_)
+    e.set_packet_state(view.id, view.state);
+}
+
+}  // namespace mr

@@ -1,0 +1,122 @@
+// Destination-exchangeable (DX) algorithm interface (paper §2).
+//
+// §2 restricts the information a "simple" routing algorithm may use:
+//   * outqueue policy: states, source addresses and profitable outlinks of
+//     resident packets; the node's state;
+//   * inqueue policy: additionally the scheduled packets' profitable
+//     outlinks measured from the SENDING node;
+//   * state updates: the same quantities.
+// Crucially, a packet's destination address is visible only through its
+// profitable-outlink mask. DxAlgorithm enforces this by construction: the
+// dx_* callbacks receive PacketDxView records that simply do not contain
+// the destination, and the adapter (this class) is the only code path from
+// Engine to the policy. Lemma 10's exchange-equivariance is additionally
+// property-tested in tests/routing/dx_equivariance_test.cpp.
+//
+// A node IS allowed to know its own identity, coordinates, the mesh shape,
+// k and the global step counter: the lower-bound argument never relocates
+// nodes, it only swaps destination addresses, so none of these break
+// exchange-equivariance.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/algorithm.hpp"
+#include "sim/engine.hpp"
+
+namespace mr {
+
+/// The §2-legal view of a packet.
+struct PacketDxView {
+  PacketId id = kInvalidPacket;  ///< stable identity (not the destination)
+  NodeId source = kInvalidNode;
+  std::uint64_t state = 0;
+  Step arrived_at = 0;       ///< arrival step at current node (§2 example)
+  QueueTag queue = kCentralQueue;  ///< which inlink queue (PerInlink layout)
+  /// Inlink the packet arrived on (kNoInlink when injected). DX-legal: the
+  /// sender could have written it into the packet state.
+  std::uint8_t arrival_inlink = kNoInlink;
+  DirMask profitable = 0;    ///< the only destination-derived information
+};
+
+/// A scheduled packet offered to a node, with profitability measured from
+/// the sender, as §2 prescribes.
+struct DxOffer {
+  PacketDxView view;
+  Dir travel_dir = Dir::North;  ///< direction of the scheduled move
+};
+
+class DxAlgorithm : public Algorithm {
+ public:
+  /// Context of the node whose policy is running.
+  struct NodeCtx {
+    NodeId node = kInvalidNode;
+    Coord coord;
+    std::int32_t width = 0;    ///< mesh dimensions (a node knows the mesh)
+    std::int32_t height = 0;
+    bool torus = false;
+    Step step = 0;             ///< step being executed (0 during init)
+    int capacity = 0;          ///< k
+    std::uint64_t state = 0;   ///< node state; written back after the call
+
+    /// True if the outlink in direction d exists from this node.
+    bool has_outlink(Dir d) const {
+      if (torus) return true;
+      switch (d) {
+        case Dir::North: return coord.row + 1 < height;
+        case Dir::South: return coord.row > 0;
+        case Dir::East: return coord.col + 1 < width;
+        case Dir::West: return coord.col > 0;
+      }
+      return false;
+    }
+  };
+
+  // Adapter plumbing: translates Engine callbacks into DX views. Final so
+  // subclasses cannot reopen access to destinations.
+  void init(Engine& e) final;
+  void plan_out(Engine& e, NodeId u, OutPlan& plan) final;
+  void plan_in(Engine& e, NodeId v, std::span<const Offer> offers,
+               InPlan& plan) final;
+  void update_state(Engine& e, NodeId v) final;
+
+ protected:
+  /// Initial node state from the profitable outlinks of resident packets
+  /// (§3: the initial state may depend on the packet that originates
+  /// there). Packet `state` fields in `resident` may be modified; they are
+  /// written back.
+  virtual void dx_init(NodeCtx& ctx, std::span<PacketDxView> resident) {
+    (void)ctx;
+    (void)resident;
+  }
+
+  /// Outqueue policy: schedule at most one resident packet per outlink.
+  virtual void dx_plan_out(NodeCtx& ctx,
+                           std::span<const PacketDxView> resident,
+                           OutPlan& plan) = 0;
+
+  /// Inqueue policy: fill plan.accept (same indexing as offers). Must
+  /// guarantee no overflow given that none of the node's own packets is
+  /// certain to leave.
+  virtual void dx_plan_in(NodeCtx& ctx,
+                          std::span<const PacketDxView> resident,
+                          std::span<const DxOffer> offers, InPlan& plan) = 0;
+
+  /// End-of-step state update; resident packet states may be modified and
+  /// are written back. Default: no state.
+  virtual void dx_update(NodeCtx& ctx, std::span<PacketDxView> resident) {
+    (void)ctx;
+    (void)resident;
+  }
+
+ private:
+  NodeCtx make_ctx(const Engine& e, NodeId u) const;
+  void fill_views(const Engine& e, NodeId u);
+
+  // scratch, reused across callbacks
+  std::vector<PacketDxView> views_;
+  std::vector<DxOffer> dx_offers_;
+};
+
+}  // namespace mr

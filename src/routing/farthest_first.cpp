@@ -1,0 +1,52 @@
+#include "routing/farthest_first.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "routing/dimension_order.hpp"
+
+namespace mr {
+
+void FarthestFirstRouter::plan_out(Engine& e, NodeId u, OutPlan& plan) {
+  const Mesh& mesh = e.mesh();
+  // Per outlink, remember the best (farthest-in-that-dimension) candidate.
+  std::array<std::int32_t, kNumDirs> best_dist{-1, -1, -1, -1};
+  for (PacketId p : e.packets_at(u)) {
+    const Packet& pk = e.packet(p);
+    Dir d;
+    if (!dimension_order_dir(mesh.profitable_dirs(u, pk.dest), d)) continue;
+    const Mesh::Delta delta = mesh.delta(u, pk.dest);
+    const std::int32_t dist =
+        (d == Dir::East || d == Dir::West) ? std::abs(delta.east)
+                                           : std::abs(delta.north);
+    if (dist > best_dist[dir_index(d)]) {  // strict: FIFO breaks ties
+      best_dist[dir_index(d)] = dist;
+      plan.schedule(d, p);
+    }
+  }
+}
+
+void FarthestFirstRouter::plan_in(Engine& e, NodeId v,
+                                  std::span<const Offer> offers,
+                                  InPlan& plan) {
+  // Accept the farthest packets first while space remains even if none of
+  // our own packets departs.
+  int free = e.queue_capacity() - e.occupancy(v);
+  std::vector<std::size_t> order(offers.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const std::int32_t da =
+        e.mesh().distance(offers[a].from, e.packet(offers[a].packet).dest);
+    const std::int32_t db =
+        e.mesh().distance(offers[b].from, e.packet(offers[b].packet).dest);
+    if (da != db) return da > db;
+    return dir_index(offers[a].dir) < dir_index(offers[b].dir);
+  });
+  for (std::size_t i : order) {
+    if (free <= 0) break;
+    plan.accept[i] = true;
+    --free;
+  }
+}
+
+}  // namespace mr

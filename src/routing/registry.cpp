@@ -1,0 +1,45 @@
+#include "routing/registry.hpp"
+
+#include <cstdlib>
+
+#include "core/assert.hpp"
+#include "routing/adaptive.hpp"
+#include "routing/bounded_dimension_order.hpp"
+#include "routing/dimension_order.hpp"
+#include "routing/farthest_first.hpp"
+#include "routing/stray.hpp"
+#include "routing/west_first.hpp"
+
+namespace mr {
+
+std::unique_ptr<Algorithm> make_algorithm(const std::string& name) {
+  if (name == "dimension-order")
+    return std::make_unique<DimensionOrderRouter>();
+  if (name == "adaptive-alternate")
+    return std::make_unique<AdaptiveAlternateRouter>();
+  if (name == "greedy-match") return std::make_unique<GreedyMatchRouter>();
+  if (name == "west-first") return std::make_unique<WestFirstRouter>();
+  if (name == "farthest-first") return std::make_unique<FarthestFirstRouter>();
+  if (name == "bounded-dimension-order")
+    return std::make_unique<BoundedDimensionOrderRouter>();
+  if (name.rfind("stray-", 0) == 0) {
+    const int delta = std::atoi(name.c_str() + 6);
+    MR_REQUIRE_MSG(delta >= 0 && delta <= 64, "bad stray delta in " << name);
+    return std::make_unique<StrayRouter>(delta);
+  }
+  MR_REQUIRE_MSG(false, "unknown algorithm: " << name);
+  return nullptr;
+}
+
+std::vector<std::string> algorithm_names() {
+  return {"dimension-order", "adaptive-alternate", "greedy-match",
+          "west-first",      "stray-2",            "farthest-first",
+          "bounded-dimension-order"};
+}
+
+std::vector<std::string> dx_minimal_algorithm_names() {
+  return {"dimension-order", "adaptive-alternate", "greedy-match",
+          "west-first"};
+}
+
+}  // namespace mr

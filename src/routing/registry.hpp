@@ -1,0 +1,27 @@
+// Factory for the built-in routing algorithms, keyed by name. Used by the
+// examples and the benchmark binaries.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/algorithm.hpp"
+
+namespace mr {
+
+/// Creates a fresh instance of the named algorithm. Throws
+/// InvariantViolation for unknown names. Known names:
+///   dimension-order, adaptive-alternate, greedy-match, farthest-first,
+///   bounded-dimension-order
+std::unique_ptr<Algorithm> make_algorithm(const std::string& name);
+
+/// Names of all registered algorithms, in a stable order.
+std::vector<std::string> algorithm_names();
+
+/// Names of the destination-exchangeable minimal adaptive algorithms (the
+/// class covered by the Theorem 14 lower bound).
+std::vector<std::string> dx_minimal_algorithm_names();
+
+}  // namespace mr

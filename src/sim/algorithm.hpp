@@ -1,0 +1,130 @@
+// Routing-algorithm interface for the discrete-step engine (paper §2).
+//
+// One step of the engine runs, for every node, the pipeline of §3:
+//   (a) plan_out  — outqueue policy schedules ≤1 packet per outlink
+//   (b) adversary — optional interceptor may exchange destination addresses
+//   (c) plan_in   — inqueue policy accepts/rejects scheduled packets
+//   (d) transmit  — accepted packets move; arrivals at destination deliver
+//   (e) update    — node and packet states update
+//
+// Algorithm implementations receive the Engine for queries. Full-information
+// algorithms (farthest-first, §6) may inspect destinations; destination-
+// exchangeable algorithms must derive from DxAlgorithm (dx.hpp), whose
+// callbacks expose only the §2-legal fields.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/packet.hpp"
+
+namespace mr {
+
+class Engine;
+
+enum class QueueLayout : std::uint8_t {
+  Central,    ///< one queue of size k per node
+  PerInlink,  ///< four queues of size k, one per inlink (§5, Theorem 15)
+};
+
+/// Outqueue decision for one node: packet scheduled on each outlink.
+struct OutPlan {
+  std::array<PacketId, kNumDirs> out{kInvalidPacket, kInvalidPacket,
+                                     kInvalidPacket, kInvalidPacket};
+
+  void schedule(Dir d, PacketId p) { out[dir_index(d)] = p; }
+  PacketId scheduled(Dir d) const { return out[dir_index(d)]; }
+  void clear() { out.fill(kInvalidPacket); }
+};
+
+/// A packet scheduled to enter node `to` from node `from` travelling in
+/// direction `dir` (so it arrives on inlink opposite(dir)).
+struct Offer {
+  PacketId packet = kInvalidPacket;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Dir dir = Dir::North;
+  /// Profitable outlinks measured from the *sending* node, as §2 prescribes
+  /// for scheduled packets.
+  DirMask profitable_from_sender = 0;
+};
+
+/// Inqueue decision: accept[i] answers offers[i].
+struct InPlan {
+  std::vector<bool> accept;
+  void reset(std::size_t n) { accept.assign(n, false); }
+};
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual QueueLayout queue_layout() const { return QueueLayout::Central; }
+
+  /// Minimal algorithms may only schedule packets along profitable
+  /// outlinks; the engine enforces this (throws InvariantViolation).
+  virtual bool minimal() const { return true; }
+
+  /// For non-minimal algorithms (§5 "Nonminimal extensions"): the maximum
+  /// number of nodes a packet may stray beyond the rectangle spanned by
+  /// the shortest source→destination paths. The engine enforces the
+  /// expanded-rectangle containment. Negative = unrestricted (hot-potato
+  /// style). Ignored when minimal() is true.
+  virtual int max_stray() const { return -1; }
+
+  /// Called once before step 1, after initial packets are placed. The
+  /// initial states set here may, for DX algorithms, depend only on the
+  /// §2-legal fields.
+  virtual void init(Engine&) {}
+
+  /// (a) Outqueue policy of node u. `plan` arrives cleared.
+  virtual void plan_out(Engine& e, NodeId u, OutPlan& plan) = 0;
+
+  /// (c) Inqueue policy of node v. Offers arrive in deterministic order
+  /// (by travel direction). The engine verifies post-step occupancy.
+  /// Offers whose packet is arriving at its destination are delivered by
+  /// the engine directly and never shown to the policy.
+  virtual void plan_in(Engine& e, NodeId v, std::span<const Offer> offers,
+                       InPlan& plan) = 0;
+
+  /// (e) State update for node v (called for every node that held, sent or
+  /// received a packet this step). Default: no state.
+  virtual void update_state(Engine&, NodeId) {}
+};
+
+/// A move that will happen in phase (d) unless rejected in (c).
+struct ScheduledMove {
+  PacketId packet = kInvalidPacket;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Dir dir = Dir::North;
+};
+
+/// Hook between phases (a) and (c): the lower-bound constructions exchange
+/// destination addresses here (paper §3 step (b)).
+class StepInterceptor {
+ public:
+  virtual ~StepInterceptor() = default;
+  virtual void after_schedule(Engine& e,
+                              std::span<const ScheduledMove> moves) = 0;
+};
+
+/// Observation hook for metrics/trace collection; never influences routing.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  virtual void on_step_end(const Engine&) {}
+  virtual void on_deliver(const Engine&, const Packet&) {}
+  virtual void on_move(const Engine&, const Packet&, NodeId from, NodeId to) {
+    (void)from;
+    (void)to;
+  }
+};
+
+}  // namespace mr

@@ -1,0 +1,398 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace mr {
+
+namespace {
+// 64-bit FNV-1a, used for configuration fingerprints.
+struct Fnv {
+  std::uint64_t h = 14695981039346656037ULL;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+};
+}  // namespace
+
+Engine::Engine(const Mesh& mesh, Config config, Algorithm& algorithm)
+    : mesh_(mesh),
+      config_(config),
+      algorithm_(algorithm),
+      layout_(algorithm.queue_layout()),
+      enforce_minimal_(algorithm.minimal()),
+      max_stray_(algorithm.max_stray()) {
+  MR_REQUIRE(config_.queue_capacity >= 1);
+  const auto n = static_cast<std::size_t>(mesh_.num_nodes());
+  node_packets_.resize(n);
+  node_state_.assign(n, 0);
+  is_active_.assign(n, 0);
+  node_touched_.assign(n, 0);
+}
+
+PacketId Engine::add_packet(NodeId source, NodeId dest, Step injected_at) {
+  MR_REQUIRE_MSG(!prepared_, "add_packet after prepare()");
+  MR_REQUIRE(source >= 0 && source < mesh_.num_nodes());
+  MR_REQUIRE(dest >= 0 && dest < mesh_.num_nodes());
+  MR_REQUIRE(injected_at >= 0);
+  Packet pk;
+  pk.id = static_cast<PacketId>(packets_.size());
+  pk.source = source;
+  pk.dest = dest;
+  pk.injected_at = injected_at;
+  packets_.push_back(pk);
+  injections_.emplace_back(injected_at, pk.id);
+  return pk.id;
+}
+
+void Engine::add_observer(Observer* observer) {
+  MR_REQUIRE(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+QueueTag Engine::arrival_tag(Dir travel_dir) const {
+  if (layout_ == QueueLayout::Central) return kCentralQueue;
+  return static_cast<QueueTag>(dir_index(opposite(travel_dir)));
+}
+
+int Engine::occupancy(NodeId u, QueueTag tag) const {
+  MR_REQUIRE(layout_ == QueueLayout::PerInlink);
+  int c = 0;
+  for (PacketId p : node_packets_[u])
+    if (packets_[p].queue == tag) ++c;
+  return c;
+}
+
+void Engine::place_packet(PacketId p, NodeId node, QueueTag tag) {
+  Packet& pk = packets_[p];
+  pk.location = node;
+  pk.queue = tag;
+  pk.arrived_at = step_;
+  node_packets_[node].push_back(p);
+  if (!is_active_[node]) {
+    is_active_[node] = 1;
+    active_.push_back(node);
+  }
+}
+
+void Engine::record_occupancy(NodeId u) {
+  // Transmissions within a step are simultaneous in the model, so peak
+  // occupancy is only meaningful *between* steps (after phase (d)).
+  if (layout_ == QueueLayout::Central) {
+    max_occupancy_seen_ = std::max(max_occupancy_seen_, occupancy(u));
+    return;
+  }
+  for (QueueTag t = 0; t < kNumDirs; ++t)
+    max_occupancy_seen_ = std::max(max_occupancy_seen_, occupancy(u, t));
+}
+
+void Engine::remove_from_node(PacketId p) {
+  Packet& pk = packets_[p];
+  auto& q = node_packets_[pk.location];
+  auto it = std::find(q.begin(), q.end(), p);
+  MR_REQUIRE(it != q.end());
+  q.erase(it);  // preserves arrival order of the remaining packets
+}
+
+void Engine::inject_due_packets() {
+  // Re-offer packets that were due earlier but found a full queue, then
+  // newly due packets, all in deterministic (id) order.
+  std::vector<PacketId> due;
+  due.swap(waiting_injections_);
+  while (injection_cursor_ < injections_.size() &&
+         injections_[injection_cursor_].first <= step_) {
+    due.push_back(injections_[injection_cursor_].second);
+    ++injection_cursor_;
+  }
+  if (due.empty()) return;
+  std::sort(due.begin(), due.end());
+  for (PacketId p : due) {
+    Packet& pk = packets_[p];
+    if (pk.source == pk.dest) {
+      pk.delivered_at = step_;
+      ++delivered_count_;
+      for (Observer* ob : observers_) ob->on_deliver(*this, pk);
+      continue;
+    }
+    const QueueTag tag = layout_ == QueueLayout::Central
+                             ? kCentralQueue
+                             : injection_queue_tag(p);
+    const int used = layout_ == QueueLayout::Central
+                         ? occupancy(pk.source)
+                         : occupancy(pk.source, tag);
+    if (used >= config_.queue_capacity) {
+      waiting_injections_.push_back(p);  // §5: wait outside the network
+      continue;
+    }
+    place_packet(p, pk.source, tag);
+    pk.arrival_inlink = kNoInlink;
+    record_occupancy(pk.source);
+  }
+}
+
+QueueTag Engine::injection_queue_tag(PacketId p) const {
+  // A freshly injected packet joins the inlink queue it would have arrived
+  // on had it been travelling already: the queue opposite one of its
+  // profitable directions. Row movement is preferred so that dimension-order
+  // routers see row packets in E/W queues. Uses only profitable directions,
+  // hence destination-exchangeable-safe.
+  const Packet& pk = packets_[p];
+  const DirMask m = mesh_.profitable_dirs(pk.source, pk.dest);
+  for (Dir d : {Dir::East, Dir::West, Dir::North, Dir::South})
+    if (mask_has(m, d)) return static_cast<QueueTag>(dir_index(opposite(d)));
+  return static_cast<QueueTag>(dir_index(Dir::South));
+}
+
+void Engine::prepare() {
+  MR_REQUIRE_MSG(!prepared_, "prepare() called twice");
+  prepared_ = true;
+  std::stable_sort(injections_.begin(), injections_.end());
+  step_ = 0;
+  inject_due_packets();
+  // §3: the initial state of nodes/packets may depend on the initial
+  // arrangement; the algorithm sets them here.
+  algorithm_.init(*this);
+  packet_scheduled_.assign(packets_.size(), 0);
+}
+
+void Engine::validate_out_plan(NodeId u, const OutPlan& plan) {
+  for (Dir d : kAllDirs) {
+    const PacketId p = plan.scheduled(d);
+    if (p == kInvalidPacket) continue;
+    MR_REQUIRE_MSG(p >= 0 && static_cast<std::size_t>(p) < packets_.size(),
+                   "scheduled unknown packet");
+    const Packet& pk = packets_[p];
+    MR_REQUIRE_MSG(pk.location == u,
+                   "node " << u << " scheduled packet " << p
+                           << " which is at node " << pk.location);
+    MR_REQUIRE_MSG(!packet_scheduled_[p],
+                   "packet " << p << " scheduled on two outlinks");
+    packet_scheduled_[p] = 1;
+    MR_REQUIRE_MSG(mesh_.neighbor(u, d) != kInvalidNode,
+                   "node " << u << " scheduled packet off the mesh edge");
+    if (enforce_minimal_) {
+      MR_REQUIRE_MSG(
+          mesh_.is_profitable(u, d, pk.dest),
+          "minimal algorithm scheduled packet "
+              << p << " on unprofitable outlink " << dir_name(d) << " at node "
+              << u);
+    } else if (max_stray_ >= 0) {
+      // §5 nonminimal extension: a packet may never move more than δ nodes
+      // beyond the rectangle of its shortest source→destination paths.
+      const Coord target = mesh_.coord_of(mesh_.neighbor(u, d));
+      const Coord s = mesh_.coord_of(pk.source);
+      const Coord t = mesh_.coord_of(pk.dest);
+      const bool inside =
+          target.col >= std::min(s.col, t.col) - max_stray_ &&
+          target.col <= std::max(s.col, t.col) + max_stray_ &&
+          target.row >= std::min(s.row, t.row) - max_stray_ &&
+          target.row <= std::max(s.row, t.row) + max_stray_;
+      MR_REQUIRE_MSG(inside, "packet " << p << " strayed more than delta="
+                                       << max_stray_
+                                       << " beyond its rectangle");
+    }
+  }
+}
+
+bool Engine::step_once() {
+  MR_REQUIRE_MSG(prepared_, "step before prepare()");
+  if (all_delivered()) return false;
+  ++step_;
+
+  inject_due_packets();
+
+  // ----- (a) outqueue policies schedule packets -------------------------
+  moves_.clear();
+  std::sort(active_.begin(), active_.end());
+  std::fill(packet_scheduled_.begin(), packet_scheduled_.end(), 0);
+  for (NodeId u : active_) {
+    if (node_packets_[u].empty()) continue;
+    out_plan_.clear();
+    algorithm_.plan_out(*this, u, out_plan_);
+    validate_out_plan(u, out_plan_);
+    for (Dir d : kAllDirs) {
+      const PacketId p = out_plan_.scheduled(d);
+      if (p == kInvalidPacket) continue;
+      moves_.push_back(ScheduledMove{p, u, mesh_.neighbor(u, d), d});
+    }
+  }
+
+  // ----- (b) adversary exchanges ----------------------------------------
+  if (interceptor_ != nullptr) {
+    in_interceptor_ = true;
+    interceptor_->after_schedule(*this, moves_);
+    in_interceptor_ = false;
+    if (enforce_minimal_) {
+      // Destinations may have changed; every scheduled move must still be
+      // minimal, otherwise the exchange rules were applied incorrectly.
+      for (const ScheduledMove& m : moves_) {
+        MR_REQUIRE_MSG(
+            mesh_.is_profitable(m.from, m.dir, packets_[m.packet].dest),
+            "exchange made scheduled move of packet " << m.packet
+                                                      << " non-minimal");
+      }
+    }
+  }
+
+  // ----- (c) inqueue policies accept/reject ------------------------------
+  // Arrivals at the destination are delivered by the model itself (§2) and
+  // are not shown to the inqueue policy.
+  offers_.clear();
+  std::vector<const ScheduledMove*> deliveries;
+  for (const ScheduledMove& m : moves_) {
+    const Packet& pk = packets_[m.packet];
+    if (pk.dest == m.to) {
+      deliveries.push_back(&m);
+    } else {
+      offers_.push_back(Offer{m.packet, m.from, m.to, m.dir,
+                              mesh_.profitable_dirs(m.from, pk.dest)});
+    }
+  }
+  std::sort(offers_.begin(), offers_.end(),
+            [](const Offer& a, const Offer& b) {
+              if (a.to != b.to) return a.to < b.to;
+              return dir_index(a.dir) < dir_index(b.dir);
+            });
+
+  std::int64_t moved_this_step = 0;
+  touched_nodes_.clear();
+  auto touch = [&](NodeId v) {
+    if (!node_touched_[v]) {
+      node_touched_[v] = 1;
+      touched_nodes_.push_back(v);
+    }
+  };
+  for (NodeId u : active_) touch(u);
+
+  // Accepted moves, gathered per target group then applied in phase (d).
+  std::vector<const Offer*> accepted;
+  for (std::size_t i = 0; i < offers_.size();) {
+    std::size_t j = i;
+    while (j < offers_.size() && offers_[j].to == offers_[i].to) ++j;
+    const NodeId v = offers_[i].to;
+    const std::span<const Offer> group(&offers_[i], j - i);
+    in_plan_.reset(group.size());
+    algorithm_.plan_in(*this, v, group, in_plan_);
+    MR_REQUIRE(in_plan_.accept.size() == group.size());
+    for (std::size_t g = 0; g < group.size(); ++g)
+      if (in_plan_.accept[g]) accepted.push_back(&offers_[i + g]);
+    i = j;
+  }
+
+  // ----- (d) transmission -------------------------------------------------
+  for (const ScheduledMove* m : deliveries) {
+    Packet& pk = packets_[m->packet];
+    remove_from_node(pk.id);
+    pk.location = kInvalidNode;
+    pk.delivered_at = step_;
+    ++delivered_count_;
+    ++moved_this_step;
+    for (Observer* ob : observers_) ob->on_move(*this, pk, m->from, m->to);
+    for (Observer* ob : observers_) ob->on_deliver(*this, pk);
+  }
+  for (const Offer* o : accepted) {
+    Packet& pk = packets_[o->packet];
+    const NodeId from = pk.location;
+    remove_from_node(pk.id);
+    place_packet(pk.id, o->to, arrival_tag(o->dir));
+    pk.arrival_inlink =
+        static_cast<std::uint8_t>(dir_index(opposite(o->dir)));
+    ++moved_this_step;
+    ++total_moves_;
+    touch(o->to);
+    for (Observer* ob : observers_) ob->on_move(*this, pk, from, o->to);
+  }
+
+  // No-overflow requirement of §2: check every node that received.
+  for (const Offer* o : accepted) {
+    check_capacity_after_transmit(o->to);
+    record_occupancy(o->to);
+  }
+
+  // ----- (e) state updates -------------------------------------------------
+  std::sort(touched_nodes_.begin(), touched_nodes_.end());
+  for (NodeId v : touched_nodes_) {
+    algorithm_.update_state(*this, v);
+    node_touched_[v] = 0;
+  }
+
+  // Compact the active list (nodes that drained drop out).
+  active_.erase(std::remove_if(active_.begin(), active_.end(),
+                               [&](NodeId u) {
+                                 if (node_packets_[u].empty()) {
+                                   is_active_[u] = 0;
+                                   return true;
+                                 }
+                                 return false;
+                               }),
+                active_.end());
+
+  // Stall detection (livelock guard for buggy algorithms).
+  if (moved_this_step == 0 && waiting_injections_.empty() &&
+      injection_cursor_ == injections_.size()) {
+    ++stall_run_;
+    if (config_.stall_limit > 0 && stall_run_ >= config_.stall_limit)
+      stalled_ = true;
+  } else {
+    stall_run_ = 0;
+  }
+
+  for (Observer* ob : observers_) ob->on_step_end(*this);
+  return true;
+}
+
+Step Engine::run(Step max_steps) {
+  while (!all_delivered() && !stalled_ && step_ < max_steps) {
+    if (!step_once()) break;
+  }
+  return step_;
+}
+
+void Engine::check_capacity_after_transmit(NodeId v) {
+  if (layout_ == QueueLayout::Central) {
+    MR_REQUIRE_MSG(occupancy(v) <= config_.queue_capacity,
+                   "queue overflow at node " << v << ": " << occupancy(v)
+                                             << " > k=" << config_.queue_capacity
+                                             << " (step " << step_ << ")");
+    return;
+  }
+  for (QueueTag t = 0; t < kNumDirs; ++t) {
+    MR_REQUIRE_MSG(occupancy(v, t) <= config_.queue_capacity,
+                   "inlink queue overflow at node "
+                       << v << " queue " << int(t) << " (step " << step_
+                       << ")");
+  }
+}
+
+void Engine::exchange_destinations(PacketId a, PacketId b) {
+  MR_REQUIRE_MSG(in_interceptor_,
+                 "exchange_destinations outside interceptor phase (b)");
+  MR_REQUIRE(a != b);
+  std::swap(packets_[a].dest, packets_[b].dest);
+  ++exchange_count_;
+}
+
+std::uint64_t Engine::fingerprint(bool include_dest) const {
+  Fnv f;
+  for (NodeId u = 0; u < mesh_.num_nodes(); ++u) {
+    const auto& q = node_packets_[u];
+    if (q.empty() && node_state_[u] == 0) continue;
+    f.mix(static_cast<std::uint64_t>(u));
+    f.mix(node_state_[u]);
+    for (PacketId p : q) {
+      const Packet& pk = packets_[p];
+      f.mix(static_cast<std::uint64_t>(pk.id));
+      f.mix(static_cast<std::uint64_t>(pk.source));
+      if (include_dest) f.mix(static_cast<std::uint64_t>(pk.dest));
+      f.mix(pk.state);
+      f.mix(pk.queue);
+      f.mix(pk.arrival_inlink);
+      f.mix(static_cast<std::uint64_t>(pk.arrived_at));
+    }
+  }
+  return f.h;
+}
+
+}  // namespace mr

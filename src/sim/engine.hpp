@@ -1,0 +1,184 @@
+// Discrete-step, multi-port, synchronous mesh routing engine (paper §2).
+//
+// The engine owns the network configuration (packets, per-node queues and
+// states) and executes the five-phase step of §3 under a pluggable
+// Algorithm. It validates the model's invariants at runtime:
+//   * queue occupancy never exceeds k (per queue for the per-inlink layout),
+//   * minimal algorithms only ever move packets along profitable outlinks,
+//   * at most one packet is scheduled per outlink and accepted per inlink.
+// Violations throw mr::InvariantViolation rather than silently corrupting
+// the run.
+//
+// Determinism: with a fixed initial configuration and algorithm the engine
+// is bit-reproducible; all iteration orders are by ascending NodeId and
+// travel direction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/algorithm.hpp"
+#include "sim/packet.hpp"
+#include "topo/mesh.hpp"
+
+namespace mr {
+
+class Engine {
+ public:
+  struct Config {
+    int queue_capacity = 1;  ///< k, packets per queue
+    /// Abort run() after this many consecutive steps with no movement, no
+    /// delivery and no injection (0 disables the check).
+    Step stall_limit = 500000;
+  };
+
+  Engine(const Mesh& mesh, Config config, Algorithm& algorithm);
+
+  // --- setup (before prepare()) ----------------------------------------
+  /// Adds a packet. injected_at = 0 places it in its source queue before
+  /// step 1; later values model dynamic injection (§5 h-h discussion): the
+  /// packet enters its source queue at the start of that step, waiting in
+  /// an external buffer while the queue is full.
+  PacketId add_packet(NodeId source, NodeId dest, Step injected_at = 0);
+
+  void set_interceptor(StepInterceptor* interceptor) {
+    interceptor_ = interceptor;
+  }
+  void add_observer(Observer* observer);
+
+  /// Finalises the initial configuration: injects step-0 packets, delivers
+  /// source==dest packets, calls Algorithm::init. Must be called exactly
+  /// once before stepping.
+  void prepare();
+
+  // --- execution --------------------------------------------------------
+  /// Executes one step of the §3 pipeline. Returns false if the network
+  /// was already drained (no step executed).
+  bool step_once();
+
+  /// Steps until all packets are delivered or max_steps executed or the
+  /// stall limit trips. Returns the number of the last executed step.
+  Step run(Step max_steps);
+
+  // --- queries (valid during callbacks and between steps) ---------------
+  const Mesh& mesh() const { return mesh_; }
+  int queue_capacity() const { return config_.queue_capacity; }
+  QueueLayout queue_layout() const { return layout_; }
+  /// Number of the step currently executing (1-based), or of the last
+  /// executed step between steps; 0 before the first step.
+  Step step() const { return step_; }
+
+  std::size_t num_packets() const { return packets_.size(); }
+  std::size_t delivered_count() const { return delivered_count_; }
+  bool all_delivered() const { return delivered_count_ == packets_.size(); }
+  bool stalled() const { return stalled_; }
+
+  const Packet& packet(PacketId p) const { return packets_[p]; }
+  /// Packets currently queued at node u, in queue order (arrival order).
+  std::span<const PacketId> packets_at(NodeId u) const {
+    return node_packets_[u];
+  }
+  int occupancy(NodeId u) const {
+    return static_cast<int>(node_packets_[u].size());
+  }
+  /// Occupancy of one inlink queue (PerInlink layout only).
+  int occupancy(NodeId u, QueueTag tag) const;
+  int capacity_left(NodeId u) const {
+    return config_.queue_capacity - occupancy(u);
+  }
+
+  /// Profitable outlinks of packet p from its current node (§2's only
+  /// destination-derived information).
+  DirMask profitable_mask(PacketId p) const {
+    const Packet& pk = packets_[p];
+    return mesh_.profitable_dirs(pk.location, pk.dest);
+  }
+
+  std::uint64_t node_state(NodeId u) const { return node_state_[u]; }
+  void set_node_state(NodeId u, std::uint64_t s) { node_state_[u] = s; }
+  void set_packet_state(PacketId p, std::uint64_t s) {
+    packets_[p].state = s;
+  }
+
+  // --- adversary interface (only legal from StepInterceptor) -----------
+  /// Exchange of §2: swaps the destination addresses of a and b; all other
+  /// packet information (state, source, position) is untouched.
+  void exchange_destinations(PacketId a, PacketId b);
+  std::size_t exchange_count() const { return exchange_count_; }
+
+  // --- metrics ----------------------------------------------------------
+  /// Largest queue occupancy observed at any point after a transmission
+  /// phase (per single queue in the PerInlink layout).
+  int max_occupancy_seen() const { return max_occupancy_seen_; }
+  std::int64_t total_moves() const { return total_moves_; }
+
+  /// Order-sensitive 64-bit fingerprint of the full network configuration
+  /// (node states + queued packets with all fields). Used by the Lemma 12
+  /// replay-equivalence check. With include_dest = false the destination
+  /// fields are omitted: Lemma 11/12 predict that the construction and the
+  /// replay agree on everything except the not-yet-performed exchanges,
+  /// which only permute destinations.
+  std::uint64_t fingerprint(bool include_dest = true) const;
+
+  /// Copies of all packet records (delivered ones included).
+  const std::vector<Packet>& all_packets() const { return packets_; }
+
+ private:
+  void inject_due_packets();
+  void place_packet(PacketId p, NodeId node, QueueTag tag);
+  void remove_from_node(PacketId p);
+  void validate_out_plan(NodeId u, const OutPlan& plan);
+  void check_capacity_after_transmit(NodeId v);
+  void record_occupancy(NodeId u);
+  QueueTag arrival_tag(Dir travel_dir) const;
+  QueueTag injection_queue_tag(PacketId p) const;
+
+  Mesh mesh_;
+  Config config_;
+  Algorithm& algorithm_;
+  QueueLayout layout_;
+  bool enforce_minimal_;
+  int max_stray_ = -1;  ///< §5 nonminimal containment (when not minimal)
+
+  std::vector<Packet> packets_;
+  std::vector<std::vector<PacketId>> node_packets_;
+  std::vector<std::uint64_t> node_state_;
+
+  // injection buffer: (step, packet) sorted ascending; cursor advances.
+  std::vector<std::pair<Step, PacketId>> injections_;
+  std::size_t injection_cursor_ = 0;
+  std::vector<PacketId> waiting_injections_;  // due but queue was full
+
+  StepInterceptor* interceptor_ = nullptr;
+  std::vector<Observer*> observers_;
+
+  Step step_ = 0;
+  std::size_t delivered_count_ = 0;
+  bool prepared_ = false;
+  bool stalled_ = false;
+  Step stall_run_ = 0;
+  std::size_t exchange_count_ = 0;
+  bool in_interceptor_ = false;
+
+  int max_occupancy_seen_ = 0;
+  std::int64_t total_moves_ = 0;
+
+  // Nodes currently holding >=1 packet, kept sorted for deterministic
+  // iteration; idle nodes cost nothing per step.
+  std::vector<NodeId> active_;
+  std::vector<std::uint8_t> is_active_;
+
+  // scratch (reused per step, no allocation on the hot path)
+  std::vector<ScheduledMove> moves_;
+  std::vector<Offer> offers_;
+  std::vector<std::uint8_t> packet_scheduled_;
+  std::vector<NodeId> touched_nodes_;
+  std::vector<std::uint8_t> node_touched_;
+  OutPlan out_plan_;
+  InPlan in_plan_;
+};
+
+}  // namespace mr

@@ -1,0 +1,32 @@
+#include "sim/metrics.hpp"
+
+#include "sim/engine.hpp"
+
+namespace mr {
+
+void MetricsObserver::on_step_end(const Engine& e) {
+  delivered_by_step_.push_back(delivered_so_far_);
+  if (sample_every_ > 0 && e.step() % sample_every_ == 0) {
+    for (NodeId u = 0; u < e.mesh().num_nodes(); ++u) {
+      const int occ = e.occupancy(u);
+      if (occ > 0) occupancy_.add(occ);
+    }
+  }
+}
+
+void MetricsObserver::on_deliver(const Engine& e, const Packet& p) {
+  latency_.add(p.delivered_at - p.injected_at);
+  (void)e;
+  ++delivered_so_far_;
+}
+
+Step MetricsObserver::completion_step(double fraction,
+                                      std::size_t total) const {
+  const auto target = static_cast<std::int64_t>(
+      fraction * static_cast<double>(total));
+  for (std::size_t t = 0; t < delivered_by_step_.size(); ++t)
+    if (delivered_by_step_[t] >= target) return static_cast<Step>(t + 1);
+  return static_cast<Step>(delivered_by_step_.size());
+}
+
+}  // namespace mr

@@ -1,0 +1,40 @@
+// Standard metrics observer: latency and queue-occupancy distributions,
+// delivery curve, movement counts. Purely observational.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "sim/algorithm.hpp"
+
+namespace mr {
+
+class MetricsObserver : public Observer {
+ public:
+  /// sample_every: occupancy distribution is sampled on every N-th step
+  /// (it is O(active nodes) to collect).
+  explicit MetricsObserver(Step sample_every = 16)
+      : sample_every_(sample_every) {}
+
+  void on_step_end(const Engine& e) override;
+  void on_deliver(const Engine& e, const Packet& p) override;
+
+  const Histogram& latency() const { return latency_; }
+  const Histogram& occupancy() const { return occupancy_; }
+  /// delivered_by_step()[t] = cumulative deliveries after step t+1.
+  const std::vector<std::int64_t>& delivered_by_step() const {
+    return delivered_by_step_;
+  }
+  /// Step by which the given fraction of packets had been delivered.
+  Step completion_step(double fraction, std::size_t total) const;
+
+ private:
+  Step sample_every_;
+  Histogram latency_;
+  Histogram occupancy_;
+  std::vector<std::int64_t> delivered_by_step_;
+  std::int64_t delivered_so_far_ = 0;
+};
+
+}  // namespace mr

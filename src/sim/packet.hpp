@@ -1,0 +1,42 @@
+// Packet representation (paper §2).
+//
+// A packet carries: an immutable source address, a destination address
+// (mutable ONLY through the adversary's exchange operation, §3), and a
+// mutable state word that the routing algorithm may update while the packet
+// sits in a node. The engine additionally tracks the arrival step at the
+// current node, which §2 explicitly lists as legal packet state.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace mr {
+
+/// Which queue inside a node a packet occupies.
+/// Central layout: always kCentralQueue. Per-inlink layout: the index of the
+/// inlink direction the packet arrived on (0..3).
+using QueueTag = std::uint8_t;
+inline constexpr QueueTag kCentralQueue = 0xFF;
+/// arrival_inlink value for packets injected at their source.
+inline constexpr std::uint8_t kNoInlink = 4;
+
+struct Packet {
+  PacketId id = kInvalidPacket;
+  NodeId source = kInvalidNode;
+  NodeId dest = kInvalidNode;
+  NodeId location = kInvalidNode;  ///< kInvalidNode once delivered
+  std::uint64_t state = 0;         ///< algorithm-managed packet state
+  QueueTag queue = kCentralQueue;
+  /// Inlink the packet arrived on (dir_index), or kNoInlink if it was
+  /// injected here. DX-legal: the sending node could equally have written
+  /// this into the packet state.
+  std::uint8_t arrival_inlink = 4;
+  Step injected_at = 0;    ///< step at whose start the packet appears
+  Step arrived_at = 0;     ///< step at which it entered the current node
+  Step delivered_at = -1;  ///< -1 while undelivered
+
+  bool delivered() const { return delivered_at >= 0; }
+};
+
+}  // namespace mr

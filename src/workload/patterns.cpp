@@ -1,0 +1,71 @@
+#include "workload/patterns.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace mr {
+
+Workload row_to_column(const Mesh& mesh, std::int32_t row,
+                       std::int32_t col) {
+  MR_REQUIRE(row >= 0 && row < mesh.height());
+  MR_REQUIRE(col >= 0 && col < mesh.width());
+  Workload w;
+  const std::int32_t n = std::min(mesh.width(), mesh.height());
+  for (std::int32_t c = 0; c < n; ++c)
+    w.push_back(Demand{mesh.id_of(c, row), mesh.id_of(col, c), 0});
+  return w;
+}
+
+Workload corner_flood(const Mesh& mesh, std::int32_t w, std::int32_t h) {
+  MR_REQUIRE(w >= 1 && w <= mesh.width() && h >= 1 && h <= mesh.height());
+  Workload out;
+  for (std::int32_t c = 0; c < w; ++c) {
+    for (std::int32_t r = 0; r < h; ++r) {
+      out.push_back(Demand{
+          mesh.id_of(c, r),
+          mesh.id_of(mesh.width() - 1 - c, mesh.height() - 1 - r), 0});
+    }
+  }
+  return out;
+}
+
+Workload northeast_only(const Mesh& mesh, const Workload& w) {
+  Workload out;
+  for (const Demand& d : w) {
+    const Coord s = mesh.coord_of(d.source);
+    const Coord t = mesh.coord_of(d.dest);
+    if (t.col >= s.col && t.row >= s.row) out.push_back(d);
+  }
+  return out;
+}
+
+Workload half_transpose(const Mesh& mesh) {
+  Workload out;
+  for (const Demand& d : transpose(mesh)) {
+    const Coord s = mesh.coord_of(d.source);
+    if (s.col < s.row) out.push_back(d);
+  }
+  return out;
+}
+
+Workload hotspot(const Mesh& mesh, NodeId sink, std::int32_t count) {
+  MR_REQUIRE(sink >= 0 && sink < mesh.num_nodes());
+  MR_REQUIRE(count >= 1 && count < mesh.num_nodes());
+  // Sources: the `count` nodes farthest from the sink, ties broken by id,
+  // one packet each (they converge from the far side).
+  std::vector<NodeId> nodes = mesh.all_nodes();
+  std::stable_sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    return mesh.distance(a, sink) > mesh.distance(b, sink);
+  });
+  Workload out;
+  for (std::int32_t i = 0; i < count; ++i)
+    out.push_back(Demand{nodes[static_cast<std::size_t>(i)], sink, 0});
+  return out;
+}
+
+Workload diagonal_shift(const Mesh& mesh, std::int32_t s) {
+  return rotation(mesh, s, s);
+}
+
+}  // namespace mr

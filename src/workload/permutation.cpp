@@ -1,0 +1,120 @@
+#include "workload/permutation.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace mr {
+
+Workload random_permutation(const Mesh& mesh, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> dests = mesh.all_nodes();
+  shuffle(dests, rng);
+  Workload w;
+  w.reserve(dests.size());
+  for (NodeId src = 0; src < mesh.num_nodes(); ++src)
+    w.push_back(Demand{src, dests[static_cast<std::size_t>(src)], 0});
+  return w;
+}
+
+Workload random_partial_permutation(const Mesh& mesh, double fraction,
+                                    std::uint64_t seed) {
+  MR_REQUIRE(fraction >= 0.0 && fraction <= 1.0);
+  Rng rng(seed);
+  std::vector<NodeId> sources = mesh.all_nodes();
+  std::vector<NodeId> dests = mesh.all_nodes();
+  shuffle(sources, rng);
+  shuffle(dests, rng);
+  const auto count = static_cast<std::size_t>(
+      fraction * static_cast<double>(mesh.num_nodes()));
+  Workload w;
+  w.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    w.push_back(Demand{sources[i], dests[i], 0});
+  std::sort(w.begin(), w.end(),
+            [](const Demand& a, const Demand& b) { return a.source < b.source; });
+  return w;
+}
+
+Workload transpose(const Mesh& mesh) {
+  MR_REQUIRE(mesh.width() == mesh.height());
+  Workload w;
+  w.reserve(static_cast<std::size_t>(mesh.num_nodes()));
+  for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+    const Coord c = mesh.coord_of(src);
+    w.push_back(Demand{src, mesh.id_of(c.row, c.col), 0});
+  }
+  return w;
+}
+
+namespace {
+std::int32_t reverse_bits(std::int32_t v, int bits) {
+  std::int32_t out = 0;
+  for (int i = 0; i < bits; ++i)
+    if (v & (1 << i)) out |= 1 << (bits - 1 - i);
+  return out;
+}
+}  // namespace
+
+Workload bit_reversal(const Mesh& mesh) {
+  MR_REQUIRE(mesh.width() == mesh.height());
+  const std::int32_t n = mesh.width();
+  MR_REQUIRE_MSG((n & (n - 1)) == 0, "bit_reversal needs power-of-two side");
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  Workload w;
+  w.reserve(static_cast<std::size_t>(mesh.num_nodes()));
+  for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+    const Coord c = mesh.coord_of(src);
+    w.push_back(Demand{
+        src, mesh.id_of(reverse_bits(c.col, bits), reverse_bits(c.row, bits)),
+        0});
+  }
+  return w;
+}
+
+Workload rotation(const Mesh& mesh, std::int32_t dc, std::int32_t dr) {
+  Workload w;
+  w.reserve(static_cast<std::size_t>(mesh.num_nodes()));
+  for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+    const Coord c = mesh.coord_of(src);
+    const Coord d{(c.col + dc % mesh.width() + mesh.width()) % mesh.width(),
+                  (c.row + dr % mesh.height() + mesh.height()) % mesh.height()};
+    w.push_back(Demand{src, mesh.id_of(d), 0});
+  }
+  return w;
+}
+
+Workload mirror(const Mesh& mesh) {
+  Workload w;
+  w.reserve(static_cast<std::size_t>(mesh.num_nodes()));
+  for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
+    const Coord c = mesh.coord_of(src);
+    w.push_back(Demand{src, mesh.id_of(mesh.width() - 1 - c.col, c.row), 0});
+  }
+  return w;
+}
+
+Workload random_hh(const Mesh& mesh, int h, std::uint64_t seed) {
+  MR_REQUIRE(h >= 1);
+  Workload w;
+  w.reserve(static_cast<std::size_t>(mesh.num_nodes()) *
+            static_cast<std::size_t>(h));
+  for (int copy = 0; copy < h; ++copy) {
+    Workload perm = random_permutation(mesh, seed + static_cast<std::uint64_t>(copy) * 0x9e3779b9ULL);
+    w.insert(w.end(), perm.begin(), perm.end());
+  }
+  return w;
+}
+
+bool is_hh(const Mesh& mesh, const Workload& w, int h) {
+  std::vector<int> sends(static_cast<std::size_t>(mesh.num_nodes()), 0);
+  std::vector<int> receives(static_cast<std::size_t>(mesh.num_nodes()), 0);
+  for (const Demand& d : w) {
+    if (++sends[static_cast<std::size_t>(d.source)] > h) return false;
+    if (++receives[static_cast<std::size_t>(d.dest)] > h) return false;
+  }
+  return true;
+}
+
+}  // namespace mr

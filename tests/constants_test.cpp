@@ -1,0 +1,156 @@
+// §4.3 / §5 constant selection: exact-arithmetic constraints must hold for
+// every (n, k) in the theorem regime, and the certified bounds must display
+// the right asymptotics.
+#include <gtest/gtest.h>
+
+#include "lower_bound/constants.hpp"
+
+namespace mr {
+namespace {
+
+class MainParams : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MainParams, ConstraintsHold) {
+  const auto [n, k] = GetParam();
+  const MainLbParams par = main_lb_params(n, k);
+  ASSERT_TRUE(par.valid) << "n=" << n << " k=" << k;
+  // cn, dn really are the floors of the chosen rationals.
+  EXPECT_LE(2 * (k + 2) * par.cn, n);
+  EXPECT_GT(2 * (k + 2) * (par.cn + 1), n);
+  EXPECT_LE(5 * par.dn, 2 * n);
+  // Constraint 1 (destination capacity), restated: p + ⌈l⌉ ≤ (1−c)n.
+  const double l = double(par.cn) * par.cn / (2.0 * double(par.p));
+  EXPECT_LE(double(par.p) + l, double(n - par.cn) + 1e-9);
+  // Constraint 3: l ≤ c²n.
+  EXPECT_LE(l, double(par.cn) * par.cn / double(n) + 1e-9);
+  EXPECT_GE(par.classes, 1);
+  EXPECT_EQ(par.certified_steps, par.classes * par.dn);
+  // Packets fit in the 1-box one per node.
+  EXPECT_LE(2 * par.p * par.classes,
+            std::int64_t(par.cn) * par.cn);
+}
+
+// Combinations with ⌊l⌋ ≥ 1 (small n supports only small k: the 1-box must
+// hold 2p packets).
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MainParams,
+    ::testing::Values(std::tuple{60, 1}, std::tuple{90, 1},
+                      std::tuple{120, 1}, std::tuple{216, 1},
+                      std::tuple{300, 1}, std::tuple{432, 1},
+                      std::tuple{600, 1}, std::tuple{120, 2},
+                      std::tuple{216, 2}, std::tuple{432, 2},
+                      std::tuple{600, 2}, std::tuple{216, 3},
+                      std::tuple{432, 3}, std::tuple{600, 3}));
+
+TEST(MainParams, TheoremRegimeFlag) {
+  EXPECT_TRUE(main_lb_params(216, 1).theorem_regime);   // 216 = 24·9
+  EXPECT_FALSE(main_lb_params(215, 1).theorem_regime);
+  EXPECT_TRUE(main_lb_params(384, 2).theorem_regime);   // 24·16
+  EXPECT_FALSE(main_lb_params(383, 2).theorem_regime);
+}
+
+TEST(MainParams, CertifiedBoundGrowsQuadratically) {
+  // In the theorem regime at fixed k, doubling n should roughly quadruple
+  // the certified bound (Ω(n²/k²)).
+  const auto a = main_lb_params(216, 1);
+  const auto b = main_lb_params(432, 1);
+  ASSERT_TRUE(a.valid && b.valid);
+  const double ratio =
+      double(b.certified_steps) / double(a.certified_steps);
+  EXPECT_GE(ratio, 3.0);
+  EXPECT_LE(ratio, 6.0);
+}
+
+TEST(MainParams, CertifiedBoundShrinksWithK) {
+  // At fixed n, the certified bound decreases in k (as ~1/k²).
+  const auto k1 = main_lb_params(600, 1);
+  const auto k3 = main_lb_params(600, 3);
+  ASSERT_TRUE(k1.valid && k3.valid);
+  EXPECT_GT(k1.certified_steps, k3.certified_steps);
+}
+
+TEST(MainParams, InvalidWhenTiny) {
+  EXPECT_FALSE(main_lb_params(8, 1).valid);
+}
+
+class DimOrderParams : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(DimOrderParams, ConstraintsHold) {
+  const auto [n, k] = GetParam();
+  const DimOrderLbParams par = dim_order_lb_params(n, k);
+  ASSERT_TRUE(par.valid);
+  EXPECT_LE(par.p, std::int64_t(n) - par.cn);  // destination capacity
+  EXPECT_LE(par.classes, std::int64_t(par.cn) + 1);
+  EXPECT_GE(par.classes, 1);
+  // Senders suffice: p·classes ≤ (n−cn)·cn.
+  EXPECT_LE(par.p * par.classes, (std::int64_t(n) - par.cn) * par.cn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DimOrderParams,
+    ::testing::Combine(::testing::Values(60, 120, 216, 432),
+                       ::testing::Values(1, 2, 4)));
+
+TEST(DimOrderParams, BoundIsOmegaN2OverK) {
+  // ⌊l⌋dn should scale like n²/k: doubling n quadruples, doubling k
+  // roughly halves.
+  const auto a = dim_order_lb_params(216, 1);
+  const auto b = dim_order_lb_params(432, 1);
+  const auto c = dim_order_lb_params(216, 2);
+  ASSERT_TRUE(a.valid && b.valid && c.valid);
+  EXPECT_GE(double(b.certified_steps) / double(a.certified_steps), 3.0);
+  EXPECT_GE(double(a.certified_steps) / double(c.certified_steps), 1.2);
+}
+
+class FarthestFirstParams
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FarthestFirstParams, ConstraintsHold) {
+  const auto [n, k] = GetParam();
+  const FarthestFirstLbParams par = farthest_first_lb_params(n, k);
+  ASSERT_TRUE(par.valid);
+  EXPECT_LE(par.p, std::int64_t(n) - par.cn);
+  EXPECT_GE(par.classes, 1);
+  // All class packets fit among the cn·n senders.
+  EXPECT_LE(par.p * par.classes, std::int64_t(par.cn) * n);
+  // p ≥ 3cn so the snake placement never puts class i ≥ 2 in its column.
+  EXPECT_GE(par.p, 3 * std::int64_t(par.cn));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FarthestFirstParams,
+    ::testing::Combine(::testing::Values(60, 120, 216, 432),
+                       ::testing::Values(1, 2, 4)));
+
+class HhParams
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HhParams, ConstraintsHold) {
+  const auto [n, k, h] = GetParam();
+  const HhLbParams par = hh_lb_params(n, k, h);
+  ASSERT_TRUE(par.valid) << "n=" << n << " k=" << k << " h=" << h;
+  // Constraint 3 ⟺ 2p ≥ hn.
+  EXPECT_GE(2 * par.p, std::int64_t(h) * n);
+  // Packets fit in the 1-box h per node.
+  EXPECT_LE(2 * par.p * par.classes,
+            std::int64_t(h) * par.cn * par.cn);
+  EXPECT_GE(par.classes, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HhParams,
+    ::testing::Values(std::tuple{216, 1, 1}, std::tuple{432, 1, 1},
+                      std::tuple{120, 1, 2}, std::tuple{216, 1, 2},
+                      std::tuple{216, 1, 4}, std::tuple{432, 2, 2},
+                      std::tuple{216, 2, 4}));
+
+TEST(HhParams, BoundGrowsWithH) {
+  const auto h1 = hh_lb_params(432, 1, 1);
+  const auto h4 = hh_lb_params(432, 1, 4);
+  ASSERT_TRUE(h1.valid && h4.valid);
+  EXPECT_GT(h4.certified_steps, h1.certified_steps);
+}
+
+}  // namespace
+}  // namespace mr

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "core/types.hpp"
+
+namespace mr {
+namespace {
+
+TEST(Types, DirOpposites) {
+  EXPECT_EQ(opposite(Dir::North), Dir::South);
+  EXPECT_EQ(opposite(Dir::South), Dir::North);
+  EXPECT_EQ(opposite(Dir::East), Dir::West);
+  EXPECT_EQ(opposite(Dir::West), Dir::East);
+}
+
+TEST(Types, DirMaskOps) {
+  DirMask m = dir_bit(Dir::North) | dir_bit(Dir::East);
+  EXPECT_TRUE(mask_has(m, Dir::North));
+  EXPECT_TRUE(mask_has(m, Dir::East));
+  EXPECT_FALSE(mask_has(m, Dir::South));
+  EXPECT_FALSE(mask_has(m, Dir::West));
+  EXPECT_EQ(mask_count(m), 2);
+  EXPECT_EQ(mask_count(0), 0);
+  EXPECT_EQ(mask_count(0xF), 4);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next_below(13);
+    EXPECT_LT(v, 13u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, PercentilesAndCounts) {
+  Histogram h;
+  for (int v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.total(), 100);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_EQ(h.percentile(0.5), 50);
+  EXPECT_EQ(h.percentile(0.99), 99);
+  EXPECT_EQ(h.percentile(1.0), 100);
+  EXPECT_EQ(h.count_at(42), 1);
+  EXPECT_EQ(h.count_at(200), 0);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-12);
+}
+
+TEST(Histogram, RejectsNegative) {
+  Histogram h;
+  EXPECT_THROW(h.add(-1), InvariantViolation);
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"a", "bb"});
+  t.row().add(1).add("x");
+  t.row().add(22).add(3.5, 1);
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a  | bb  |"), std::string::npos);
+  EXPECT_NE(md.find("| 22 | 3.5 |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"x"});
+  t.row().add("a,b\"c");
+  EXPECT_EQ(t.to_csv(), "x\n\"a,b\"\"c\"\n");
+}
+
+TEST(Table, IncompleteRowThrows) {
+  Table t({"a", "b"});
+  t.row().add(1);
+  EXPECT_THROW(t.row(), InvariantViolation);
+}
+
+TEST(Parallel, AllIndicesVisitedOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, PropagatesException) {
+  EXPECT_THROW(parallel_for(100,
+                            [](std::size_t i) {
+                              if (i == 57) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(Parallel, ZeroCountIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace mr

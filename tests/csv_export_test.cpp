@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "harness/csv_export.hpp"
+
+namespace mr {
+namespace {
+
+TEST(CsvExport, NoopWithoutEnv) {
+  unsetenv("MESHROUTE_OUTPUT_DIR");
+  Table t({"a"});
+  t.row().add(1);
+  EXPECT_EQ(export_csv(t, "x"), "");
+  EXPECT_EQ(csv_output_dir(), "");
+}
+
+TEST(CsvExport, WritesSanitisedFile) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "mr_csv_export_test";
+  std::filesystem::create_directories(dir);
+  setenv("MESHROUTE_OUTPUT_DIR", dir.c_str(), 1);
+
+  Table t({"n", "steps"});
+  t.row().add(8).add(14);
+  const std::string path = export_csv(t, "E01 weird/slug!");
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("e01_weird_slug_"), std::string::npos);
+
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "n,steps");
+  EXPECT_EQ(row, "8,14");
+
+  unsetenv("MESHROUTE_OUTPUT_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mr

@@ -1,0 +1,109 @@
+// Dynamic injection semantics (§5's h-h discussion): packets appear at
+// their source at the start of their injection step, wait outside the
+// network while the queue is full, re-enter in deterministic (id) order,
+// and never depend on destination addresses for their timing.
+#include <gtest/gtest.h>
+
+#include "routing/registry.hpp"
+#include "sim/engine.hpp"
+#include "workload/permutation.hpp"
+
+namespace mr {
+namespace {
+
+TEST(DynamicInjection, FifoAmongWaiters) {
+  // k = 1, three packets at one source: they enter in id order as the
+  // queue frees, one per step.
+  const Mesh mesh = Mesh::square(8);
+  auto algo = make_algorithm("dimension-order");
+  Engine::Config config;
+  config.queue_capacity = 1;
+  Engine e(mesh, config, *algo);
+  const PacketId a = e.add_packet(mesh.id_of(0, 0), mesh.id_of(5, 0));
+  const PacketId b = e.add_packet(mesh.id_of(0, 0), mesh.id_of(6, 0));
+  const PacketId c = e.add_packet(mesh.id_of(0, 0), mesh.id_of(7, 0));
+  e.prepare();
+  // Only `a` is inside the network before step 1.
+  EXPECT_EQ(e.occupancy(mesh.id_of(0, 0)), 1);
+  e.run(100);
+  ASSERT_TRUE(e.all_delivered());
+  // Strict pipeline: a, then b, then c — each one step apart on the wire.
+  EXPECT_LT(e.packet(a).delivered_at, e.packet(b).delivered_at);
+  EXPECT_LT(e.packet(b).delivered_at, e.packet(c).delivered_at);
+}
+
+TEST(DynamicInjection, ScheduledFutureStepsHonoured) {
+  const Mesh mesh = Mesh::square(8);
+  auto algo = make_algorithm("dimension-order");
+  Engine::Config config;
+  config.queue_capacity = 4;
+  Engine e(mesh, config, *algo);
+  const PacketId early = e.add_packet(mesh.id_of(0, 0), mesh.id_of(3, 0), 1);
+  const PacketId late = e.add_packet(mesh.id_of(0, 1), mesh.id_of(3, 1), 10);
+  e.prepare();
+  e.run(100);
+  ASSERT_TRUE(e.all_delivered());
+  EXPECT_EQ(e.packet(early).delivered_at, 3);   // appears at t=1, 3 hops
+  EXPECT_EQ(e.packet(late).delivered_at, 12);   // appears at t=10
+}
+
+TEST(DynamicInjection, MixedWithStaticTraffic) {
+  const Mesh mesh = Mesh::square(10);
+  auto algo = make_algorithm("bounded-dimension-order");
+  Engine::Config config;
+  config.queue_capacity = 1;
+  Engine e(mesh, config, *algo);
+  // Static permutation plus a staggered second wave (a 2-2 problem in the
+  // dynamic setting).
+  for (const Demand& d : random_permutation(mesh, 1))
+    e.add_packet(d.source, d.dest, 0);
+  for (const Demand& d : random_permutation(mesh, 2))
+    e.add_packet(d.source, d.dest, 5);
+  e.prepare();
+  e.run(10000);
+  EXPECT_TRUE(e.all_delivered());
+  EXPECT_LE(e.max_occupancy_seen(), 1);
+}
+
+TEST(DynamicInjection, HeavyHotspotWithTinyQueues) {
+  // 6 packets per source at k = 1: five wait outside; delivery still
+  // completes and occupancy never exceeds k.
+  const Mesh mesh = Mesh::square(8);
+  auto algo = make_algorithm("bounded-dimension-order");
+  Engine::Config config;
+  config.queue_capacity = 1;
+  Engine e(mesh, config, *algo);
+  for (int copy = 0; copy < 6; ++copy)
+    for (std::int32_t c = 0; c < 8; ++c)
+      e.add_packet(mesh.id_of(c, 0), mesh.id_of(c, 7 - (copy % 3)));
+  e.prepare();
+  e.run(10000);
+  EXPECT_TRUE(e.all_delivered());
+  EXPECT_LE(e.max_occupancy_seen(), 1);
+}
+
+TEST(DynamicInjection, TimingIsDestinationIndependent) {
+  // §5's requirement: swap the destinations of two same-source waiting
+  // packets — their injection steps must not change.
+  const Mesh mesh = Mesh::square(8);
+  auto run_arrival_steps = [&](NodeId d1, NodeId d2) {
+    auto algo = make_algorithm("dimension-order");
+    Engine::Config config;
+    config.queue_capacity = 1;
+    Engine e(mesh, config, *algo);
+    e.add_packet(mesh.id_of(0, 0), d1);
+    e.add_packet(mesh.id_of(0, 0), d2);
+    e.prepare();
+    // Track when packet 1 (the waiter) enters the network: its arrived_at
+    // is stamped at injection.
+    e.run(100);
+    return e.packet(1).injected_at + 0 * e.packet(1).delivered_at;
+  };
+  // Destinations northeast in both orders: same profitable geometry.
+  const NodeId x = mesh.id_of(6, 7);
+  const NodeId y = mesh.id_of(7, 6);
+  EXPECT_EQ(run_arrival_steps(x, y), run_arrival_steps(y, x));
+}
+
+}  // namespace
+}  // namespace mr

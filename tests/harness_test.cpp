@@ -1,0 +1,100 @@
+// Harness-level tests: run driver semantics, budgets, sweep determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "harness/runner.hpp"
+#include "harness/sweep.hpp"
+#include "workload/permutation.hpp"
+
+namespace mr {
+namespace {
+
+TEST(Runner, DefaultBudgetCoversTheorem15) {
+  // The auto budget must dominate the worst bound of any built-in router.
+  for (int n : {16, 64, 256}) {
+    for (int k : {1, 4}) {
+      const Step budget = default_step_budget(n, n, k);
+      EXPECT_GE(budget, 2 * (std::int64_t(n) * n / k + n));  // Thm 15 slack
+      EXPECT_GE(budget, 972 * std::int64_t(n));              // Thm 34
+    }
+  }
+}
+
+TEST(Runner, ReportsStall) {
+  // Head-on pair with k=1 wedges dimension-order; the result must say so.
+  const Mesh mesh = Mesh::square(6);
+  RunSpec spec;
+  spec.width = spec.height = 6;
+  spec.queue_capacity = 1;
+  spec.algorithm = "dimension-order";
+  spec.max_steps = 10000;
+  spec.stall_limit = 100;
+  Workload w;
+  w.push_back(Demand{mesh.id_of(2, 2), mesh.id_of(5, 2), 0});
+  w.push_back(Demand{mesh.id_of(3, 2), mesh.id_of(0, 2), 0});
+  const RunResult r = run_workload(spec, w);
+  EXPECT_FALSE(r.all_delivered);
+  EXPECT_TRUE(r.stalled);
+  EXPECT_LT(r.steps, 10000);  // the stall guard cut the run short
+}
+
+TEST(Runner, MetricsAreConsistent) {
+  const Mesh mesh = Mesh::square(10);
+  RunSpec spec;
+  spec.width = spec.height = 10;
+  spec.queue_capacity = 2;
+  spec.algorithm = "bounded-dimension-order";
+  const Workload w = random_permutation(mesh, 4);
+  const RunResult r = run_workload(spec, w);
+  ASSERT_TRUE(r.all_delivered);
+  EXPECT_EQ(r.packets, w.size());
+  EXPECT_EQ(r.delivered, w.size());
+  EXPECT_LE(r.latency_p50, r.latency_max);
+  EXPECT_LE(r.latency_max, r.steps);
+  EXPECT_GE(r.total_moves, std::int64_t(0));
+  EXPECT_LE(r.max_queue, 2);
+}
+
+TEST(Runner, RepeatedRunsIdentical) {
+  const Mesh mesh = Mesh::square(12);
+  RunSpec spec;
+  spec.width = spec.height = 12;
+  spec.queue_capacity = 3;
+  spec.algorithm = "adaptive-alternate";
+  Workload w;
+  for (const Demand& d : random_permutation(mesh, 8)) {
+    const Coord s = mesh.coord_of(d.source);
+    const Coord t = mesh.coord_of(d.dest);
+    if (t.col >= s.col && t.row >= s.row) w.push_back(d);
+  }
+  const RunResult a = run_workload(spec, w);
+  const RunResult b = run_workload(spec, w);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.total_moves, b.total_moves);
+  EXPECT_EQ(a.max_queue, b.max_queue);
+  EXPECT_EQ(a.latency_p50, b.latency_p50);
+}
+
+TEST(Sweep, ResultsArePositionAddressed) {
+  const auto results = sweep<int>(64, [](std::size_t i) {
+    return static_cast<int>(i * i);
+  });
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i], static_cast<int>(i * i));
+}
+
+TEST(Sweep, RunsConcurrently) {
+  std::atomic<int> counter{0};
+  const auto results = sweep<int>(32, [&](std::size_t) {
+    return counter.fetch_add(1);
+  });
+  // All 32 executed exactly once (values are a permutation of 0..31).
+  std::vector<int> sorted(results.begin(), results.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+}  // namespace
+}  // namespace mr

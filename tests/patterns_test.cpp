@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "workload/patterns.hpp"
+
+namespace mr {
+namespace {
+
+TEST(Patterns, RowToColumnShape) {
+  const Mesh mesh = Mesh::square(10);
+  const Workload w = row_to_column(mesh, 0, 5);
+  EXPECT_EQ(w.size(), 10u);
+  EXPECT_TRUE(is_partial_permutation(mesh, w));
+  for (const Demand& d : w) {
+    EXPECT_EQ(mesh.coord_of(d.source).row, 0);
+    EXPECT_EQ(mesh.coord_of(d.dest).col, 5);
+  }
+}
+
+TEST(Patterns, CornerFloodMirrors) {
+  const Mesh mesh = Mesh::square(12);
+  const Workload w = corner_flood(mesh, 4, 3);
+  EXPECT_EQ(w.size(), 12u);
+  EXPECT_TRUE(is_partial_permutation(mesh, w));
+  for (const Demand& d : w) {
+    const Coord s = mesh.coord_of(d.source);
+    const Coord t = mesh.coord_of(d.dest);
+    EXPECT_EQ(t.col, 11 - s.col);
+    EXPECT_EQ(t.row, 11 - s.row);
+    EXPECT_LT(s.col, 4);
+    EXPECT_LT(s.row, 3);
+  }
+}
+
+TEST(Patterns, NortheastOnlyFilters) {
+  const Mesh mesh = Mesh::square(10);
+  const Workload filtered =
+      northeast_only(mesh, random_permutation(mesh, 3));
+  EXPECT_FALSE(filtered.empty());
+  EXPECT_LT(filtered.size(), 100u);
+  for (const Demand& d : filtered) {
+    const Coord s = mesh.coord_of(d.source);
+    const Coord t = mesh.coord_of(d.dest);
+    EXPECT_GE(t.col, s.col);
+    EXPECT_GE(t.row, s.row);
+  }
+}
+
+TEST(Patterns, NortheastTrafficNeverDeadlocksAtK1) {
+  // The acyclic-blocking property that justifies the monotone test loads:
+  // every central-queue router drains NE-only traffic even at k = 1.
+  const Mesh mesh = Mesh::square(12);
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Workload w = northeast_only(mesh, random_permutation(mesh, seed));
+    RunSpec spec;
+    spec.width = spec.height = 12;
+    spec.queue_capacity = 1;
+    spec.algorithm = "dimension-order";
+    const RunResult r = run_workload(spec, w);
+    EXPECT_TRUE(r.all_delivered) << "seed " << seed;
+  }
+}
+
+TEST(Patterns, HalfTransposeIsSoutheastOnly) {
+  const Mesh mesh = Mesh::square(9);
+  const Workload w = half_transpose(mesh);
+  EXPECT_EQ(w.size(), 9u * 8u / 2u);
+  for (const Demand& d : w) {
+    const Coord s = mesh.coord_of(d.source);
+    const Coord t = mesh.coord_of(d.dest);
+    EXPECT_GT(t.col, s.col);
+    EXPECT_LT(t.row, s.row);
+  }
+}
+
+TEST(Patterns, HotspotConverges) {
+  const Mesh mesh = Mesh::square(10);
+  const NodeId sink = mesh.id_of(1, 1);
+  const Workload w = hotspot(mesh, sink, 12);
+  EXPECT_EQ(w.size(), 12u);
+  for (const Demand& d : w) {
+    EXPECT_EQ(d.dest, sink);
+    // Sources are among the farthest nodes: distance >= some healthy bound.
+    EXPECT_GE(mesh.distance(d.source, sink), 12);
+  }
+  EXPECT_TRUE(is_hh(mesh, w, 12));
+  EXPECT_FALSE(is_hh(mesh, w, 11));
+}
+
+TEST(Patterns, HotspotRoutesUnderBoundedRouter) {
+  const Mesh mesh = Mesh::square(10);
+  RunSpec spec;
+  spec.width = spec.height = 10;
+  spec.queue_capacity = 2;
+  spec.algorithm = "bounded-dimension-order";
+  const RunResult r = run_workload(spec, hotspot(mesh, mesh.id_of(0, 0), 20));
+  EXPECT_TRUE(r.all_delivered);
+  // The sink absorbs one packet per inlink per step; 20 packets through at
+  // most 2 live inlinks of the corner finish in >= 10 steps.
+  EXPECT_GE(r.steps, 10);
+}
+
+TEST(Patterns, DiagonalShiftIsFullPermutation) {
+  const Mesh mesh = Mesh::square(8);
+  const Workload w = diagonal_shift(mesh, 3);
+  EXPECT_EQ(w.size(), 64u);
+  EXPECT_TRUE(is_partial_permutation(mesh, w));
+  EXPECT_EQ(w[mesh.id_of(7, 7)].dest, mesh.id_of(2, 2));
+}
+
+TEST(Patterns, BadArgumentsThrow) {
+  const Mesh mesh = Mesh::square(6);
+  EXPECT_THROW(row_to_column(mesh, 9, 0), InvariantViolation);
+  EXPECT_THROW(corner_flood(mesh, 0, 3), InvariantViolation);
+  EXPECT_THROW(hotspot(mesh, 99, 3), InvariantViolation);
+  EXPECT_THROW(hotspot(mesh, 0, 36), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace mr

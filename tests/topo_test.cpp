@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "topo/mesh.hpp"
+
+namespace mr {
+namespace {
+
+TEST(Mesh, IdCoordRoundTrip) {
+  const Mesh m(7, 5);
+  for (NodeId id = 0; id < m.num_nodes(); ++id)
+    EXPECT_EQ(m.id_of(m.coord_of(id)), id);
+}
+
+TEST(Mesh, NeighborsOnEdges) {
+  const Mesh m = Mesh::square(4);
+  const NodeId sw = m.id_of(0, 0);
+  EXPECT_EQ(m.neighbor(sw, Dir::West), kInvalidNode);
+  EXPECT_EQ(m.neighbor(sw, Dir::South), kInvalidNode);
+  EXPECT_EQ(m.neighbor(sw, Dir::East), m.id_of(1, 0));
+  EXPECT_EQ(m.neighbor(sw, Dir::North), m.id_of(0, 1));
+  const NodeId ne = m.id_of(3, 3);
+  EXPECT_EQ(m.neighbor(ne, Dir::East), kInvalidNode);
+  EXPECT_EQ(m.neighbor(ne, Dir::North), kInvalidNode);
+}
+
+TEST(Mesh, TorusWraps) {
+  const Mesh t = Mesh::square(4, /*torus=*/true);
+  EXPECT_EQ(t.neighbor(t.id_of(0, 0), Dir::West), t.id_of(3, 0));
+  EXPECT_EQ(t.neighbor(t.id_of(0, 0), Dir::South), t.id_of(0, 3));
+  EXPECT_EQ(t.neighbor(t.id_of(3, 2), Dir::East), t.id_of(0, 2));
+  EXPECT_EQ(t.neighbor(t.id_of(1, 3), Dir::North), t.id_of(1, 0));
+}
+
+TEST(Mesh, L1Distance) {
+  const Mesh m = Mesh::square(8);
+  EXPECT_EQ(m.distance(m.id_of(0, 0), m.id_of(7, 7)), 14);
+  EXPECT_EQ(m.distance(m.id_of(3, 4), m.id_of(3, 4)), 0);
+  EXPECT_EQ(m.distance(m.id_of(2, 5), m.id_of(6, 1)), 8);
+}
+
+TEST(Mesh, TorusDistanceUsesWrap) {
+  const Mesh t = Mesh::square(8, true);
+  EXPECT_EQ(t.distance(t.id_of(0, 0), t.id_of(7, 0)), 1);
+  EXPECT_EQ(t.distance(t.id_of(0, 0), t.id_of(6, 7)), 3);
+  EXPECT_EQ(t.distance(t.id_of(1, 1), t.id_of(5, 5)), 8);  // both ways tie
+}
+
+TEST(Mesh, ProfitableDirsMesh) {
+  const Mesh m = Mesh::square(8);
+  const NodeId from = m.id_of(3, 3);
+  EXPECT_EQ(m.profitable_dirs(from, m.id_of(5, 6)),
+            dir_bit(Dir::East) | dir_bit(Dir::North));
+  EXPECT_EQ(m.profitable_dirs(from, m.id_of(1, 3)), dir_bit(Dir::West));
+  EXPECT_EQ(m.profitable_dirs(from, m.id_of(3, 0)), dir_bit(Dir::South));
+  EXPECT_EQ(m.profitable_dirs(from, from), DirMask{0});
+}
+
+TEST(Mesh, ProfitableDirsTorusTie) {
+  const Mesh t = Mesh::square(8, true);
+  // Column displacement of exactly 4 on an 8-torus: both E and W profitable.
+  const DirMask m = t.profitable_dirs(t.id_of(0, 0), t.id_of(4, 0));
+  EXPECT_TRUE(mask_has(m, Dir::East));
+  EXPECT_TRUE(mask_has(m, Dir::West));
+  EXPECT_FALSE(mask_has(m, Dir::North));
+}
+
+TEST(Mesh, ProfitableMovesReduceDistance) {
+  const Mesh m = Mesh::square(6);
+  const Mesh t = Mesh::square(6, true);
+  for (const Mesh* mesh : {&m, &t}) {
+    for (NodeId a = 0; a < mesh->num_nodes(); ++a) {
+      for (NodeId b = 0; b < mesh->num_nodes(); ++b) {
+        const DirMask mask = mesh->profitable_dirs(a, b);
+        for (Dir d : kAllDirs) {
+          const NodeId nb = mesh->neighbor(a, d);
+          if (nb == kInvalidNode) {
+            EXPECT_FALSE(mask_has(mask, d));
+            continue;
+          }
+          if (mask_has(mask, d)) {
+            EXPECT_EQ(mesh->distance(nb, b), mesh->distance(a, b) - 1);
+          } else {
+            EXPECT_GE(mesh->distance(nb, b), mesh->distance(a, b));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Mesh, RejectsBadDimensions) {
+  EXPECT_THROW(Mesh(0, 5), InvariantViolation);
+  EXPECT_THROW(Mesh(5, -1), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace mr

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "workload/permutation.hpp"
+
+namespace mr {
+namespace {
+
+TEST(Workload, RandomPermutationIsPermutation) {
+  const Mesh mesh = Mesh::square(9);
+  const Workload w = random_permutation(mesh, 17);
+  EXPECT_EQ(w.size(), 81u);
+  EXPECT_TRUE(is_partial_permutation(mesh, w));
+  // Every node receives exactly one packet.
+  std::vector<int> recv(81, 0);
+  for (const Demand& d : w) ++recv[d.dest];
+  for (int r : recv) EXPECT_EQ(r, 1);
+}
+
+TEST(Workload, RandomPermutationSeedsDiffer) {
+  const Mesh mesh = Mesh::square(8);
+  EXPECT_NE(random_permutation(mesh, 1), random_permutation(mesh, 2));
+  EXPECT_EQ(random_permutation(mesh, 3), random_permutation(mesh, 3));
+}
+
+TEST(Workload, PartialPermutationFraction) {
+  const Mesh mesh = Mesh::square(10);
+  const Workload w = random_partial_permutation(mesh, 0.25, 7);
+  EXPECT_EQ(w.size(), 25u);
+  EXPECT_TRUE(is_partial_permutation(mesh, w));
+}
+
+TEST(Workload, TransposeFixesDiagonal) {
+  const Mesh mesh = Mesh::square(6);
+  const Workload w = transpose(mesh);
+  EXPECT_TRUE(is_partial_permutation(mesh, w));
+  for (const Demand& d : w) {
+    const Coord s = mesh.coord_of(d.source);
+    const Coord t = mesh.coord_of(d.dest);
+    EXPECT_EQ(s.col, t.row);
+    EXPECT_EQ(s.row, t.col);
+  }
+}
+
+TEST(Workload, BitReversalIsInvolution) {
+  const Mesh mesh = Mesh::square(8);
+  const Workload w = bit_reversal(mesh);
+  EXPECT_TRUE(is_partial_permutation(mesh, w));
+  for (const Demand& d : w) {
+    // applying the map twice returns to the source
+    const Workload w2 = bit_reversal(mesh);
+    EXPECT_EQ(w2[d.dest].dest, d.source);
+  }
+}
+
+TEST(Workload, BitReversalRejectsNonPowerOfTwo) {
+  const Mesh mesh = Mesh::square(6);
+  EXPECT_THROW(bit_reversal(mesh), InvariantViolation);
+}
+
+TEST(Workload, RotationWraps) {
+  const Mesh mesh = Mesh::square(5);
+  const Workload w = rotation(mesh, 2, 3);
+  EXPECT_TRUE(is_partial_permutation(mesh, w));
+  EXPECT_EQ(w[mesh.id_of(4, 4)].dest, mesh.id_of(1, 2));
+}
+
+TEST(Workload, MirrorIsPermutation) {
+  const Mesh mesh = Mesh::square(8);
+  EXPECT_TRUE(is_partial_permutation(mesh, mirror(mesh)));
+}
+
+TEST(Workload, HhBounds) {
+  const Mesh mesh = Mesh::square(6);
+  const Workload w = random_hh(mesh, 3, 5);
+  EXPECT_EQ(w.size(), 3u * 36u);
+  EXPECT_TRUE(is_hh(mesh, w, 3));
+  EXPECT_FALSE(is_hh(mesh, w, 2));
+}
+
+TEST(Workload, IsHhDetectsOverload) {
+  const Mesh mesh = Mesh::square(4);
+  Workload w;
+  w.push_back(Demand{0, 5, 0});
+  w.push_back(Demand{0, 6, 0});
+  EXPECT_FALSE(is_hh(mesh, w, 1));
+  EXPECT_TRUE(is_hh(mesh, w, 2));
+}
+
+}  // namespace
+}  // namespace mr
