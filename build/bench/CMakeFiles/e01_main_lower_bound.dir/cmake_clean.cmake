@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e01_main_lower_bound.dir/e01_main_lower_bound.cpp.o"
+  "CMakeFiles/e01_main_lower_bound.dir/e01_main_lower_bound.cpp.o.d"
+  "e01_main_lower_bound"
+  "e01_main_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e01_main_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

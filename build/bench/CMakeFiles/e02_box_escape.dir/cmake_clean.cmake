@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e02_box_escape.dir/e02_box_escape.cpp.o"
+  "CMakeFiles/e02_box_escape.dir/e02_box_escape.cpp.o.d"
+  "e02_box_escape"
+  "e02_box_escape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e02_box_escape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e02_box_escape.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e03_replay_equivalence.dir/e03_replay_equivalence.cpp.o"
+  "CMakeFiles/e03_replay_equivalence.dir/e03_replay_equivalence.cpp.o.d"
+  "e03_replay_equivalence"
+  "e03_replay_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e03_replay_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e03_replay_equivalence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e05_farthest_first_lb.dir/e05_farthest_first_lb.cpp.o"
+  "CMakeFiles/e05_farthest_first_lb.dir/e05_farthest_first_lb.cpp.o.d"
+  "e05_farthest_first_lb"
+  "e05_farthest_first_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e05_farthest_first_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e05_farthest_first_lb.
+# This may be replaced when dependencies are built.

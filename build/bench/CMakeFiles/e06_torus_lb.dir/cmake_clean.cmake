@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e06_torus_lb.dir/e06_torus_lb.cpp.o"
+  "CMakeFiles/e06_torus_lb.dir/e06_torus_lb.cpp.o.d"
+  "e06_torus_lb"
+  "e06_torus_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e06_torus_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e06_torus_lb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e07_hh_lb.dir/e07_hh_lb.cpp.o"
+  "CMakeFiles/e07_hh_lb.dir/e07_hh_lb.cpp.o.d"
+  "e07_hh_lb"
+  "e07_hh_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e07_hh_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e08_theorem15_upper.dir/e08_theorem15_upper.cpp.o"
+  "CMakeFiles/e08_theorem15_upper.dir/e08_theorem15_upper.cpp.o.d"
+  "e08_theorem15_upper"
+  "e08_theorem15_upper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e08_theorem15_upper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e08_theorem15_upper.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e09_fastroute_linear.dir/e09_fastroute_linear.cpp.o"
+  "CMakeFiles/e09_fastroute_linear.dir/e09_fastroute_linear.cpp.o.d"
+  "e09_fastroute_linear"
+  "e09_fastroute_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e09_fastroute_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

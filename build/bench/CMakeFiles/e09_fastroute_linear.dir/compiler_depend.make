@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e09_fastroute_linear.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_fastroute_phases.dir/e10_fastroute_phases.cpp.o"
+  "CMakeFiles/e10_fastroute_phases.dir/e10_fastroute_phases.cpp.o.d"
+  "e10_fastroute_phases"
+  "e10_fastroute_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_fastroute_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

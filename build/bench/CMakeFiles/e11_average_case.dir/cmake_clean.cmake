@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_average_case.dir/e11_average_case.cpp.o"
+  "CMakeFiles/e11_average_case.dir/e11_average_case.cpp.o.d"
+  "e11_average_case"
+  "e11_average_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_average_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e11_average_case.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_algorithm_matrix.dir/e12_algorithm_matrix.cpp.o"
+  "CMakeFiles/e12_algorithm_matrix.dir/e12_algorithm_matrix.cpp.o.d"
+  "e12_algorithm_matrix"
+  "e12_algorithm_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_algorithm_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e12_algorithm_matrix.
+# This may be replaced when dependencies are built.

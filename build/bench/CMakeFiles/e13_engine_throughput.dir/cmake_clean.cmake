@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_engine_throughput.dir/e13_engine_throughput.cpp.o"
+  "CMakeFiles/e13_engine_throughput.dir/e13_engine_throughput.cpp.o.d"
+  "e13_engine_throughput"
+  "e13_engine_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_engine_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e14_tiling_cover.dir/e14_tiling_cover.cpp.o"
+  "CMakeFiles/e14_tiling_cover.dir/e14_tiling_cover.cpp.o.d"
+  "e14_tiling_cover"
+  "e14_tiling_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_tiling_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e14_tiling_cover.
+# This may be replaced when dependencies are built.

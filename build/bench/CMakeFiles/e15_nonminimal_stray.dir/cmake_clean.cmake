@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e15_nonminimal_stray.dir/e15_nonminimal_stray.cpp.o"
+  "CMakeFiles/e15_nonminimal_stray.dir/e15_nonminimal_stray.cpp.o.d"
+  "e15_nonminimal_stray"
+  "e15_nonminimal_stray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e15_nonminimal_stray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e15_nonminimal_stray.
+# This may be replaced when dependencies are built.

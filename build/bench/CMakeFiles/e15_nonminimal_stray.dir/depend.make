@@ -1,0 +1,2 @@
+# Empty dependencies file for e15_nonminimal_stray.
+# This may be replaced when dependencies are built.

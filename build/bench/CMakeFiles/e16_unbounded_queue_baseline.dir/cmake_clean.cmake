@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e16_unbounded_queue_baseline.dir/e16_unbounded_queue_baseline.cpp.o"
+  "CMakeFiles/e16_unbounded_queue_baseline.dir/e16_unbounded_queue_baseline.cpp.o.d"
+  "e16_unbounded_queue_baseline"
+  "e16_unbounded_queue_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e16_unbounded_queue_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e16_unbounded_queue_baseline.
+# This may be replaced when dependencies are built.

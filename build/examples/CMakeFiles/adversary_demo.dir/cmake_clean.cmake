@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_demo.dir/adversary_demo.cpp.o"
+  "CMakeFiles/adversary_demo.dir/adversary_demo.cpp.o.d"
+  "adversary_demo"
+  "adversary_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_map.dir/congestion_map.cpp.o"
+  "CMakeFiles/congestion_map.dir/congestion_map.cpp.o.d"
+  "congestion_map"
+  "congestion_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

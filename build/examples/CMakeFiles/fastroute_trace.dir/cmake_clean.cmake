@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastroute_trace.dir/fastroute_trace.cpp.o"
+  "CMakeFiles/fastroute_trace.dir/fastroute_trace.cpp.o.d"
+  "fastroute_trace"
+  "fastroute_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastroute_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

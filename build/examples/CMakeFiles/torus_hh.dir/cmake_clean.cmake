@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torus_hh.dir/torus_hh.cpp.o"
+  "CMakeFiles/torus_hh.dir/torus_hh.cpp.o.d"
+  "torus_hh"
+  "torus_hh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torus_hh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

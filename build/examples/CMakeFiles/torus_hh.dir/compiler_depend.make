@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for torus_hh.
+# This may be replaced when dependencies are built.

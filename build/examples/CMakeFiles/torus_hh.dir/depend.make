@@ -1,0 +1,2 @@
+# Empty dependencies file for torus_hh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_core.dir/parallel.cpp.o"
+  "CMakeFiles/mr_core.dir/parallel.cpp.o.d"
+  "CMakeFiles/mr_core.dir/stats.cpp.o"
+  "CMakeFiles/mr_core.dir/stats.cpp.o.d"
+  "CMakeFiles/mr_core.dir/table.cpp.o"
+  "CMakeFiles/mr_core.dir/table.cpp.o.d"
+  "libmr_core.a"
+  "libmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

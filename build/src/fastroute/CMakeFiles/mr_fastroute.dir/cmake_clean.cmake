@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_fastroute.dir/fastroute.cpp.o"
+  "CMakeFiles/mr_fastroute.dir/fastroute.cpp.o.d"
+  "libmr_fastroute.a"
+  "libmr_fastroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_fastroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

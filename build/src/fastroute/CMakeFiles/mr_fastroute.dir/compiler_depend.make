@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mr_fastroute.
+# This may be replaced when dependencies are built.

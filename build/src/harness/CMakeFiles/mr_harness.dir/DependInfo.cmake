@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/csv_export.cpp" "src/harness/CMakeFiles/mr_harness.dir/csv_export.cpp.o" "gcc" "src/harness/CMakeFiles/mr_harness.dir/csv_export.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "src/harness/CMakeFiles/mr_harness.dir/runner.cpp.o" "gcc" "src/harness/CMakeFiles/mr_harness.dir/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/mr_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mr_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_harness.dir/csv_export.cpp.o"
+  "CMakeFiles/mr_harness.dir/csv_export.cpp.o.d"
+  "CMakeFiles/mr_harness.dir/runner.cpp.o"
+  "CMakeFiles/mr_harness.dir/runner.cpp.o.d"
+  "libmr_harness.a"
+  "libmr_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

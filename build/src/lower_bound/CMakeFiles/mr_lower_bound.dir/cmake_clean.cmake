@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_lower_bound.dir/constants.cpp.o"
+  "CMakeFiles/mr_lower_bound.dir/constants.cpp.o.d"
+  "CMakeFiles/mr_lower_bound.dir/dim_order_construction.cpp.o"
+  "CMakeFiles/mr_lower_bound.dir/dim_order_construction.cpp.o.d"
+  "CMakeFiles/mr_lower_bound.dir/farthest_first_construction.cpp.o"
+  "CMakeFiles/mr_lower_bound.dir/farthest_first_construction.cpp.o.d"
+  "CMakeFiles/mr_lower_bound.dir/main_construction.cpp.o"
+  "CMakeFiles/mr_lower_bound.dir/main_construction.cpp.o.d"
+  "libmr_lower_bound.a"
+  "libmr_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmr_lower_bound.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/adaptive.cpp" "src/routing/CMakeFiles/mr_routing.dir/adaptive.cpp.o" "gcc" "src/routing/CMakeFiles/mr_routing.dir/adaptive.cpp.o.d"
+  "/root/repo/src/routing/bounded_dimension_order.cpp" "src/routing/CMakeFiles/mr_routing.dir/bounded_dimension_order.cpp.o" "gcc" "src/routing/CMakeFiles/mr_routing.dir/bounded_dimension_order.cpp.o.d"
+  "/root/repo/src/routing/dimension_order.cpp" "src/routing/CMakeFiles/mr_routing.dir/dimension_order.cpp.o" "gcc" "src/routing/CMakeFiles/mr_routing.dir/dimension_order.cpp.o.d"
+  "/root/repo/src/routing/dx.cpp" "src/routing/CMakeFiles/mr_routing.dir/dx.cpp.o" "gcc" "src/routing/CMakeFiles/mr_routing.dir/dx.cpp.o.d"
+  "/root/repo/src/routing/farthest_first.cpp" "src/routing/CMakeFiles/mr_routing.dir/farthest_first.cpp.o" "gcc" "src/routing/CMakeFiles/mr_routing.dir/farthest_first.cpp.o.d"
+  "/root/repo/src/routing/registry.cpp" "src/routing/CMakeFiles/mr_routing.dir/registry.cpp.o" "gcc" "src/routing/CMakeFiles/mr_routing.dir/registry.cpp.o.d"
+  "/root/repo/src/routing/stray.cpp" "src/routing/CMakeFiles/mr_routing.dir/stray.cpp.o" "gcc" "src/routing/CMakeFiles/mr_routing.dir/stray.cpp.o.d"
+  "/root/repo/src/routing/west_first.cpp" "src/routing/CMakeFiles/mr_routing.dir/west_first.cpp.o" "gcc" "src/routing/CMakeFiles/mr_routing.dir/west_first.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

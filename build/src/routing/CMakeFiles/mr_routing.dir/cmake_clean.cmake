@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_routing.dir/adaptive.cpp.o"
+  "CMakeFiles/mr_routing.dir/adaptive.cpp.o.d"
+  "CMakeFiles/mr_routing.dir/bounded_dimension_order.cpp.o"
+  "CMakeFiles/mr_routing.dir/bounded_dimension_order.cpp.o.d"
+  "CMakeFiles/mr_routing.dir/dimension_order.cpp.o"
+  "CMakeFiles/mr_routing.dir/dimension_order.cpp.o.d"
+  "CMakeFiles/mr_routing.dir/dx.cpp.o"
+  "CMakeFiles/mr_routing.dir/dx.cpp.o.d"
+  "CMakeFiles/mr_routing.dir/farthest_first.cpp.o"
+  "CMakeFiles/mr_routing.dir/farthest_first.cpp.o.d"
+  "CMakeFiles/mr_routing.dir/registry.cpp.o"
+  "CMakeFiles/mr_routing.dir/registry.cpp.o.d"
+  "CMakeFiles/mr_routing.dir/stray.cpp.o"
+  "CMakeFiles/mr_routing.dir/stray.cpp.o.d"
+  "CMakeFiles/mr_routing.dir/west_first.cpp.o"
+  "CMakeFiles/mr_routing.dir/west_first.cpp.o.d"
+  "libmr_routing.a"
+  "libmr_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_sim.dir/engine.cpp.o"
+  "CMakeFiles/mr_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mr_sim.dir/metrics.cpp.o"
+  "CMakeFiles/mr_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/mr_sim.dir/trace.cpp.o"
+  "CMakeFiles/mr_sim.dir/trace.cpp.o.d"
+  "libmr_sim.a"
+  "libmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_topo.dir/mesh.cpp.o"
+  "CMakeFiles/mr_topo.dir/mesh.cpp.o.d"
+  "libmr_topo.a"
+  "libmr_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

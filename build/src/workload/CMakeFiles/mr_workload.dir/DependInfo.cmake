@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/patterns.cpp" "src/workload/CMakeFiles/mr_workload.dir/patterns.cpp.o" "gcc" "src/workload/CMakeFiles/mr_workload.dir/patterns.cpp.o.d"
+  "/root/repo/src/workload/permutation.cpp" "src/workload/CMakeFiles/mr_workload.dir/permutation.cpp.o" "gcc" "src/workload/CMakeFiles/mr_workload.dir/permutation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mr_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

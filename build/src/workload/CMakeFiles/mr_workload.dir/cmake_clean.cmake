@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_workload.dir/patterns.cpp.o"
+  "CMakeFiles/mr_workload.dir/patterns.cpp.o.d"
+  "CMakeFiles/mr_workload.dir/permutation.cpp.o"
+  "CMakeFiles/mr_workload.dir/permutation.cpp.o.d"
+  "libmr_workload.a"
+  "libmr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

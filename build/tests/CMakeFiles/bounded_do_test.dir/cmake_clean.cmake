@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_do_test.dir/bounded_do_test.cpp.o"
+  "CMakeFiles/bounded_do_test.dir/bounded_do_test.cpp.o.d"
+  "bounded_do_test"
+  "bounded_do_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_do_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bounded_do_test.
+# This may be replaced when dependencies are built.

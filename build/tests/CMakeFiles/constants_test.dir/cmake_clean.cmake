@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constants_test.dir/constants_test.cpp.o"
+  "CMakeFiles/constants_test.dir/constants_test.cpp.o.d"
+  "constants_test"
+  "constants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_export_test.dir/csv_export_test.cpp.o"
+  "CMakeFiles/csv_export_test.dir/csv_export_test.cpp.o.d"
+  "csv_export_test"
+  "csv_export_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

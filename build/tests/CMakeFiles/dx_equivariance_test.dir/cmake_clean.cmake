@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dx_equivariance_test.dir/dx_equivariance_test.cpp.o"
+  "CMakeFiles/dx_equivariance_test.dir/dx_equivariance_test.cpp.o.d"
+  "dx_equivariance_test"
+  "dx_equivariance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dx_equivariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_injection_test.dir/dynamic_injection_test.cpp.o"
+  "CMakeFiles/dynamic_injection_test.dir/dynamic_injection_test.cpp.o.d"
+  "dynamic_injection_test"
+  "dynamic_injection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

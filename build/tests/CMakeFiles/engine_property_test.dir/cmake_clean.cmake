@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_property_test.dir/engine_property_test.cpp.o"
+  "CMakeFiles/engine_property_test.dir/engine_property_test.cpp.o.d"
+  "engine_property_test"
+  "engine_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine_test.cpp" "tests/CMakeFiles/engine_test.dir/engine_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mr_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/mr_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower_bound/CMakeFiles/mr_lower_bound.dir/DependInfo.cmake"
+  "/root/repo/build/src/fastroute/CMakeFiles/mr_fastroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/mr_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

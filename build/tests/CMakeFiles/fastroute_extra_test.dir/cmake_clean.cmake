@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastroute_extra_test.dir/fastroute_extra_test.cpp.o"
+  "CMakeFiles/fastroute_extra_test.dir/fastroute_extra_test.cpp.o.d"
+  "fastroute_extra_test"
+  "fastroute_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastroute_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

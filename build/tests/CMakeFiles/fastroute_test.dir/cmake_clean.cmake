@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastroute_test.dir/fastroute_test.cpp.o"
+  "CMakeFiles/fastroute_test.dir/fastroute_test.cpp.o.d"
+  "fastroute_test"
+  "fastroute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastroute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

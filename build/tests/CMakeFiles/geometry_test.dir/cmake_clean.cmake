@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_test.dir/geometry_test.cpp.o"
+  "CMakeFiles/geometry_test.dir/geometry_test.cpp.o.d"
+  "geometry_test"
+  "geometry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_unit_test.dir/router_unit_test.cpp.o"
+  "CMakeFiles/router_unit_test.dir/router_unit_test.cpp.o.d"
+  "router_unit_test"
+  "router_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_test.dir/routing_test.cpp.o"
+  "CMakeFiles/routing_test.dir/routing_test.cpp.o.d"
+  "routing_test"
+  "routing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

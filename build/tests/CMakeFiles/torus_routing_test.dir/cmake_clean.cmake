@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torus_routing_test.dir/torus_routing_test.cpp.o"
+  "CMakeFiles/torus_routing_test.dir/torus_routing_test.cpp.o.d"
+  "torus_routing_test"
+  "torus_routing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torus_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
