@@ -65,13 +65,11 @@ void BoundedDimensionOrderRouter::dx_plan_out(
 }
 
 void BoundedDimensionOrderRouter::dx_plan_in(
-    NodeCtx& ctx, std::span<const PacketDxView> resident,
+    NodeCtx& ctx, std::span<const PacketDxView>,
     std::span<const DxOffer> offers, InPlan& plan) {
-  // Occupancy per inlink queue at the start of the step.
-  std::array<int, kNumDirs> occupancy{0, 0, 0, 0};
-  for (const PacketDxView& v : resident) {
-    if (v.queue < kNumDirs) ++occupancy[v.queue];
-  }
+  // Occupancy per inlink queue at the start of the step, precomputed by
+  // the engine's incremental counters.
+  const std::array<int, kNumDirs>& occupancy = ctx.inlink_occupancy;
   for (std::size_t i = 0; i < offers.size(); ++i) {
     const Dir travel = offers[i].travel_dir;
     const int queue = dir_index(opposite(travel));

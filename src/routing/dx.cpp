@@ -12,6 +12,10 @@ DxAlgorithm::NodeCtx DxAlgorithm::make_ctx(const Engine& e, NodeId u) const {
   ctx.step = e.step();
   ctx.capacity = e.queue_capacity();
   ctx.state = e.node_state(u);
+  if (e.queue_layout() == QueueLayout::PerInlink) {
+    for (int t = 0; t < kNumDirs; ++t)
+      ctx.inlink_occupancy[t] = e.occupancy(u, static_cast<QueueTag>(t));
+  }
   return ctx;
 }
 

@@ -19,6 +19,7 @@
 // exchange-equivariance.
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
@@ -59,6 +60,11 @@ class DxAlgorithm : public Algorithm {
     Step step = 0;             ///< step being executed (0 during init)
     int capacity = 0;          ///< k
     std::uint64_t state = 0;   ///< node state; written back after the call
+    /// Per-inlink queue occupancy at this node (PerInlink layout only;
+    /// all-zero under the central layout). §2-legal: derivable from the
+    /// resident packet views, provided precomputed so policies need not
+    /// rescan the queue.
+    std::array<int, kNumDirs> inlink_occupancy{};
 
     /// True if the outlink in direction d exists from this node.
     bool has_outlink(Dir d) const {

@@ -14,7 +14,7 @@ void FarthestFirstRouter::plan_out(Engine& e, NodeId u, OutPlan& plan) {
   for (PacketId p : e.packets_at(u)) {
     const Packet& pk = e.packet(p);
     Dir d;
-    if (!dimension_order_dir(mesh.profitable_dirs(u, pk.dest), d)) continue;
+    if (!dimension_order_dir(e.profitable_mask(p), d)) continue;
     const Mesh::Delta delta = mesh.delta(u, pk.dest);
     const std::int32_t dist =
         (d == Dir::East || d == Dir::West) ? std::abs(delta.east)

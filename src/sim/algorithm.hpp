@@ -119,6 +119,9 @@ class StepInterceptor {
 class Observer {
  public:
   virtual ~Observer() = default;
+  /// Called once at the end of prepare(): the initial configuration is
+  /// final and source==dest packets have already been delivered (step 0).
+  virtual void on_prepare_end(const Engine&) {}
   virtual void on_step_end(const Engine&) {}
   virtual void on_deliver(const Engine&, const Packet&) {}
   virtual void on_move(const Engine&, const Packet&, NodeId from, NodeId to) {

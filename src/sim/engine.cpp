@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace mr {
 
@@ -29,7 +30,7 @@ Engine::Engine(const Mesh& mesh, Config config, Algorithm& algorithm)
   node_packets_.resize(n);
   node_state_.assign(n, 0);
   is_active_.assign(n, 0);
-  node_touched_.assign(n, 0);
+  if (layout_ == QueueLayout::PerInlink) inlink_occ_.assign(n * kNumDirs, 0);
 }
 
 PacketId Engine::add_packet(NodeId source, NodeId dest, Step injected_at) {
@@ -57,20 +58,16 @@ QueueTag Engine::arrival_tag(Dir travel_dir) const {
   return static_cast<QueueTag>(dir_index(opposite(travel_dir)));
 }
 
-int Engine::occupancy(NodeId u, QueueTag tag) const {
-  MR_REQUIRE(layout_ == QueueLayout::PerInlink);
-  int c = 0;
-  for (PacketId p : node_packets_[u])
-    if (packets_[p].queue == tag) ++c;
-  return c;
-}
-
 void Engine::place_packet(PacketId p, NodeId node, QueueTag tag) {
   Packet& pk = packets_[p];
   pk.location = node;
   pk.queue = tag;
   pk.arrived_at = step_;
-  node_packets_[node].push_back(p);
+  pk.profitable = mesh_.profitable_dirs(node, pk.dest);
+  auto& q = node_packets_[node];
+  pk.slot = static_cast<std::int32_t>(q.size());
+  q.push_back(p);
+  if (layout_ == QueueLayout::PerInlink) ++inlink_occ_[inlink_index(node, tag)];
   if (!is_active_[node]) {
     is_active_[node] = 1;
     active_.push_back(node);
@@ -84,35 +81,53 @@ void Engine::record_occupancy(NodeId u) {
     max_occupancy_seen_ = std::max(max_occupancy_seen_, occupancy(u));
     return;
   }
-  for (QueueTag t = 0; t < kNumDirs; ++t)
-    max_occupancy_seen_ = std::max(max_occupancy_seen_, occupancy(u, t));
+  const std::size_t base = inlink_index(u, 0);
+  for (int t = 0; t < kNumDirs; ++t)
+    max_occupancy_seen_ =
+        std::max(max_occupancy_seen_, static_cast<int>(inlink_occ_[base + t]));
 }
 
 void Engine::remove_from_node(PacketId p) {
   Packet& pk = packets_[p];
   auto& q = node_packets_[pk.location];
-  auto it = std::find(q.begin(), q.end(), p);
-  MR_REQUIRE(it != q.end());
-  q.erase(it);  // preserves arrival order of the remaining packets
+  const auto slot = static_cast<std::size_t>(pk.slot);
+  MR_REQUIRE(slot < q.size() && q[slot] == p);
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(slot));
+  // Erasure preserves arrival order of the remaining packets; reindex the
+  // ones that shifted down.
+  for (std::size_t i = slot; i < q.size(); ++i)
+    packets_[q[i]].slot = static_cast<std::int32_t>(i);
+  if (layout_ == QueueLayout::PerInlink)
+    --inlink_occ_[inlink_index(pk.location, pk.queue)];
+  pk.slot = -1;
+}
+
+void Engine::merge_active() {
+  if (active_sorted_ == active_.size()) return;
+  const auto mid = active_.begin() + static_cast<std::ptrdiff_t>(active_sorted_);
+  std::sort(mid, active_.end());
+  std::inplace_merge(active_.begin(), mid, active_.end());
+  active_sorted_ = active_.size();
 }
 
 void Engine::inject_due_packets() {
   // Re-offer packets that were due earlier but found a full queue, then
   // newly due packets, all in deterministic (id) order.
-  std::vector<PacketId> due;
-  due.swap(waiting_injections_);
+  due_.clear();
+  due_.swap(waiting_injections_);
   while (injection_cursor_ < injections_.size() &&
          injections_[injection_cursor_].first <= step_) {
-    due.push_back(injections_[injection_cursor_].second);
+    due_.push_back(injections_[injection_cursor_].second);
     ++injection_cursor_;
   }
-  if (due.empty()) return;
-  std::sort(due.begin(), due.end());
-  for (PacketId p : due) {
+  if (due_.empty()) return;
+  std::sort(due_.begin(), due_.end());
+  for (PacketId p : due_) {
     Packet& pk = packets_[p];
     if (pk.source == pk.dest) {
       pk.delivered_at = step_;
       ++delivered_count_;
+      ++injected_this_step_;
       for (Observer* ob : observers_) ob->on_deliver(*this, pk);
       continue;
     }
@@ -128,6 +143,7 @@ void Engine::inject_due_packets() {
     }
     place_packet(p, pk.source, tag);
     pk.arrival_inlink = kNoInlink;
+    ++injected_this_step_;
     record_occupancy(pk.source);
   }
 }
@@ -150,11 +166,14 @@ void Engine::prepare() {
   prepared_ = true;
   std::stable_sort(injections_.begin(), injections_.end());
   step_ = 0;
+  injected_this_step_ = 0;
   inject_due_packets();
   // §3: the initial state of nodes/packets may depend on the initial
   // arrangement; the algorithm sets them here.
   algorithm_.init(*this);
   packet_scheduled_.assign(packets_.size(), 0);
+  merge_active();
+  for (Observer* ob : observers_) ob->on_prepare_end(*this);
 }
 
 void Engine::validate_out_plan(NodeId u, const OutPlan& plan) {
@@ -173,8 +192,10 @@ void Engine::validate_out_plan(NodeId u, const OutPlan& plan) {
     MR_REQUIRE_MSG(mesh_.neighbor(u, d) != kInvalidNode,
                    "node " << u << " scheduled packet off the mesh edge");
     if (enforce_minimal_) {
+      // pk.profitable caches profitable_dirs(pk.location, pk.dest) and
+      // pk.location == u was checked above.
       MR_REQUIRE_MSG(
-          mesh_.is_profitable(u, d, pk.dest),
+          mask_has(pk.profitable, d),
           "minimal algorithm scheduled packet "
               << p << " on unprofitable outlink " << dir_name(d) << " at node "
               << u);
@@ -201,12 +222,12 @@ bool Engine::step_once() {
   if (all_delivered()) return false;
   ++step_;
 
+  injected_this_step_ = 0;
   inject_due_packets();
+  merge_active();
 
   // ----- (a) outqueue policies schedule packets -------------------------
   moves_.clear();
-  std::sort(active_.begin(), active_.end());
-  std::fill(packet_scheduled_.begin(), packet_scheduled_.end(), 0);
   for (NodeId u : active_) {
     if (node_packets_[u].empty()) continue;
     out_plan_.clear();
@@ -218,6 +239,9 @@ bool Engine::step_once() {
       moves_.push_back(ScheduledMove{p, u, mesh_.neighbor(u, d), d});
     }
   }
+  // Clear the double-schedule flags set by validate_out_plan: exactly the
+  // scheduled packets, so this is O(moves) instead of O(all packets).
+  for (const ScheduledMove& m : moves_) packet_scheduled_[m.packet] = 0;
 
   // ----- (b) adversary exchanges ----------------------------------------
   if (interceptor_ != nullptr) {
@@ -227,9 +251,10 @@ bool Engine::step_once() {
     if (enforce_minimal_) {
       // Destinations may have changed; every scheduled move must still be
       // minimal, otherwise the exchange rules were applied incorrectly.
+      // (exchange_destinations refreshed the cached masks.)
       for (const ScheduledMove& m : moves_) {
         MR_REQUIRE_MSG(
-            mesh_.is_profitable(m.from, m.dir, packets_[m.packet].dest),
+            mask_has(packets_[m.packet].profitable, m.dir),
             "exchange made scheduled move of packet " << m.packet
                                                       << " non-minimal");
       }
@@ -239,50 +264,56 @@ bool Engine::step_once() {
   // ----- (c) inqueue policies accept/reject ------------------------------
   // Arrivals at the destination are delivered by the model itself (§2) and
   // are not shown to the inqueue policy.
-  offers_.clear();
-  std::vector<const ScheduledMove*> deliveries;
+  deliveries_.clear();
+  for (auto& bucket : dir_offers_) bucket.clear();
   for (const ScheduledMove& m : moves_) {
     const Packet& pk = packets_[m.packet];
     if (pk.dest == m.to) {
-      deliveries.push_back(&m);
+      deliveries_.push_back(&m);
     } else {
-      offers_.push_back(Offer{m.packet, m.from, m.to, m.dir,
-                              mesh_.profitable_dirs(m.from, pk.dest)});
+      dir_offers_[dir_index(m.dir)].push_back(
+          Offer{m.packet, m.from, m.to, m.dir, pk.profitable});
     }
   }
-  std::sort(offers_.begin(), offers_.end(),
-            [](const Offer& a, const Offer& b) {
-              if (a.to != b.to) return a.to < b.to;
-              return dir_index(a.dir) < dir_index(b.dir);
-            });
+  // moves_ is produced in ascending sender order, and for a fixed travel
+  // direction the neighbor map is monotone in the sender, so every bucket
+  // is already sorted by receiving node — except across torus wrap links.
+  if (mesh_.is_torus()) {
+    for (auto& bucket : dir_offers_)
+      std::sort(bucket.begin(), bucket.end(),
+                [](const Offer& a, const Offer& b) { return a.to < b.to; });
+  }
 
   std::int64_t moved_this_step = 0;
-  touched_nodes_.clear();
-  auto touch = [&](NodeId v) {
-    if (!node_touched_[v]) {
-      node_touched_[v] = 1;
-      touched_nodes_.push_back(v);
-    }
-  };
-  for (NodeId u : active_) touch(u);
 
-  // Accepted moves, gathered per target group then applied in phase (d).
-  std::vector<const Offer*> accepted;
-  for (std::size_t i = 0; i < offers_.size();) {
-    std::size_t j = i;
-    while (j < offers_.size() && offers_[j].to == offers_[i].to) ++j;
-    const NodeId v = offers_[i].to;
-    const std::span<const Offer> group(&offers_[i], j - i);
-    in_plan_.reset(group.size());
-    algorithm_.plan_in(*this, v, group, in_plan_);
-    MR_REQUIRE(in_plan_.accept.size() == group.size());
-    for (std::size_t g = 0; g < group.size(); ++g)
-      if (in_plan_.accept[g]) accepted.push_back(&offers_[i + g]);
-    i = j;
+  // 4-way merge of the direction buckets: visits receiving nodes in
+  // ascending order, offers within a node in travel-direction order —
+  // the exact order the old (to, dir) comparison sort produced.
+  accepted_.clear();
+  std::array<std::size_t, kNumDirs> head{};
+  for (;;) {
+    NodeId v = kInvalidNode;
+    for (int d = 0; d < kNumDirs; ++d) {
+      if (head[d] < dir_offers_[d].size()) {
+        const NodeId t = dir_offers_[d][head[d]].to;
+        if (v == kInvalidNode || t < v) v = t;
+      }
+    }
+    if (v == kInvalidNode) break;
+    group_.clear();
+    for (int d = 0; d < kNumDirs; ++d) {
+      if (head[d] < dir_offers_[d].size() && dir_offers_[d][head[d]].to == v)
+        group_.push_back(dir_offers_[d][head[d]++]);
+    }
+    in_plan_.reset(group_.size());
+    algorithm_.plan_in(*this, v, std::span<const Offer>(group_), in_plan_);
+    MR_REQUIRE(in_plan_.accept.size() == group_.size());
+    for (std::size_t g = 0; g < group_.size(); ++g)
+      if (in_plan_.accept[g]) accepted_.push_back(group_[g]);
   }
 
   // ----- (d) transmission -------------------------------------------------
-  for (const ScheduledMove* m : deliveries) {
+  for (const ScheduledMove* m : deliveries_) {
     Packet& pk = packets_[m->packet];
     remove_from_node(pk.id);
     pk.location = kInvalidNode;
@@ -292,30 +323,47 @@ bool Engine::step_once() {
     for (Observer* ob : observers_) ob->on_move(*this, pk, m->from, m->to);
     for (Observer* ob : observers_) ob->on_deliver(*this, pk);
   }
-  for (const Offer* o : accepted) {
-    Packet& pk = packets_[o->packet];
+  for (const Offer& o : accepted_) {
+    Packet& pk = packets_[o.packet];
     const NodeId from = pk.location;
     remove_from_node(pk.id);
-    place_packet(pk.id, o->to, arrival_tag(o->dir));
+    place_packet(pk.id, o.to, arrival_tag(o.dir));
     pk.arrival_inlink =
-        static_cast<std::uint8_t>(dir_index(opposite(o->dir)));
+        static_cast<std::uint8_t>(dir_index(opposite(o.dir)));
     ++moved_this_step;
     ++total_moves_;
-    touch(o->to);
-    for (Observer* ob : observers_) ob->on_move(*this, pk, from, o->to);
+    for (Observer* ob : observers_) ob->on_move(*this, pk, from, o.to);
   }
 
   // No-overflow requirement of §2: check every node that received.
-  for (const Offer* o : accepted) {
-    check_capacity_after_transmit(o->to);
-    record_occupancy(o->to);
+  for (const Offer& o : accepted_) {
+    check_capacity_after_transmit(o.to);
+    record_occupancy(o.to);
   }
 
   // ----- (e) state updates -------------------------------------------------
-  std::sort(touched_nodes_.begin(), touched_nodes_.end());
-  for (NodeId v : touched_nodes_) {
-    algorithm_.update_state(*this, v);
-    node_touched_[v] = 0;
+  // update_state runs in ascending NodeId over every node that held, sent
+  // or received a packet this step: the sorted pre-step active prefix plus
+  // the nodes activated by transmissions (the appended tail, sorted here).
+  // A drained node stays in the prefix until compaction below, so senders
+  // are covered.
+  {
+    const std::size_t mid = active_sorted_;
+    const std::size_t end = active_.size();
+    std::sort(active_.begin() + static_cast<std::ptrdiff_t>(mid),
+              active_.end());
+    std::size_t i = 0, j = mid;
+    while (i < mid || j < end) {
+      NodeId v;
+      if (j >= end || (i < mid && active_[i] < active_[j]))
+        v = active_[i++];
+      else
+        v = active_[j++];
+      algorithm_.update_state(*this, v);
+    }
+    std::inplace_merge(active_.begin(),
+                       active_.begin() + static_cast<std::ptrdiff_t>(mid),
+                       active_.end());
   }
 
   // Compact the active list (nodes that drained drop out).
@@ -328,9 +376,14 @@ bool Engine::step_once() {
                                  return false;
                                }),
                 active_.end());
+  active_sorted_ = active_.size();
 
-  // Stall detection (livelock guard for buggy algorithms).
-  if (moved_this_step == 0 && waiting_injections_.empty() &&
+  // Stall detection (livelock guard for buggy algorithms). A step with no
+  // movement and no successful injection is a stall step even while
+  // packets wait outside the network for a full queue — those can only
+  // enter once something moves. Future-dated injections are exogenous
+  // progress, so they defer the check.
+  if (moved_this_step == 0 && injected_this_step_ == 0 &&
       injection_cursor_ == injections_.size()) {
     ++stall_run_;
     if (config_.stall_limit > 0 && stall_run_ >= config_.stall_limit)
@@ -358,10 +411,11 @@ void Engine::check_capacity_after_transmit(NodeId v) {
                                              << " (step " << step_ << ")");
     return;
   }
-  for (QueueTag t = 0; t < kNumDirs; ++t) {
-    MR_REQUIRE_MSG(occupancy(v, t) <= config_.queue_capacity,
+  const std::size_t base = inlink_index(v, 0);
+  for (int t = 0; t < kNumDirs; ++t) {
+    MR_REQUIRE_MSG(inlink_occ_[base + t] <= config_.queue_capacity,
                    "inlink queue overflow at node "
-                       << v << " queue " << int(t) << " (step " << step_
+                       << v << " queue " << t << " (step " << step_
                        << ")");
   }
 }
@@ -371,6 +425,11 @@ void Engine::exchange_destinations(PacketId a, PacketId b) {
                  "exchange_destinations outside interceptor phase (b)");
   MR_REQUIRE(a != b);
   std::swap(packets_[a].dest, packets_[b].dest);
+  for (PacketId p : {a, b}) {
+    Packet& pk = packets_[p];
+    if (pk.location != kInvalidNode)
+      pk.profitable = mesh_.profitable_dirs(pk.location, pk.dest);
+  }
   ++exchange_count_;
 }
 

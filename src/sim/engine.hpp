@@ -12,6 +12,13 @@
 // Determinism: with a fixed initial configuration and algorithm the engine
 // is bit-reproducible; all iteration orders are by ascending NodeId and
 // travel direction.
+//
+// Per-step cost is O(active nodes + moves): queue occupancy is maintained
+// as incremental counters, packets carry their queue-slot index and cached
+// profitable mask, the active-node list stays sorted by merging newly
+// activated nodes instead of re-sorting, and offers are grouped by
+// receiving node via a 4-way merge of the per-direction move streams
+// instead of a comparison sort.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "core/assert.hpp"
 #include "core/types.hpp"
 #include "sim/algorithm.hpp"
 #include "sim/packet.hpp"
@@ -31,7 +39,12 @@ class Engine {
   struct Config {
     int queue_capacity = 1;  ///< k, packets per queue
     /// Abort run() after this many consecutive steps with no movement, no
-    /// delivery and no injection (0 disables the check).
+    /// delivery and no successful injection while no future-dated
+    /// injection is pending (0 disables the check). Packets waiting
+    /// outside the network for a full source queue do NOT defer the check:
+    /// they can only enter once something moves, so counting those steps
+    /// is what detects a deadlocked network with a non-empty external
+    /// buffer.
     Step stall_limit = 500000;
   };
 
@@ -50,8 +63,8 @@ class Engine {
   void add_observer(Observer* observer);
 
   /// Finalises the initial configuration: injects step-0 packets, delivers
-  /// source==dest packets, calls Algorithm::init. Must be called exactly
-  /// once before stepping.
+  /// source==dest packets, calls Algorithm::init, then notifies observers
+  /// via on_prepare_end. Must be called exactly once before stepping.
   void prepare();
 
   // --- execution --------------------------------------------------------
@@ -81,20 +94,27 @@ class Engine {
   std::span<const PacketId> packets_at(NodeId u) const {
     return node_packets_[u];
   }
+  /// Nodes currently holding at least one packet, ascending by NodeId.
+  /// Valid between steps and inside on_prepare_end / on_step_end.
+  std::span<const NodeId> active_nodes() const { return active_; }
   int occupancy(NodeId u) const {
     return static_cast<int>(node_packets_[u].size());
   }
-  /// Occupancy of one inlink queue (PerInlink layout only).
-  int occupancy(NodeId u, QueueTag tag) const;
+  /// Occupancy of one inlink queue (PerInlink layout only). O(1): read
+  /// from the incrementally maintained counters.
+  int occupancy(NodeId u, QueueTag tag) const {
+    MR_REQUIRE(layout_ == QueueLayout::PerInlink);
+    return inlink_occ_[inlink_index(u, tag)];
+  }
   int capacity_left(NodeId u) const {
     return config_.queue_capacity - occupancy(u);
   }
 
   /// Profitable outlinks of packet p from its current node (§2's only
-  /// destination-derived information).
+  /// destination-derived information). O(1): the mask is cached on the
+  /// packet and refreshed on placement and destination exchange.
   DirMask profitable_mask(PacketId p) const {
-    const Packet& pk = packets_[p];
-    return mesh_.profitable_dirs(pk.location, pk.dest);
+    return packets_[p].profitable;
   }
 
   std::uint64_t node_state(NodeId u) const { return node_state_[u]; }
@@ -133,8 +153,14 @@ class Engine {
   void validate_out_plan(NodeId u, const OutPlan& plan);
   void check_capacity_after_transmit(NodeId v);
   void record_occupancy(NodeId u);
+  /// Sorts the appended tail of active_ and merges it into the sorted
+  /// prefix, restoring the ascending-NodeId invariant.
+  void merge_active();
   QueueTag arrival_tag(Dir travel_dir) const;
   QueueTag injection_queue_tag(PacketId p) const;
+  std::size_t inlink_index(NodeId u, QueueTag tag) const {
+    return static_cast<std::size_t>(u) * kNumDirs + tag;
+  }
 
   Mesh mesh_;
   Config config_;
@@ -146,6 +172,9 @@ class Engine {
   std::vector<Packet> packets_;
   std::vector<std::vector<PacketId>> node_packets_;
   std::vector<std::uint64_t> node_state_;
+  /// PerInlink layout only: occupancy counter per (node, inlink queue),
+  /// updated in place_packet/remove_from_node.
+  std::vector<std::int32_t> inlink_occ_;
 
   // injection buffer: (step, packet) sorted ascending; cursor advances.
   std::vector<std::pair<Step, PacketId>> injections_;
@@ -162,21 +191,32 @@ class Engine {
   Step stall_run_ = 0;
   std::size_t exchange_count_ = 0;
   bool in_interceptor_ = false;
+  /// Packets that entered the network (or were delivered at their source)
+  /// during the current step's injection phase; part of stall detection.
+  std::int64_t injected_this_step_ = 0;
 
   int max_occupancy_seen_ = 0;
   std::int64_t total_moves_ = 0;
 
-  // Nodes currently holding >=1 packet, kept sorted for deterministic
-  // iteration; idle nodes cost nothing per step.
+  // Nodes currently holding >=1 packet. The first active_sorted_ entries
+  // are sorted ascending; place_packet appends newly activated nodes past
+  // that prefix and merge_active() restores the invariant. Idle nodes cost
+  // nothing per step.
   std::vector<NodeId> active_;
+  std::size_t active_sorted_ = 0;
   std::vector<std::uint8_t> is_active_;
 
   // scratch (reused per step, no allocation on the hot path)
   std::vector<ScheduledMove> moves_;
-  std::vector<Offer> offers_;
+  /// Offers bucketed by travel direction. For a fixed direction the mesh
+  /// neighbor map is monotone in the sender, so each bucket is sorted by
+  /// receiving node by construction (torus wrap links excepted).
+  std::vector<Offer> dir_offers_[kNumDirs];
+  std::vector<Offer> group_;
+  std::vector<Offer> accepted_;
+  std::vector<const ScheduledMove*> deliveries_;
+  std::vector<PacketId> due_;
   std::vector<std::uint8_t> packet_scheduled_;
-  std::vector<NodeId> touched_nodes_;
-  std::vector<std::uint8_t> node_touched_;
   OutPlan out_plan_;
   InPlan in_plan_;
 };

@@ -1,17 +1,40 @@
 #include "sim/metrics.hpp"
 
+#include <cmath>
+
 #include "sim/engine.hpp"
 
 namespace mr {
 
-void MetricsObserver::on_step_end(const Engine& e) {
+void MetricsObserver::on_prepare_end(const Engine& e) {
+  (void)e;
+  // Entry for step 0: deliveries that happened during prepare()
+  // (source==dest packets) belong to the curve, not to step 1.
   delivered_by_step_.push_back(delivered_so_far_);
-  if (sample_every_ > 0 && e.step() % sample_every_ == 0) {
-    for (NodeId u = 0; u < e.mesh().num_nodes(); ++u) {
+}
+
+void MetricsObserver::sample_occupancy(const Engine& e) {
+  // Only nodes holding packets can have non-zero occupancy, so sampling is
+  // O(active nodes). Under the per-inlink layout every one of the (up to
+  // four) queues is its own sample; lumping them into a whole-node count
+  // would distort the histogram against the per-queue bound k.
+  const bool per_inlink = e.queue_layout() == QueueLayout::PerInlink;
+  for (NodeId u : e.active_nodes()) {
+    if (per_inlink) {
+      for (QueueTag t = 0; t < kNumDirs; ++t) {
+        const int occ = e.occupancy(u, t);
+        if (occ > 0) occupancy_.add(occ);
+      }
+    } else {
       const int occ = e.occupancy(u);
       if (occ > 0) occupancy_.add(occ);
     }
   }
+}
+
+void MetricsObserver::on_step_end(const Engine& e) {
+  delivered_by_step_.push_back(delivered_so_far_);
+  if (sample_every_ > 0 && e.step() % sample_every_ == 0) sample_occupancy(e);
 }
 
 void MetricsObserver::on_deliver(const Engine& e, const Packet& p) {
@@ -22,11 +45,15 @@ void MetricsObserver::on_deliver(const Engine& e, const Packet& p) {
 
 Step MetricsObserver::completion_step(double fraction,
                                       std::size_t total) const {
+  // Ceiling: "half of 5 delivered" means 3 packets, not 2. The epsilon
+  // guards against fraction*total landing epsilon above an integer.
   const auto target = static_cast<std::int64_t>(
-      fraction * static_cast<double>(total));
+      std::ceil(fraction * static_cast<double>(total) - 1e-9));
   for (std::size_t t = 0; t < delivered_by_step_.size(); ++t)
-    if (delivered_by_step_[t] >= target) return static_cast<Step>(t + 1);
-  return static_cast<Step>(delivered_by_step_.size());
+    if (delivered_by_step_[t] >= target) return static_cast<Step>(t);
+  return delivered_by_step_.empty()
+             ? 0
+             : static_cast<Step>(delivered_by_step_.size() - 1);
 }
 
 }  // namespace mr

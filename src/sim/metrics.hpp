@@ -13,23 +13,29 @@ namespace mr {
 class MetricsObserver : public Observer {
  public:
   /// sample_every: occupancy distribution is sampled on every N-th step
-  /// (it is O(active nodes) to collect).
+  /// (it is O(active nodes) to collect). Under the PerInlink layout each
+  /// non-empty inlink queue is sampled separately.
   explicit MetricsObserver(Step sample_every = 16)
       : sample_every_(sample_every) {}
 
+  void on_prepare_end(const Engine& e) override;
   void on_step_end(const Engine& e) override;
   void on_deliver(const Engine& e, const Packet& p) override;
 
   const Histogram& latency() const { return latency_; }
   const Histogram& occupancy() const { return occupancy_; }
-  /// delivered_by_step()[t] = cumulative deliveries after step t+1.
+  /// delivered_by_step()[t] = cumulative deliveries after step t;
+  /// [0] counts the source==dest packets delivered during prepare().
   const std::vector<std::int64_t>& delivered_by_step() const {
     return delivered_by_step_;
   }
-  /// Step by which the given fraction of packets had been delivered.
+  /// First step by which at least ceil(fraction * total) packets had been
+  /// delivered (0 when prepare()-time deliveries already satisfy it).
   Step completion_step(double fraction, std::size_t total) const;
 
  private:
+  void sample_occupancy(const Engine& e);
+
   Step sample_every_;
   Histogram latency_;
   Histogram occupancy_;

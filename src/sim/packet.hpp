@@ -28,6 +28,12 @@ struct Packet {
   NodeId location = kInvalidNode;  ///< kInvalidNode once delivered
   std::uint64_t state = 0;         ///< algorithm-managed packet state
   QueueTag queue = kCentralQueue;
+  /// Cached profitable_dirs(location, dest); engine-maintained on every
+  /// placement and destination exchange so hot paths never recompute it.
+  DirMask profitable = 0;
+  /// Index of this packet inside its node queue; engine-maintained so
+  /// removal needs no scan. -1 while not queued at any node.
+  std::int32_t slot = -1;
   /// Inlink the packet arrived on (dir_index), or kNoInlink if it was
   /// injected here. DX-legal: the sending node could equally have written
   /// this into the packet state.

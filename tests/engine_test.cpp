@@ -193,6 +193,54 @@ TEST(Engine, InterceptorExchangeSwapsDestinations) {
   EXPECT_EQ(e.exchange_count(), 1u);
 }
 
+/// Pathological router that never schedules or accepts anything — the
+/// whole network is one big deadlock from step 1.
+class FrozenRouter : public Algorithm {
+ public:
+  std::string name() const override { return "frozen"; }
+  void plan_out(Engine&, NodeId, OutPlan&) override {}
+  void plan_in(Engine&, NodeId, std::span<const Offer>,
+               InPlan& plan) override {
+    (void)plan;  // arrives reset: reject all
+  }
+};
+
+TEST(Engine, StallDetectedWithPacketsWaitingOutside) {
+  // Two packets share a source with k=1: the second never enters the
+  // network and sits in the external buffer. A deadlocked network must
+  // still be reported as stalled — packets waiting outside can only enter
+  // once something moves, so they are not progress.
+  const Mesh m = Mesh::square(4);
+  FrozenRouter algo;
+  Engine::Config config = cfg(1);
+  config.stall_limit = 5;
+  Engine e(m, config, algo);
+  e.add_packet(m.id_of(0, 0), m.id_of(3, 0));
+  e.add_packet(m.id_of(0, 0), m.id_of(0, 3));
+  e.prepare();
+  const Step steps = e.run(1000);
+  EXPECT_TRUE(e.stalled());
+  EXPECT_FALSE(e.all_delivered());
+  EXPECT_LE(steps, 6);  // aborted at the stall limit, not the step cap
+}
+
+TEST(Engine, FutureInjectionIsNotAStall) {
+  // An idle network awaiting a future-dated injection is not stalled: the
+  // pending injection is exogenous progress.
+  const Mesh m = Mesh::square(4);
+  DimensionOrderRouter algo;
+  Engine::Config config = cfg(1);
+  config.stall_limit = 10;
+  Engine e(m, config, algo);
+  e.add_packet(m.id_of(0, 0), m.id_of(3, 0), /*injected_at=*/50);
+  e.prepare();
+  e.run(1000);
+  EXPECT_FALSE(e.stalled());
+  EXPECT_TRUE(e.all_delivered());
+  // Enters its queue at the start of step 50, then three hops.
+  EXPECT_EQ(e.packet(0).delivered_at, 52);
+}
+
 TEST(Engine, MetricsLatencyMatchesDeliveredAt) {
   const Mesh m = Mesh::square(8);
   DimensionOrderRouter algo;

@@ -1,0 +1,137 @@
+// Fingerprint-equivalence regression test for the engine hot path.
+//
+// Steps a fixed set of seed workloads under every registered router and
+// compares the per-step fingerprint() sequence against golden values
+// captured before the incremental-bookkeeping refactor. Any change to
+// iteration order (node order, offer grouping, injection order, queue
+// order after removal) shows up as a mismatch here.
+//
+// Regenerate goldens (only when an intentional semantic change is made):
+//   MESHROUTE_REGEN_GOLDENS=1 ./fingerprint_regression_test
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "routing/registry.hpp"
+#include "sim/engine.hpp"
+#include "workload/permutation.hpp"
+
+#ifndef MESHROUTE_GOLDEN_FILE
+#define MESHROUTE_GOLDEN_FILE "engine_fingerprints.txt"
+#endif
+
+namespace mr {
+namespace {
+
+struct Scenario {
+  std::string router;
+  std::int32_t n = 0;
+  bool torus = false;
+  int k = 1;
+  std::uint64_t seed = 0;
+  Step steps = 0;
+
+  std::string key() const {
+    std::ostringstream os;
+    os << router << "/n" << n << (torus ? "t" : "m") << "/k" << k << "/s"
+       << seed;
+    return os.str();
+  }
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> s;
+  for (const std::string& name : algorithm_names()) {
+    s.push_back({name, 12, false, 1, 7, 48});
+    s.push_back({name, 12, false, 2, 8, 48});
+  }
+  // Torus coverage: wrap links break the monotone-neighbor property the
+  // mesh enjoys, so the offer-grouping order needs its own goldens.
+  for (const std::string& name : dx_minimal_algorithm_names())
+    s.push_back({name, 10, true, 2, 9, 48});
+  s.push_back({"bounded-dimension-order", 10, true, 2, 9, 48});
+  return s;
+}
+
+/// Fingerprint after prepare() and after each executed step.
+std::vector<std::uint64_t> trace(const Scenario& sc) {
+  const Mesh mesh = Mesh::square(sc.n, sc.torus);
+  auto algo = make_algorithm(sc.router);
+  Engine::Config config;
+  config.queue_capacity = sc.k;
+  Engine e(mesh, config, *algo);
+  const Workload w = random_permutation(mesh, sc.seed);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    // Stagger a fifth of the injections so the delayed-injection and
+    // queue-full waiting paths are exercised, not just the static case.
+    const Step at = (i % 5 == 0) ? static_cast<Step>(i % 7) : 0;
+    e.add_packet(w[i].source, w[i].dest, at);
+  }
+  // Extra packets at already-used sources force waiting_injections_.
+  for (std::int32_t c = 0; c < 8 && c < sc.n; ++c)
+    e.add_packet(mesh.id_of(c, 0), mesh.id_of(sc.n - 1, sc.n - 1),
+                 /*injected_at=*/2);
+  e.prepare();
+  std::vector<std::uint64_t> out;
+  out.push_back(e.fingerprint());
+  for (Step t = 0; t < sc.steps && !e.all_delivered(); ++t) {
+    e.step_once();
+    out.push_back(e.fingerprint());
+  }
+  return out;
+}
+
+std::map<std::string, std::vector<std::uint64_t>> load_goldens() {
+  std::map<std::string, std::vector<std::uint64_t>> goldens;
+  std::ifstream in(MESHROUTE_GOLDEN_FILE);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string key;
+    is >> key;
+    std::vector<std::uint64_t> fps;
+    std::string hex;
+    while (is >> hex) fps.push_back(std::stoull(hex, nullptr, 16));
+    goldens[key] = std::move(fps);
+  }
+  return goldens;
+}
+
+TEST(FingerprintRegression, AllRoutersMatchGoldens) {
+  if (std::getenv("MESHROUTE_REGEN_GOLDENS") != nullptr) {
+    std::ofstream out(MESHROUTE_GOLDEN_FILE);
+    ASSERT_TRUE(out.good()) << "cannot write " << MESHROUTE_GOLDEN_FILE;
+    out << "# per-step engine fingerprints; format: key fp0 fp1 ... (hex)\n"
+        << "# fp0 is the post-prepare() configuration.\n";
+    for (const Scenario& sc : scenarios()) {
+      out << sc.key() << std::hex;
+      for (std::uint64_t fp : trace(sc)) out << ' ' << fp;
+      out << std::dec << '\n';
+    }
+    GTEST_SKIP() << "goldens regenerated at " << MESHROUTE_GOLDEN_FILE;
+  }
+
+  const auto goldens = load_goldens();
+  ASSERT_FALSE(goldens.empty())
+      << "no goldens at " << MESHROUTE_GOLDEN_FILE
+      << " — run once with MESHROUTE_REGEN_GOLDENS=1";
+  for (const Scenario& sc : scenarios()) {
+    const auto it = goldens.find(sc.key());
+    ASSERT_NE(it, goldens.end()) << "no golden for " << sc.key();
+    const std::vector<std::uint64_t> got = trace(sc);
+    ASSERT_EQ(got.size(), it->second.size()) << sc.key();
+    for (std::size_t t = 0; t < got.size(); ++t)
+      ASSERT_EQ(got[t], it->second[t])
+          << sc.key() << " diverges at step " << t;
+  }
+}
+
+}  // namespace
+}  // namespace mr

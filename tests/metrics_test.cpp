@@ -50,6 +50,72 @@ TEST(Metrics, CompletionStepMatchesCurve) {
   EXPECT_GE(metrics.completion_step(0.5, w.size()), 1);
 }
 
+TEST(Metrics, CompletionStepUsesCeiling) {
+  const Mesh mesh = Mesh::square(8);
+  auto algo = make_algorithm("dimension-order");
+  Engine::Config config;
+  config.queue_capacity = 4;
+  Engine e(mesh, config, *algo);
+  // Five uncontended packets in distinct rows, delivered at steps 1..5.
+  for (std::int32_t r = 0; r < 5; ++r)
+    e.add_packet(mesh.id_of(0, r), mesh.id_of(r + 1, r));
+  MetricsObserver metrics;
+  e.add_observer(&metrics);
+  e.prepare();
+  e.run(100);
+  ASSERT_TRUE(e.all_delivered());
+  // "Half of 5" is 3 packets (ceiling), first reached after step 3. A
+  // truncating implementation would report step 2.
+  EXPECT_EQ(metrics.completion_step(0.5, 5), 3);
+  EXPECT_EQ(metrics.completion_step(0.4, 5), 2);  // ceil(2.0) = 2 exactly
+  EXPECT_EQ(metrics.completion_step(1.0, 5), 5);
+}
+
+TEST(Metrics, PrepareTimeDeliveriesCountAtStepZero) {
+  const Mesh mesh = Mesh::square(4);
+  auto algo = make_algorithm("dimension-order");
+  Engine::Config config;
+  config.queue_capacity = 2;
+  Engine e(mesh, config, *algo);
+  // Two source==dest packets deliver during prepare(), one travels.
+  e.add_packet(mesh.id_of(1, 1), mesh.id_of(1, 1));
+  e.add_packet(mesh.id_of(2, 2), mesh.id_of(2, 2));
+  e.add_packet(mesh.id_of(0, 0), mesh.id_of(2, 0));
+  MetricsObserver metrics;
+  e.add_observer(&metrics);
+  e.prepare();
+  e.run(100);
+  ASSERT_TRUE(e.all_delivered());
+  const auto& curve = metrics.delivered_by_step();
+  ASSERT_GE(curve.size(), 3u);
+  EXPECT_EQ(curve[0], 2);  // delivered before step 1
+  EXPECT_EQ(curve.back(), 3);
+  // Two thirds of the demand was already met at prepare time.
+  EXPECT_EQ(metrics.completion_step(2.0 / 3.0, 3), 0);
+  EXPECT_EQ(metrics.completion_step(1.0, 3), 2);
+}
+
+TEST(Metrics, PerInlinkOccupancySamplesEachQueueSeparately) {
+  const Mesh mesh = Mesh::square(4);
+  auto algo = make_algorithm("bounded-dimension-order");
+  ASSERT_EQ(algo->queue_layout(), QueueLayout::PerInlink);
+  Engine::Config config;
+  config.queue_capacity = 2;
+  Engine e(mesh, config, *algo);
+  // Both packets pass through (1,1) on step 1 — one arriving on the west
+  // inlink, one on the south inlink. Each per-inlink queue holds one
+  // packet; a layout-blind sampler would lump them into a sample of 2.
+  e.add_packet(mesh.id_of(0, 1), mesh.id_of(3, 1));
+  e.add_packet(mesh.id_of(1, 0), mesh.id_of(1, 3));
+  MetricsObserver metrics(/*sample_every=*/1);
+  e.add_observer(&metrics);
+  e.prepare();
+  e.run(100);
+  ASSERT_TRUE(e.all_delivered());
+  EXPECT_GT(metrics.occupancy().total(), 0);
+  EXPECT_EQ(metrics.occupancy().max(), 1);
+}
+
 TEST(Metrics, LatencyDistributionMatchesPackets) {
   const Mesh mesh = Mesh::square(8);
   auto algo = make_algorithm("dimension-order");
