@@ -7,53 +7,62 @@
 //   certified  = ⌊l⌋·dn   (the proven lower bound, Theorem 13),
 //   measured   = steps the router actually needs to deliver everything,
 //   certified·k²/n² and measured·k²/n² — flat columns ⟹ Ω(n²/k²) growth.
-#include "bench_util.hpp"
 #include "lower_bound/main_construction.hpp"
 #include "routing/registry.hpp"
+#include "scenarios.hpp"
 
-int main() {
-  using namespace mr;
-  bench::header("E01", "main lower bound, DX minimal adaptive routers",
-                "Theorem 14, §3–§4");
+namespace mr::scenarios {
 
-  std::vector<std::pair<int, int>> sizes;  // (n, k)
-  sizes = {{60, 1}, {120, 1}, {216, 1}, {120, 2}, {216, 2}, {216, 3}};
-  if (bench::scale() == bench::Scale::Small) sizes = {{60, 1}, {120, 1}};
-  if (bench::scale() == bench::Scale::Large) {
-    sizes.push_back({432, 1});
-    sizes.push_back({432, 2});
-  }
-
-  Table table({"algorithm", "n", "k", "classes", "exchanges", "certified",
-               "measured", "cert*k^2/n^2", "meas*k^2/n^2", "replay ok"});
-  for (const std::string& algorithm : dx_minimal_algorithm_names()) {
-    for (const auto& [n, k] : sizes) {
-      const MainLbParams par = main_lb_params(n, k);
-      if (!par.valid) continue;
-      const Mesh mesh = Mesh::square(n);
-      MainConstruction construction(mesh, par);
-      const auto r = construction.verify_replay(algorithm, k);
-      const double n2k2 = double(n) * n / (double(k) * k);
-      table.row()
-          .add(algorithm)
-          .add(n)
-          .add(k)
-          .add(par.classes)
-          .add(std::uint64_t(r.construction.exchanges))
-          .add(par.certified_steps)
-          .add(r.replay_total_steps)
-          .add(double(par.certified_steps) / n2k2, 4)
-          .add(double(r.replay_total_steps) / n2k2, 4)
-          .add(r.stepwise_match && r.final_match &&
-                       r.undelivered_at_certified >= 1
-                   ? "yes"
-                   : "NO");
+void register_e01(ScenarioRegistry& registry) {
+  ScenarioSpec spec;
+  spec.id = "E01";
+  spec.label = "main-lower-bound";
+  spec.title = "main lower bound, DX minimal adaptive routers";
+  spec.paper_ref = "Theorem 14, §3–§4";
+  spec.body = [](ScenarioReport& ctx) {
+    std::vector<std::pair<int, int>> sizes;  // (n, k)
+    sizes = {{60, 1}, {120, 1}, {216, 1}, {120, 2}, {216, 2}, {216, 3}};
+    if (ctx.scale() == Scale::Small) sizes = {{60, 1}, {120, 1}};
+    if (ctx.scale() == Scale::Large) {
+      sizes.push_back({432, 1});
+      sizes.push_back({432, 2});
     }
-  }
-  bench::print(table);
-  bench::note(
-      "certified*k^2/n^2 staying bounded away from 0 as n grows is the "
-      "Omega(n^2/k^2) signature; 'replay ok' asserts Lemma 12 equivalence "
-      "and Theorem 13's undelivered packet.");
-  return 0;
+
+    Table table({"algorithm", "n", "k", "classes", "exchanges", "certified",
+                 "measured", "cert*k^2/n^2", "meas*k^2/n^2", "replay ok"});
+    bool all_ok = true;
+    for (const std::string& algorithm : dx_minimal_algorithm_names()) {
+      for (const auto& [n, k] : sizes) {
+        const MainLbParams par = main_lb_params(n, k);
+        if (!par.valid) continue;
+        const Mesh mesh = Mesh::square(n);
+        MainConstruction construction(mesh, par);
+        const auto r = construction.verify_replay(algorithm, k);
+        const double n2k2 = double(n) * n / (double(k) * k);
+        const bool ok = r.stepwise_match && r.final_match &&
+                        r.undelivered_at_certified >= 1;
+        all_ok = all_ok && ok;
+        table.row()
+            .add(algorithm)
+            .add(n)
+            .add(k)
+            .add(par.classes)
+            .add(std::uint64_t(r.construction.exchanges))
+            .add(par.certified_steps)
+            .add(r.replay_total_steps)
+            .add(double(par.certified_steps) / n2k2, 4)
+            .add(double(r.replay_total_steps) / n2k2, 4)
+            .add(ok ? "yes" : "NO");
+      }
+    }
+    ctx.table(table);
+    ctx.note(
+        "certified*k^2/n^2 staying bounded away from 0 as n grows is the "
+        "Omega(n^2/k^2) signature; 'replay ok' asserts Lemma 12 equivalence "
+        "and Theorem 13's undelivered packet.");
+    ctx.check("lemma12-replay-and-theorem13-undelivered", all_ok);
+  };
+  registry.add(std::move(spec));
 }
+
+}  // namespace mr::scenarios

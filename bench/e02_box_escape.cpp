@@ -6,16 +6,16 @@
 // step, so ≤ dn over the window), and after it closes (unconstrained).
 // Also reports the Corollary 9 census of class-⌊l⌋ packets still confined
 // at step ⌊l⌋·dn.
+#include <algorithm>
 #include <vector>
 
-#include "bench_util.hpp"
 #include "lower_bound/main_construction.hpp"
 #include "routing/registry.hpp"
+#include "scenarios.hpp"
 #include "sim/engine.hpp"
 
+namespace mr::scenarios {
 namespace {
-
-using namespace mr;
 
 struct EscapeTally : Observer {
   const MainGeometry* geo = nullptr;
@@ -64,47 +64,63 @@ struct EscapeTally : Observer {
 
 }  // namespace
 
-int main() {
-  using namespace mr;
-  bench::header("E02", "i-box escape discipline during the construction",
-                "Lemmas 1-8, Figure 2");
+void register_e02(ScenarioRegistry& registry) {
+  ScenarioSpec spec;
+  spec.id = "E02";
+  spec.label = "box-escape";
+  spec.title = "i-box escape discipline during the construction";
+  spec.paper_ref = "Lemmas 1-8, Figure 2";
+  spec.body = [](ScenarioReport& ctx) {
+    const int n = ctx.scale() == Scale::Small ? 120 : 216;
+    const int k = 1;
+    const MainLbParams par = main_lb_params(n, k);
+    const Mesh mesh = Mesh::square(n);
 
-  const int n = bench::scale() == bench::Scale::Small ? 120 : 216;
-  const int k = 1;
-  const MainLbParams par = main_lb_params(n, k);
-  const Mesh mesh = Mesh::square(n);
+    bool no_early_escapes = true;
+    bool one_escape_per_step = true;
+    bool corollary9_floor = true;
+    for (const std::string& algorithm : dx_minimal_algorithm_names()) {
+      MainConstruction construction(mesh, par);
+      EscapeTally tally(construction.geometry(), par.dn);
+      const auto result = construction.run_construction(algorithm, k, &tally);
 
-  for (const std::string& algorithm : dx_minimal_algorithm_names()) {
-    MainConstruction construction(mesh, par);
-    EscapeTally tally(construction.geometry(), par.dn);
-    const auto result = construction.run_construction(algorithm, k, &tally);
+      ctx.note("### algorithm: " + algorithm + "  (n=" + std::to_string(n) +
+               ", k=" + std::to_string(k) +
+               ", dn=" + std::to_string(par.dn) + ")");
+      Table table({"class i", "escapes before window (Lemma 1: 0)",
+                   "N_i escapes in window (<= dn)",
+                   "E_i escapes in window (<= dn)", "escapes after window"});
+      for (std::int64_t i = 1; i <= par.classes; ++i) {
+        table.row()
+            .add(i)
+            .add(tally.early[i])
+            .add(tally.in_window_n[i])
+            .add(tally.in_window_e[i])
+            .add(tally.late[i]);
+        no_early_escapes = no_early_escapes && tally.early[i] == 0;
+      }
+      ctx.table(table);
 
-    bench::note("### algorithm: " + algorithm + "  (n=" + std::to_string(n) +
-                ", k=" + std::to_string(k) +
-                ", dn=" + std::to_string(par.dn) + ")");
-    Table table({"class i", "escapes before window (Lemma 1: 0)",
-                 "N_i escapes in window (<= dn)",
-                 "E_i escapes in window (<= dn)", "escapes after window"});
-    for (std::int64_t i = 1; i <= par.classes; ++i) {
-      table.row()
-          .add(i)
-          .add(tally.early[i])
-          .add(tally.in_window_n[i])
-          .add(tally.in_window_e[i])
-          .add(tally.late[i]);
+      Table summary({"max escapes/step/type (Lemma 2: 1)", "exchanges",
+                     "class-l packets still boxed", "Cor.9 floor 2(p-dn)",
+                     "undelivered at l*dn"});
+      summary.row()
+          .add(tally.max_per_step)
+          .add(std::uint64_t(result.exchanges))
+          .add(result.last_class_in_box)
+          .add(2 * (par.p - par.dn))
+          .add(std::uint64_t(result.undelivered));
+      ctx.table(summary);
+      one_escape_per_step = one_escape_per_step && tally.max_per_step <= 1;
+      corollary9_floor = corollary9_floor &&
+                         result.last_class_in_box >= 2 * (par.p - par.dn);
     }
-    bench::print(table);
-
-    Table summary({"max escapes/step/type (Lemma 2: 1)", "exchanges",
-                   "class-l packets still boxed", "Cor.9 floor 2(p-dn)",
-                   "undelivered at l*dn"});
-    summary.row()
-        .add(tally.max_per_step)
-        .add(std::uint64_t(result.exchanges))
-        .add(result.last_class_in_box)
-        .add(2 * (par.p - par.dn))
-        .add(std::uint64_t(result.undelivered));
-    bench::print(summary);
-  }
-  return 0;
+    ctx.check("lemma1-no-escapes-before-window", no_early_escapes);
+    ctx.check("lemma2-at-most-one-escape-per-step-per-type",
+              one_escape_per_step);
+    ctx.check("corollary9-confined-census-floor", corollary9_floor);
+  };
+  registry.add(std::move(spec));
 }
+
+}  // namespace mr::scenarios

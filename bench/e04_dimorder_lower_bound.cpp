@@ -5,54 +5,63 @@
 //
 // measured·k/n² staying bounded away from 0 as n grows is the Ω(n²/k)
 // signature; paired with E08 this exhibits the paper's tight Θ(n²/k).
-#include "bench_util.hpp"
 #include "lower_bound/dim_order_construction.hpp"
 #include "routing/registry.hpp"
+#include "scenarios.hpp"
 
-int main() {
-  using namespace mr;
-  bench::header("E04", "dimension-order lower bound",
-                "§5 'Dimension Order Routing', Figure 4 (left)");
+namespace mr::scenarios {
 
-  std::vector<std::pair<int, int>> sizes = {{60, 1}, {120, 1}, {216, 1},
-                                            {120, 2}, {216, 2}, {216, 4}};
-  if (bench::scale() == bench::Scale::Small) sizes = {{60, 1}, {120, 1}};
-  if (bench::scale() == bench::Scale::Large) sizes.push_back({432, 1});
+void register_e04(ScenarioRegistry& registry) {
+  ScenarioSpec spec;
+  spec.id = "E04";
+  spec.label = "dimorder-lower-bound";
+  spec.title = "dimension-order lower bound";
+  spec.paper_ref = "§5 'Dimension Order Routing', Figure 4 (left)";
+  spec.body = [](ScenarioReport& ctx) {
+    std::vector<std::pair<int, int>> sizes = {{60, 1}, {120, 1}, {216, 1},
+                                              {120, 2}, {216, 2}, {216, 4}};
+    if (ctx.scale() == Scale::Small) sizes = {{60, 1}, {120, 1}};
+    if (ctx.scale() == Scale::Large) sizes.push_back({432, 1});
 
-  Table table({"router", "n", "k", "k_model", "classes", "certified",
-               "measured", "cert*k/n^2", "meas*k/n^2", "replay ok"});
+    Table table({"router", "n", "k", "k_model", "classes", "certified",
+                 "measured", "cert*k/n^2", "meas*k/n^2", "replay ok"});
 
-  struct Case {
-    std::string router;
-    int model_factor;  // per-node buffering per unit of k
-  };
-  const std::vector<Case> cases = {{"dimension-order", 1},
-                                   {"bounded-dimension-order", 4}};
-  for (const Case& c : cases) {
-    for (const auto& [n, k] : sizes) {
-      const int k_model = c.model_factor * k;
-      const DimOrderLbParams par = dim_order_lb_params(n, k_model);
-      if (!par.valid) continue;
-      const Mesh mesh = Mesh::square(n);
-      DimOrderConstruction construction(mesh, par);
-      const auto r = construction.verify_replay(c.router, k);
-      const double n2k = double(n) * n / double(k);
-      table.row()
-          .add(c.router)
-          .add(n)
-          .add(k)
-          .add(k_model)
-          .add(par.classes)
-          .add(par.certified_steps)
-          .add(r.replay_total_steps)
-          .add(double(par.certified_steps) / n2k, 4)
-          .add(double(r.replay_total_steps) / n2k, 4)
-          .add(r.stepwise_match && r.final_match &&
-                       r.undelivered_at_certified >= 1
-                   ? "yes"
-                   : "NO");
+    struct Case {
+      std::string router;
+      int model_factor;  // per-node buffering per unit of k
+    };
+    const std::vector<Case> cases = {{"dimension-order", 1},
+                                     {"bounded-dimension-order", 4}};
+    bool all_ok = true;
+    for (const Case& c : cases) {
+      for (const auto& [n, k] : sizes) {
+        const int k_model = c.model_factor * k;
+        const DimOrderLbParams par = dim_order_lb_params(n, k_model);
+        if (!par.valid) continue;
+        const Mesh mesh = Mesh::square(n);
+        DimOrderConstruction construction(mesh, par);
+        const auto r = construction.verify_replay(c.router, k);
+        const double n2k = double(n) * n / double(k);
+        const bool ok = r.stepwise_match && r.final_match &&
+                        r.undelivered_at_certified >= 1;
+        all_ok = all_ok && ok;
+        table.row()
+            .add(c.router)
+            .add(n)
+            .add(k)
+            .add(k_model)
+            .add(par.classes)
+            .add(par.certified_steps)
+            .add(r.replay_total_steps)
+            .add(double(par.certified_steps) / n2k, 4)
+            .add(double(r.replay_total_steps) / n2k, 4)
+            .add(ok ? "yes" : "NO");
+      }
     }
-  }
-  bench::print(table);
-  return 0;
+    ctx.table(table);
+    ctx.check("lemma12-replay-and-undelivered-packet", all_ok);
+  };
+  registry.add(std::move(spec));
 }
+
+}  // namespace mr::scenarios

@@ -1,41 +1,50 @@
 // E06 — §5 "The Torus": the main construction applied to a contiguous
 // (n/2)×(n/2) submesh of the n×n torus still yields Ω(n²/k²) (wrap links
 // offer no shortcut for traffic confined to a quadrant).
-#include "bench_util.hpp"
 #include "lower_bound/main_construction.hpp"
 #include "routing/registry.hpp"
+#include "scenarios.hpp"
 
-int main() {
-  using namespace mr;
-  bench::header("E06", "torus embedding of the main lower bound",
-                "§5 'The Torus'");
+namespace mr::scenarios {
 
-  std::vector<std::pair<int, int>> sizes = {{60, 1}, {120, 1}, {216, 1}};
-  if (bench::scale() == bench::Scale::Small) sizes = {{60, 1}};
+void register_e06(ScenarioRegistry& registry) {
+  ScenarioSpec spec;
+  spec.id = "E06";
+  spec.label = "torus-lb";
+  spec.title = "torus embedding of the main lower bound";
+  spec.paper_ref = "§5 'The Torus'";
+  spec.body = [](ScenarioReport& ctx) {
+    std::vector<std::pair<int, int>> sizes = {{60, 1}, {120, 1}, {216, 1}};
+    if (ctx.scale() == Scale::Small) sizes = {{60, 1}};
 
-  Table table({"algorithm", "torus", "submesh m", "k", "certified",
-               "measured", "cert*k^2/m^2", "replay ok"});
-  for (const std::string& algorithm : dx_minimal_algorithm_names()) {
-    for (const auto& [m, k] : sizes) {
-      const MainLbParams par = main_lb_params(m, k);
-      if (!par.valid) continue;
-      const Mesh torus = Mesh::square(2 * m, /*torus=*/true);
-      MainConstruction construction(torus, par);
-      const auto r = construction.verify_replay(algorithm, k);
-      table.row()
-          .add(algorithm)
-          .add(std::to_string(2 * m) + "x" + std::to_string(2 * m))
-          .add(m)
-          .add(k)
-          .add(par.certified_steps)
-          .add(r.replay_total_steps)
-          .add(double(par.certified_steps) * k * k / (double(m) * m), 4)
-          .add(r.stepwise_match && r.final_match &&
-                       r.undelivered_at_certified >= 1
-                   ? "yes"
-                   : "NO");
+    Table table({"algorithm", "torus", "submesh m", "k", "certified",
+                 "measured", "cert*k^2/m^2", "replay ok"});
+    bool all_ok = true;
+    for (const std::string& algorithm : dx_minimal_algorithm_names()) {
+      for (const auto& [m, k] : sizes) {
+        const MainLbParams par = main_lb_params(m, k);
+        if (!par.valid) continue;
+        const Mesh torus = Mesh::square(2 * m, /*torus=*/true);
+        MainConstruction construction(torus, par);
+        const auto r = construction.verify_replay(algorithm, k);
+        const bool ok = r.stepwise_match && r.final_match &&
+                        r.undelivered_at_certified >= 1;
+        all_ok = all_ok && ok;
+        table.row()
+            .add(algorithm)
+            .add(std::to_string(2 * m) + "x" + std::to_string(2 * m))
+            .add(m)
+            .add(k)
+            .add(par.certified_steps)
+            .add(r.replay_total_steps)
+            .add(double(par.certified_steps) * k * k / (double(m) * m), 4)
+            .add(ok ? "yes" : "NO");
+      }
     }
-  }
-  bench::print(table);
-  return 0;
+    ctx.table(table);
+    ctx.check("lemma12-replay-on-torus-quadrant", all_ok);
+  };
+  registry.add(std::move(spec));
 }
+
+}  // namespace mr::scenarios

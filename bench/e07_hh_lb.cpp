@@ -1,46 +1,56 @@
 // E07 — §5 "h-h Routing Problems": the Ω(h³n²/(k+h)²) extension. Each
 // 1-box node originates h packets; when h > k the surplus waits outside
 // the network and is injected as space frees (the §5 dynamic setting).
-#include "bench_util.hpp"
 #include "lower_bound/main_construction.hpp"
 #include "routing/registry.hpp"
+#include "scenarios.hpp"
 
-int main() {
-  using namespace mr;
-  bench::header("E07", "h-h routing lower bound", "§5 'h-h Routing Problems'");
+namespace mr::scenarios {
 
-  const int n = bench::scale() == bench::Scale::Small ? 120 : 216;
-  std::vector<std::pair<int, int>> cases = {{1, 2}, {1, 3}, {1, 4},
-                                            {2, 2}, {2, 4}};  // (k, h)
-  if (n >= 216) cases.insert(cases.begin(), {1, 1});
+void register_e07(ScenarioRegistry& registry) {
+  ScenarioSpec spec;
+  spec.id = "E07";
+  spec.label = "hh-lb";
+  spec.title = "h-h routing lower bound";
+  spec.paper_ref = "§5 'h-h Routing Problems'";
+  spec.body = [](ScenarioReport& ctx) {
+    const int n = ctx.scale() == Scale::Small ? 120 : 216;
+    std::vector<std::pair<int, int>> cases = {{1, 2}, {1, 3}, {1, 4},
+                                              {2, 2}, {2, 4}};  // (k, h)
+    if (n >= 216) cases.insert(cases.begin(), {1, 1});
 
-  Table table({"n", "k", "h", "classes", "certified", "measured",
-               "cert*(k+h)^2/(h^3 n^2)", "replay ok"});
-  for (const auto& [k, h] : cases) {
-    const HhLbParams par = hh_lb_params(n, k, h);
-    if (!par.valid) continue;
-    const Mesh mesh = Mesh::square(n);
-    MainConstruction construction(mesh, par);
-    const auto r = construction.verify_replay("dimension-order", k);
-    const double scale_factor =
-        double(h) * h * h * double(n) * n / ((double(k) + h) * (k + h));
-    table.row()
-        .add(n)
-        .add(k)
-        .add(h)
-        .add(par.classes)
-        .add(par.certified_steps)
-        .add(r.replay_total_steps)
-        .add(double(par.certified_steps) / scale_factor, 5)
-        .add(r.stepwise_match && r.final_match &&
-                     r.undelivered_at_certified >= 1
-                 ? "yes"
-                 : "NO");
-  }
-  bench::print(table);
-  bench::note(
-      "The normalised column staying roughly flat across h tracks the "
-      "Omega(h^3 n^2/(k+h)^2) shape; h > k rows exercise dynamic "
-      "injection (packets wait outside the network for queue space).");
-  return 0;
+    Table table({"n", "k", "h", "classes", "certified", "measured",
+                 "cert*(k+h)^2/(h^3 n^2)", "replay ok"});
+    bool all_ok = true;
+    for (const auto& [k, h] : cases) {
+      const HhLbParams par = hh_lb_params(n, k, h);
+      if (!par.valid) continue;
+      const Mesh mesh = Mesh::square(n);
+      MainConstruction construction(mesh, par);
+      const auto r = construction.verify_replay("dimension-order", k);
+      const double scale_factor =
+          double(h) * h * h * double(n) * n / ((double(k) + h) * (k + h));
+      const bool ok = r.stepwise_match && r.final_match &&
+                      r.undelivered_at_certified >= 1;
+      all_ok = all_ok && ok;
+      table.row()
+          .add(n)
+          .add(k)
+          .add(h)
+          .add(par.classes)
+          .add(par.certified_steps)
+          .add(r.replay_total_steps)
+          .add(double(par.certified_steps) / scale_factor, 5)
+          .add(ok ? "yes" : "NO");
+    }
+    ctx.table(table);
+    ctx.note(
+        "The normalised column staying roughly flat across h tracks the "
+        "Omega(h^3 n^2/(k+h)^2) shape; h > k rows exercise dynamic "
+        "injection (packets wait outside the network for queue space).");
+    ctx.check("lemma12-replay-with-dynamic-injection", all_ok);
+  };
+  registry.add(std::move(spec));
 }
+
+}  // namespace mr::scenarios

@@ -7,26 +7,25 @@
 //
 // For contrast, the Theorem 15 router (Θ(n²/k)) runs the same workloads:
 // the linear-vs-quadratic crossover is the paper's headline trade-off.
-#include "bench_util.hpp"
 #include "fastroute/bounds.hpp"
 #include "fastroute/fastroute.hpp"
 #include "harness/runner.hpp"
+#include "scenarios.hpp"
 #include "sim/engine.hpp"
 #include "workload/permutation.hpp"
 
+namespace mr::scenarios {
 namespace {
 
-using namespace mr;
-
-struct Row {
+struct FastRow {
   Step steps = 0;
   int max_queue = 0;
   bool delivered = false;
   Step schedule = 0;
 };
 
-Row run_fast(std::int32_t n, const Workload& w,
-             FastRouteAlgorithm::Options options) {
+FastRow run_fast(std::int32_t n, const Workload& w,
+                 FastRouteAlgorithm::Options options) {
   const Mesh mesh = Mesh::square(n);
   FastRouteAlgorithm algo(options);
   Engine::Config config;
@@ -35,7 +34,7 @@ Row run_fast(std::int32_t n, const Workload& w,
   Engine e(mesh, config, algo);
   for (const Demand& d : w) e.add_packet(d.source, d.dest, d.injected_at);
   e.prepare();
-  Row r;
+  FastRow r;
   r.schedule = algo.schedule_length();
   r.steps = e.run(algo.schedule_length() + 1);
   r.delivered = e.all_delivered();
@@ -45,74 +44,91 @@ Row run_fast(std::int32_t n, const Workload& w,
 
 }  // namespace
 
-int main() {
-  using namespace mr;
-  bench::header("E09", "O(n)-time, O(1)-queue minimal adaptive routing",
-                "Theorem 34, §6");
+void register_e09(ScenarioRegistry& registry) {
+  ScenarioSpec spec;
+  spec.id = "E09";
+  spec.label = "fastroute-linear";
+  spec.title = "O(n)-time, O(1)-queue minimal adaptive routing";
+  spec.paper_ref = "Theorem 34, §6";
+  spec.body = [](ScenarioReport& ctx) {
+    std::vector<std::int32_t> ns = {27, 81};
+    if (ctx.scale() == Scale::Small) ns = {27};
+    if (ctx.scale() == Scale::Large) ns.push_back(243);
 
-  std::vector<std::int32_t> ns = {27, 81};
-  if (bench::scale() == bench::Scale::Small) ns = {27};
-  if (bench::scale() == bench::Scale::Large) ns.push_back(243);
-
-  Table table({"n", "workload", "variant", "steps", "steps/n",
-               "bound steps/n", "max queue", "queue bound", "delivered"});
-  for (const std::int32_t n : ns) {
-    const Mesh mesh = Mesh::square(n);
-    const std::vector<std::pair<std::string, Workload>> workloads = {
-        {"random permutation", random_permutation(mesh, 21)},
-        {"transpose", transpose(mesh)},
-        {"mirror", mirror(mesh)},
-    };
-    for (const auto& [name, w] : workloads) {
-      const Row base =
-          run_fast(n, w, FastRouteAlgorithm::Options::baseline());
+    Table table({"n", "workload", "variant", "steps", "steps/n",
+                 "bound steps/n", "max queue", "queue bound", "delivered"});
+    bool all_delivered = true;
+    bool within_bounds = true;
+    for (const std::int32_t n : ns) {
+      const Mesh mesh = Mesh::square(n);
+      const std::vector<std::pair<std::string, Workload>> workloads = {
+          {"random permutation", random_permutation(mesh, 21)},
+          {"transpose", transpose(mesh)},
+          {"mirror", mirror(mesh)},
+      };
+      for (const auto& [name, w] : workloads) {
+        const FastRow base =
+            run_fast(n, w, FastRouteAlgorithm::Options::baseline());
+        all_delivered = all_delivered && base.delivered;
+        within_bounds = within_bounds && base.steps <= Step(972) * n &&
+                        base.max_queue <= 834;
+        table.row()
+            .add(std::int64_t(n))
+            .add(name)
+            .add("q=408")
+            .add(base.steps)
+            .add(double(base.steps) / n, 1)
+            .add(std::int64_t(972))
+            .add(std::int64_t(base.max_queue))
+            .add(std::int64_t(834))
+            .add(base.delivered ? "yes" : "NO");
+        const FastRow improved =
+            run_fast(n, w, FastRouteAlgorithm::Options::improved());
+        all_delivered = all_delivered && improved.delivered;
+        within_bounds = within_bounds && improved.steps <= Step(564) * n &&
+                        improved.max_queue <= 834;
+        table.row()
+            .add(std::int64_t(n))
+            .add(name)
+            .add("improved")
+            .add(improved.steps)
+            .add(double(improved.steps) / n, 1)
+            .add(std::int64_t(564))
+            .add(std::int64_t(improved.max_queue))
+            .add(std::int64_t(834))
+            .add(improved.delivered ? "yes" : "NO");
+      }
+      // Contrast: the Theorem 15 router on the same random permutation.
+      RunSpec spec;
+      spec.width = spec.height = n;
+      spec.queue_capacity = 4;
+      spec.algorithm = "bounded-dimension-order";
+      const RunResult r = run_workload(spec, random_permutation(mesh, 21));
+      all_delivered = all_delivered && r.all_delivered;
       table.row()
           .add(std::int64_t(n))
-          .add(name)
-          .add("q=408")
-          .add(base.steps)
-          .add(double(base.steps) / n, 1)
-          .add(std::int64_t(972))
-          .add(std::int64_t(base.max_queue))
-          .add(std::int64_t(834))
-          .add(base.delivered ? "yes" : "NO");
-      const Row improved =
-          run_fast(n, w, FastRouteAlgorithm::Options::improved());
-      table.row()
-          .add(std::int64_t(n))
-          .add(name)
-          .add("improved")
-          .add(improved.steps)
-          .add(double(improved.steps) / n, 1)
-          .add(std::int64_t(564))
-          .add(std::int64_t(improved.max_queue))
-          .add(std::int64_t(834))
-          .add(improved.delivered ? "yes" : "NO");
+          .add("random permutation")
+          .add("Thm15 k=4")
+          .add(r.steps)
+          .add(double(r.steps) / n, 1)
+          .add("-")
+          .add(std::int64_t(r.max_queue))
+          .add(std::int64_t(4))
+          .add(r.all_delivered ? "yes" : "NO");
+      ctx.record("Thm15 k=4 random n=" + std::to_string(n), r);
     }
-    // Contrast: the Theorem 15 router on the same random permutation.
-    RunSpec spec;
-    spec.width = spec.height = n;
-    spec.queue_capacity = 4;
-    spec.algorithm = "bounded-dimension-order";
-    const RunResult r = run_workload(spec, random_permutation(mesh, 21));
-    table.row()
-        .add(std::int64_t(n))
-        .add("random permutation")
-        .add("Thm15 k=4")
-        .add(r.steps)
-        .add(double(r.steps) / n, 1)
-        .add("-")
-        .add(std::int64_t(r.max_queue))
-        .add(std::int64_t(4))
-        .add(r.all_delivered ? "yes" : "NO");
-  }
-  bench::print(table);
-  bench::note(
-      "The §6 schedule is a fixed worst-case budget, so measured steps "
-      "equal the schedule length; steps/n converges from below to ~904 "
-      "(baseline) / ~500 (improved) as the geometric iteration sum fills "
-      "in — under the 972n / 564n bounds, and O(n) by construction. Queues "
-      "stay two orders of magnitude under the Θ(n) of the classic "
-      "algorithm (E16).");
-  return 0;
+    ctx.table(table);
+    ctx.note(
+        "The §6 schedule is a fixed worst-case budget, so measured steps "
+        "equal the schedule length; steps/n converges from below to ~904 "
+        "(baseline) / ~500 (improved) as the geometric iteration sum fills "
+        "in — under the 972n / 564n bounds, and O(n) by construction. Queues "
+        "stay two orders of magnitude under the Θ(n) of the classic "
+        "algorithm (E16).");
+    ctx.check("theorem34-all-delivered", all_delivered);
+    ctx.check("theorem34-step-and-queue-bounds", within_bounds);
+  };
+  registry.add(std::move(spec));
 }
+
+}  // namespace mr::scenarios

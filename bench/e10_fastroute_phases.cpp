@@ -4,81 +4,95 @@
 // budget, and the measured peak per-node staging/active occupancy against
 // the lemma's queue bound. The online checks inside FastRouteAlgorithm
 // already abort on violation; this table shows the slack.
+#include <algorithm>
 #include <map>
 
-#include "bench_util.hpp"
 #include "fastroute/bounds.hpp"
 #include "fastroute/fastroute.hpp"
+#include "scenarios.hpp"
 #include "sim/engine.hpp"
 #include "workload/permutation.hpp"
 
-int main() {
-  using namespace mr;
-  bench::header("E10", "per-phase budgets of the §6 algorithm",
-                "Lemmas 21-32, Figures 5-7");
+namespace mr::scenarios {
 
-  const std::int32_t n = bench::scale() == bench::Scale::Small ? 27 : 81;
-  const Mesh mesh = Mesh::square(n);
-  FastRouteAlgorithm algo;
-  Engine::Config config;
-  config.queue_capacity = algo.queue_bound();
-  config.stall_limit = 0;
-  Engine e(mesh, config, algo);
-  for (const Demand& d : random_permutation(mesh, 5))
-    e.add_packet(d.source, d.dest, d.injected_at);
-  e.prepare();
-  e.run(algo.schedule_length() + 1);
-  if (!e.all_delivered()) {
-    bench::note("ERROR: not all packets delivered");
-    return 1;
-  }
+void register_e10(ScenarioRegistry& registry) {
+  ScenarioSpec spec;
+  spec.id = "E10";
+  spec.label = "fastroute-phases";
+  spec.title = "per-phase budgets of the §6 algorithm";
+  spec.paper_ref = "Lemmas 21-32, Figures 5-7";
+  spec.body = [](ScenarioReport& ctx) {
+    const std::int32_t n = ctx.scale() == Scale::Small ? 27 : 81;
+    const Mesh mesh = Mesh::square(n);
+    FastRouteAlgorithm algo;
+    Engine::Config config;
+    config.queue_capacity = algo.queue_bound();
+    config.stall_limit = 0;
+    Engine e(mesh, config, algo);
+    for (const Demand& d : random_permutation(mesh, 5))
+      e.add_packet(d.source, d.dest, d.injected_at);
+    e.prepare();
+    e.run(algo.schedule_length() + 1);
+    ctx.check("all-delivered", e.all_delivered());
+    if (!e.all_delivered()) {
+      ctx.note("ERROR: not all packets delivered");
+      return;
+    }
 
-  // Aggregate segments by (kind, j).
-  struct Agg {
-    Step budget = 0;
-    Step max_last_move = 0;
-    std::int64_t moves = 0;
-    int peak = 0;
-    int count = 0;
+    // Aggregate segments by (kind, j).
+    struct Agg {
+      Step budget = 0;
+      Step max_last_move = 0;
+      std::int64_t moves = 0;
+      int peak = 0;
+      int count = 0;
+    };
+    std::map<std::pair<int, int>, Agg> aggs;
+    for (const auto& seg : algo.segments()) {
+      Agg& a = aggs[{static_cast<int>(seg.kind), seg.j}];
+      a.budget = seg.length;
+      a.max_last_move = std::max(a.max_last_move, seg.last_move_offset);
+      a.moves += seg.moves;
+      a.peak = std::max(a.peak, seg.peak_active_per_node);
+      ++a.count;
+    }
+
+    FastRouteBounds bounds;
+    Table table({"phase", "iter j", "segments", "budget (lemma)",
+                 "last useful step", "total moves", "peak/node",
+                 "queue bound (lemma)"});
+    bool budgets_hold = true;
+    for (const auto& [key, a] : aggs) {
+      const auto kind = static_cast<FastRouteAlgorithm::Kind>(key.first);
+      std::string qbound = "-";
+      if (kind == FastRouteAlgorithm::Kind::March)
+        qbound = std::to_string(bounds.march_queue_bound());
+      if (kind == FastRouteAlgorithm::Kind::SortSmoothEven ||
+          kind == FastRouteAlgorithm::Kind::SortSmoothOdd)
+        qbound = std::to_string(bounds.sort_smooth_queue_bound());
+      if (kind == FastRouteAlgorithm::Kind::Balance) qbound = "2 (Lemma 24)";
+      budgets_hold = budgets_hold && a.max_last_move <= a.budget;
+      table.row()
+          .add(FastRouteAlgorithm::kind_name(kind))
+          .add(key.second)
+          .add(a.count)
+          .add(a.budget)
+          .add(a.max_last_move)
+          .add(a.moves)
+          .add(std::int64_t(a.peak))
+          .add(qbound);
+    }
+    ctx.table(table);
+    ctx.note("n = " + std::to_string(n) + "; schedule length = " +
+             std::to_string(algo.schedule_length()) +
+             " steps; engine peak queue = " +
+             std::to_string(e.max_occupancy_seen()) + " (Lemma 28 bound " +
+             std::to_string(algo.queue_bound()) + ").");
+    ctx.check("last-useful-step-within-lemma-budget", budgets_hold);
+    ctx.check("engine-peak-queue-under-lemma28",
+              e.max_occupancy_seen() <= algo.queue_bound());
   };
-  std::map<std::pair<int, int>, Agg> aggs;
-  for (const auto& seg : algo.segments()) {
-    Agg& a = aggs[{static_cast<int>(seg.kind), seg.j}];
-    a.budget = seg.length;
-    a.max_last_move = std::max(a.max_last_move, seg.last_move_offset);
-    a.moves += seg.moves;
-    a.peak = std::max(a.peak, seg.peak_active_per_node);
-    ++a.count;
-  }
-
-  FastRouteBounds bounds;
-  Table table({"phase", "iter j", "segments", "budget (lemma)",
-               "last useful step", "total moves", "peak/node",
-               "queue bound (lemma)"});
-  for (const auto& [key, a] : aggs) {
-    const auto kind = static_cast<FastRouteAlgorithm::Kind>(key.first);
-    std::string qbound = "-";
-    if (kind == FastRouteAlgorithm::Kind::March)
-      qbound = std::to_string(bounds.march_queue_bound());
-    if (kind == FastRouteAlgorithm::Kind::SortSmoothEven ||
-        kind == FastRouteAlgorithm::Kind::SortSmoothOdd)
-      qbound = std::to_string(bounds.sort_smooth_queue_bound());
-    if (kind == FastRouteAlgorithm::Kind::Balance) qbound = "2 (Lemma 24)";
-    table.row()
-        .add(FastRouteAlgorithm::kind_name(kind))
-        .add(key.second)
-        .add(a.count)
-        .add(a.budget)
-        .add(a.max_last_move)
-        .add(a.moves)
-        .add(std::int64_t(a.peak))
-        .add(qbound);
-  }
-  bench::print(table);
-  bench::note("n = " + std::to_string(n) +
-              "; schedule length = " + std::to_string(algo.schedule_length()) +
-              " steps; engine peak queue = " +
-              std::to_string(e.max_occupancy_seen()) + " (Lemma 28 bound " +
-              std::to_string(algo.queue_bound()) + ").");
-  return 0;
+  registry.add(std::move(spec));
 }
+
+}  // namespace mr::scenarios

@@ -1,7 +1,8 @@
 // E13: engine micro-benchmarks — raw stepping throughput of the simulator
 // under each router on a random permutation. Not a paper experiment; it
 // establishes that the laptop-scale sweeps in E01–E12 are feasible and
-// tracks regressions in the hot path.
+// tracks regressions in the hot path. The sweep/record logic lives in
+// engine_bench.{hpp,cpp}, shared with the E13 scenario registration.
 //
 // Modes:
 //   (no args)          google-benchmark run, human-readable counters
@@ -12,362 +13,27 @@
 //   --validate=PATH    only validate an existing BENCH_engine.json
 #include <benchmark/benchmark.h>
 
-#include <cctype>
-#include <chrono>
-#include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <cstdint>
 #include <string>
-#include <vector>
 
+#include "engine_bench.hpp"
 #include "routing/registry.hpp"
 #include "sim/engine.hpp"
-#include "workload/permutation.hpp"
 
 namespace {
-
-constexpr const char* kSchema = "meshroute-bench-engine/1";
-constexpr int kQueueCapacity = 2;
-
-struct RunStats {
-  std::string router;
-  std::string layout;
-  std::int32_t n = 0;
-  std::int64_t steps = 0;
-  std::int64_t moves = 0;
-  double seconds = 0;
-  double moves_per_sec = 0;
-  std::size_t delivered = 0;
-  std::size_t packets = 0;
-  bool stalled = false;
-};
-
-mr::Workload workload_for(const mr::Mesh& mesh, bool per_inlink) {
-  // Central-queue routers get monotone (deadlock-free) traffic so the
-  // benchmark measures engine throughput, not deadlock spinning; the
-  // per-inlink router takes the full permutation.
-  mr::Workload w;
-  for (const mr::Demand& d : mr::random_permutation(mesh, 42)) {
-    const mr::Coord s = mesh.coord_of(d.source);
-    const mr::Coord t = mesh.coord_of(d.dest);
-    if (per_inlink || (t.col >= s.col && t.row >= s.row)) w.push_back(d);
-  }
-  return w;
-}
-
-RunStats run_once(const std::string& name, std::int32_t n) {
-  const mr::Mesh mesh = mr::Mesh::square(n);
-  const bool per_inlink = mr::make_algorithm(name)->queue_layout() ==
-                          mr::QueueLayout::PerInlink;
-  const mr::Workload w = workload_for(mesh, per_inlink);
-  RunStats r;
-  r.router = name;
-  r.layout = per_inlink ? "per-inlink" : "central";
-  r.n = n;
-  auto algo = mr::make_algorithm(name);
-  mr::Engine::Config config;
-  config.queue_capacity = kQueueCapacity;
-  mr::Engine engine(mesh, config, *algo);
-  for (const mr::Demand& d : w)
-    engine.add_packet(d.source, d.dest, d.injected_at);
-  engine.prepare();
-  const auto t0 = std::chrono::steady_clock::now();
-  r.steps = engine.run(200000);
-  const auto t1 = std::chrono::steady_clock::now();
-  r.seconds = std::chrono::duration<double>(t1 - t0).count();
-  r.moves = engine.total_moves();
-  r.moves_per_sec = r.seconds > 0 ? static_cast<double>(r.moves) / r.seconds
-                                  : 0;
-  r.delivered = engine.delivered_count();
-  r.packets = engine.num_packets();
-  r.stalled = engine.stalled();
-  return r;
-}
-
-// ---------------------------------------------------------------------------
-// JSON sweep
-
-bool write_json(const std::string& path, const std::vector<RunStats>& all,
-                bool smoke) {
-  std::ofstream out(path);
-  out << "{\n"
-      << "  \"schema\": \"" << kSchema << "\",\n"
-      << "  \"scale\": \"" << (smoke ? "smoke" : "default") << "\",\n"
-      << "  \"queue_capacity\": " << kQueueCapacity << ",\n"
-      << "  \"results\": [\n";
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    const RunStats& r = all[i];
-    out << "    {\"router\": \"" << r.router << "\", \"layout\": \""
-        << r.layout << "\", \"n\": " << r.n << ", \"steps\": " << r.steps
-        << ", \"moves\": " << r.moves << ", \"seconds\": " << r.seconds
-        << ", \"moves_per_sec\": " << r.moves_per_sec
-        << ", \"delivered\": " << r.delivered
-        << ", \"packets\": " << r.packets << ", \"stalled\": "
-        << (r.stalled ? "true" : "false") << "}"
-        << (i + 1 < all.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  return out.good();
-}
-
-// Minimal JSON reader — just enough to validate the schema this binary
-// writes (objects, arrays, strings, numbers, booleans; no escapes beyond
-// none being emitted). Returns false with a message on malformed input.
-struct JsonParser {
-  const std::string& s;
-  std::size_t i = 0;
-  std::string error;
-
-  explicit JsonParser(const std::string& text) : s(text) {}
-
-  void skip_ws() {
-    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
-      ++i;
-  }
-  bool fail(const std::string& msg) {
-    if (error.empty()) error = msg + " at offset " + std::to_string(i);
-    return false;
-  }
-  bool expect(char c) {
-    skip_ws();
-    if (i >= s.size() || s[i] != c)
-      return fail(std::string("expected '") + c + "'");
-    ++i;
-    return true;
-  }
-  bool parse_string(std::string& out) {
-    skip_ws();
-    if (i >= s.size() || s[i] != '"') return fail("expected string");
-    ++i;
-    out.clear();
-    while (i < s.size() && s[i] != '"') out.push_back(s[i++]);
-    if (i >= s.size()) return fail("unterminated string");
-    ++i;
-    return true;
-  }
-  bool parse_number(double& out) {
-    skip_ws();
-    const std::size_t start = i;
-    while (i < s.size() &&
-           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '-' ||
-            s[i] == '+' || s[i] == '.' || s[i] == 'e' || s[i] == 'E'))
-      ++i;
-    if (i == start) return fail("expected number");
-    try {
-      out = std::stod(s.substr(start, i - start));
-    } catch (...) {
-      return fail("bad number");
-    }
-    return true;
-  }
-  /// Parses one value into (kind, str, num). kind: s/n/b/o/a.
-  bool parse_value(char& kind, std::string& str, double& num,
-                   std::vector<std::string>& object_keys,
-                   std::vector<std::string>& object_raw);
-};
-
-bool JsonParser::parse_value(char& kind, std::string& str, double& num,
-                             std::vector<std::string>& object_keys,
-                             std::vector<std::string>& object_raw) {
-  skip_ws();
-  if (i >= s.size()) return fail("unexpected end");
-  if (s[i] == '"') {
-    kind = 's';
-    return parse_string(str);
-  }
-  if (s[i] == 't' || s[i] == 'f') {
-    kind = 'b';
-    const std::string word = s[i] == 't' ? "true" : "false";
-    if (s.compare(i, word.size(), word) != 0) return fail("bad literal");
-    i += word.size();
-    return true;
-  }
-  if (s[i] == '{') {
-    kind = 'o';
-    ++i;
-    object_keys.clear();
-    object_raw.clear();
-    skip_ws();
-    if (i < s.size() && s[i] == '}') {
-      ++i;
-      return true;
-    }
-    for (;;) {
-      std::string key;
-      if (!parse_string(key)) return false;
-      if (!expect(':')) return false;
-      const std::size_t vstart = i;
-      char k2;
-      std::string s2;
-      double n2;
-      std::vector<std::string> dummy_k, dummy_r;
-      skip_ws();
-      const std::size_t vtrim = i;
-      if (!parse_value(k2, s2, n2, dummy_k, dummy_r)) return false;
-      object_keys.push_back(key);
-      object_raw.push_back(s.substr(vtrim, i - vtrim));
-      (void)vstart;
-      skip_ws();
-      if (i < s.size() && s[i] == ',') {
-        ++i;
-        continue;
-      }
-      return expect('}');
-    }
-  }
-  if (s[i] == '[') {
-    kind = 'a';
-    ++i;
-    skip_ws();
-    if (i < s.size() && s[i] == ']') {
-      ++i;
-      return true;
-    }
-    for (;;) {
-      char k2;
-      std::string s2;
-      double n2;
-      std::vector<std::string> dummy_k, dummy_r;
-      if (!parse_value(k2, s2, n2, dummy_k, dummy_r)) return false;
-      skip_ws();
-      if (i < s.size() && s[i] == ',') {
-        ++i;
-        continue;
-      }
-      return expect(']');
-    }
-  }
-  kind = 'n';
-  return parse_number(num);
-}
-
-/// Validates the BENCH_engine.json schema; prints the first problem found.
-bool validate_json(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.good()) {
-    std::fprintf(stderr, "validate: cannot read %s\n", path.c_str());
-    return false;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
-
-  auto complain = [&](const std::string& msg) {
-    std::fprintf(stderr, "validate: %s: %s\n", path.c_str(), msg.c_str());
-    return false;
-  };
-
-  JsonParser p(text);
-  char kind;
-  std::string str;
-  double num;
-  std::vector<std::string> keys, raw;
-  if (!p.parse_value(kind, str, num, keys, raw)) return complain(p.error);
-  if (kind != 'o') return complain("top level is not an object");
-
-  auto find = [&](const std::string& key) -> const std::string* {
-    for (std::size_t j = 0; j < keys.size(); ++j)
-      if (keys[j] == key) return &raw[j];
-    return nullptr;
-  };
-  const std::string* schema = find("schema");
-  if (schema == nullptr || *schema != std::string("\"") + kSchema + "\"")
-    return complain("missing or wrong \"schema\"");
-  const std::string* qc = find("queue_capacity");
-  if (qc == nullptr || std::atoi(qc->c_str()) < 1)
-    return complain("missing or non-positive \"queue_capacity\"");
-  const std::string* results = find("results");
-  if (results == nullptr || results->empty() || (*results)[0] != '[')
-    return complain("missing \"results\" array");
-
-  // Re-parse each result entry and check the required fields.
-  JsonParser pr(*results);
-  if (!pr.expect('[')) return complain("results: " + pr.error);
-  int count = 0;
-  for (;;) {
-    pr.skip_ws();
-    if (pr.i < results->size() && (*results)[pr.i] == ']') break;
-    std::vector<std::string> ekeys, eraw;
-    if (!pr.parse_value(kind, str, num, ekeys, eraw) || kind != 'o')
-      return complain("results[" + std::to_string(count) +
-                      "] is not an object: " + pr.error);
-    auto efind = [&](const std::string& key) -> const std::string* {
-      for (std::size_t j = 0; j < ekeys.size(); ++j)
-        if (ekeys[j] == key) return &eraw[j];
-      return nullptr;
-    };
-    const char* id = "results entry";
-    const std::string* router = efind("router");
-    if (router == nullptr || router->size() < 3 || (*router)[0] != '"')
-      return complain(std::string(id) + ": missing \"router\" string");
-    for (const char* key : {"n", "steps", "seconds", "moves_per_sec"}) {
-      const std::string* v = efind(key);
-      if (v == nullptr || std::atof(v->c_str()) <= 0)
-        return complain(std::string(id) + " " + *router +
-                        ": missing or non-positive \"" + key + "\"");
-    }
-    for (const char* key : {"moves", "delivered", "packets"}) {
-      const std::string* v = efind(key);
-      if (v == nullptr || std::atof(v->c_str()) < 0)
-        return complain(std::string(id) + " " + *router +
-                        ": missing or negative \"" + key + "\"");
-    }
-    ++count;
-    pr.skip_ws();
-    if (pr.i < results->size() && (*results)[pr.i] == ',') {
-      ++pr.i;
-      continue;
-    }
-  }
-  if (count == 0) return complain("results array is empty");
-  std::printf("validate: %s ok (%d results)\n", path.c_str(), count);
-  return true;
-}
-
-int json_sweep(const std::string& path, bool smoke) {
-  const std::vector<std::int32_t> sizes =
-      smoke ? std::vector<std::int32_t>{8}
-            : std::vector<std::int32_t>{32, 64, 120};
-  const int reps = smoke ? 1 : 3;
-  std::vector<RunStats> all;
-  for (const std::string& name : mr::algorithm_names()) {
-    for (std::int32_t n : sizes) {
-      RunStats best;
-      for (int rep = 0; rep < reps; ++rep) {
-        RunStats r = run_once(name, n);
-        if (rep == 0 || r.moves_per_sec > best.moves_per_sec) best = r;
-      }
-      std::printf("%-24s n=%-4d steps=%-6lld moves=%-9lld %8.2f Kmoves/s%s\n",
-                  best.router.c_str(), best.n,
-                  static_cast<long long>(best.steps),
-                  static_cast<long long>(best.moves),
-                  best.moves_per_sec / 1e3, best.stalled ? " STALLED" : "");
-      all.push_back(best);
-    }
-  }
-  if (!write_json(path, all, smoke)) {
-    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    return 1;
-  }
-  std::printf("wrote %s (%zu results)\n", path.c_str(), all.size());
-  return validate_json(path) ? 0 : 1;
-}
-
-// ---------------------------------------------------------------------------
-// google-benchmark mode (manual runs / flag-driven exploration)
 
 void run_router(benchmark::State& state, const std::string& name) {
   const auto n = static_cast<std::int32_t>(state.range(0));
   const mr::Mesh mesh = mr::Mesh::square(n);
   const bool per_inlink = mr::make_algorithm(name)->queue_layout() ==
                           mr::QueueLayout::PerInlink;
-  const mr::Workload w = workload_for(mesh, per_inlink);
+  const mr::Workload w = mr::engine_bench::workload_for(mesh, per_inlink);
   std::int64_t steps = 0;
   std::int64_t moves = 0;
   for (auto _ : state) {
     auto algo = mr::make_algorithm(name);
     mr::Engine::Config config;
-    config.queue_capacity = kQueueCapacity;
+    config.queue_capacity = mr::engine_bench::kQueueCapacity;
     mr::Engine engine(mesh, config, *algo);
     for (const mr::Demand& d : w)
       engine.add_packet(d.source, d.dest, d.injected_at);
@@ -376,8 +42,8 @@ void run_router(benchmark::State& state, const std::string& name) {
     moves += engine.total_moves();
     benchmark::DoNotOptimize(engine.delivered_count());
   }
-  state.counters["steps"] =
-      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kAvgIterations);
+  state.counters["steps"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kAvgIterations);
   state.counters["moves/s"] = benchmark::Counter(
       static_cast<double>(moves), benchmark::Counter::kIsRate);
 }
@@ -420,10 +86,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--smoke") {
       smoke = true;
     } else if (arg.rfind("--validate=", 0) == 0) {
-      return validate_json(arg.substr(11)) ? 0 : 1;
+      return mr::engine_bench::validate_json(arg.substr(11)) ? 0 : 1;
     }
   }
-  if (json) return json_sweep(path, smoke);
+  if (json) return mr::engine_bench::json_sweep(path, smoke);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,44 +1,56 @@
 // E14 — Lemma 19: exhaustive verification of the three-tilings cover
 // property at every tile size the §6 algorithm uses, plus tile statistics.
-#include "bench_util.hpp"
 #include "fastroute/tiling.hpp"
+#include "scenarios.hpp"
 
-int main() {
-  using namespace mr;
-  bench::header("E14", "three-tilings cover property", "Lemma 19, §6.1");
+namespace mr::scenarios {
 
-  const std::int32_t n = bench::scale() == bench::Scale::Small ? 27 : 81;
-  Table table({"n", "tile T", "h = T/3", "pairs checked", "uncovered",
-               "covered by tiling 0/1/2"});
-  for (std::int32_t tile = n; tile >= 9; tile /= 3) {
-    const std::int32_t h = tile / 3;
-    std::int64_t pairs = 0, uncovered = 0;
-    std::int64_t by[3] = {0, 0, 0};
-    for (std::int32_t ac = 0; ac < n; ++ac)
-      for (std::int32_t ar = 0; ar < n; ++ar)
-        for (std::int32_t dc = -h; dc <= h; ++dc)
-          for (std::int32_t dr = -h; dr <= h; ++dr) {
-            const Coord a{ac, ar};
-            const Coord b{ac + dc, ar + dr};
-            if (b.col < 0 || b.col >= n || b.row < 0 || b.row >= n) continue;
-            ++pairs;
-            const int o = covering_tiling(n, tile, a, b);
-            if (o < 0) {
-              ++uncovered;
-            } else {
-              ++by[o];
+void register_e14(ScenarioRegistry& registry) {
+  ScenarioSpec spec;
+  spec.id = "E14";
+  spec.label = "tiling-cover";
+  spec.title = "three-tilings cover property";
+  spec.paper_ref = "Lemma 19, §6.1";
+  spec.body = [](ScenarioReport& ctx) {
+    const std::int32_t n = ctx.scale() == Scale::Small ? 27 : 81;
+    Table table({"n", "tile T", "h = T/3", "pairs checked", "uncovered",
+                 "covered by tiling 0/1/2"});
+    bool all_covered = true;
+    for (std::int32_t tile = n; tile >= 9; tile /= 3) {
+      const std::int32_t h = tile / 3;
+      std::int64_t pairs = 0, uncovered = 0;
+      std::int64_t by[3] = {0, 0, 0};
+      for (std::int32_t ac = 0; ac < n; ++ac)
+        for (std::int32_t ar = 0; ar < n; ++ar)
+          for (std::int32_t dc = -h; dc <= h; ++dc)
+            for (std::int32_t dr = -h; dr <= h; ++dr) {
+              const Coord a{ac, ar};
+              const Coord b{ac + dc, ar + dr};
+              if (b.col < 0 || b.col >= n || b.row < 0 || b.row >= n)
+                continue;
+              ++pairs;
+              const int o = covering_tiling(n, tile, a, b);
+              if (o < 0) {
+                ++uncovered;
+              } else {
+                ++by[o];
+              }
             }
-          }
-    table.row()
-        .add(std::int64_t(n))
-        .add(std::int64_t(tile))
-        .add(std::int64_t(h))
-        .add(pairs)
-        .add(uncovered)
-        .add(std::to_string(by[0]) + "/" + std::to_string(by[1]) + "/" +
-             std::to_string(by[2]));
-  }
-  bench::print(table);
-  bench::note("Lemma 19 holds iff the 'uncovered' column is all zeros.");
-  return 0;
+      all_covered = all_covered && uncovered == 0;
+      table.row()
+          .add(std::int64_t(n))
+          .add(std::int64_t(tile))
+          .add(std::int64_t(h))
+          .add(pairs)
+          .add(uncovered)
+          .add(std::to_string(by[0]) + "/" + std::to_string(by[1]) + "/" +
+               std::to_string(by[2]));
+    }
+    ctx.table(table);
+    ctx.note("Lemma 19 holds iff the 'uncovered' column is all zeros.");
+    ctx.check("lemma19-no-uncovered-pairs", all_covered);
+  };
+  registry.add(std::move(spec));
 }
+
+}  // namespace mr::scenarios

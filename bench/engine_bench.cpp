@@ -1,0 +1,161 @@
+#include "engine_bench.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "harness/json_min.hpp"
+#include "routing/registry.hpp"
+#include "sim/engine.hpp"
+
+namespace mr::engine_bench {
+
+Workload workload_for(const Mesh& mesh, bool per_inlink) {
+  Workload w;
+  for (const Demand& d : random_permutation(mesh, 42)) {
+    const Coord s = mesh.coord_of(d.source);
+    const Coord t = mesh.coord_of(d.dest);
+    if (per_inlink || (t.col >= s.col && t.row >= s.row)) w.push_back(d);
+  }
+  return w;
+}
+
+RunStats run_once(const std::string& name, std::int32_t n) {
+  const Mesh mesh = Mesh::square(n);
+  const bool per_inlink =
+      make_algorithm(name)->queue_layout() == QueueLayout::PerInlink;
+  const Workload w = workload_for(mesh, per_inlink);
+  RunStats r;
+  r.router = name;
+  r.layout = per_inlink ? "per-inlink" : "central";
+  r.n = n;
+  auto algo = make_algorithm(name);
+  Engine::Config config;
+  config.queue_capacity = kQueueCapacity;
+  Engine engine(mesh, config, *algo);
+  for (const Demand& d : w) engine.add_packet(d.source, d.dest, d.injected_at);
+  engine.prepare();
+  const auto t0 = std::chrono::steady_clock::now();
+  r.steps = engine.run(200000);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.moves = engine.total_moves();
+  r.moves_per_sec =
+      r.seconds > 0 ? static_cast<double>(r.moves) / r.seconds : 0;
+  r.delivered = engine.delivered_count();
+  r.packets = engine.num_packets();
+  r.stalled = engine.stalled();
+  return r;
+}
+
+bool write_json(const std::string& path, const std::vector<RunStats>& all,
+                bool smoke) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"schema\": \"" << kSchema << "\",\n"
+      << "  \"scale\": \"" << (smoke ? "smoke" : "default") << "\",\n"
+      << "  \"queue_capacity\": " << kQueueCapacity << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const RunStats& r = all[i];
+    out << "    {\"router\": \"" << r.router << "\", \"layout\": \""
+        << r.layout << "\", \"n\": " << r.n << ", \"steps\": " << r.steps
+        << ", \"moves\": " << r.moves << ", \"seconds\": " << r.seconds
+        << ", \"moves_per_sec\": " << r.moves_per_sec
+        << ", \"delivered\": " << r.delivered
+        << ", \"packets\": " << r.packets << ", \"stalled\": "
+        << (r.stalled ? "true" : "false") << "}"
+        << (i + 1 < all.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+bool validate_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "validate: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  auto complain = [&](const std::string& msg) {
+    std::fprintf(stderr, "validate: %s: %s\n", path.c_str(), msg.c_str());
+    return false;
+  };
+
+  std::string parse_error;
+  const std::optional<json::Value> doc = json::parse(buf.str(), &parse_error);
+  if (!doc) return complain(parse_error);
+  if (!doc->is_object()) return complain("top level is not an object");
+
+  const json::Value* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->string != kSchema)
+    return complain("missing or wrong \"schema\"");
+  const json::Value* qc = doc->find("queue_capacity");
+  if (qc == nullptr || !qc->is_number() || qc->number < 1)
+    return complain("missing or non-positive \"queue_capacity\"");
+  const json::Value* results = doc->find("results");
+  if (results == nullptr || !results->is_array())
+    return complain("missing \"results\" array");
+
+  int count = 0;
+  for (const json::Value& entry : results->array) {
+    if (!entry.is_object())
+      return complain("results[" + std::to_string(count) +
+                      "] is not an object");
+    const json::Value* router = entry.find("router");
+    if (router == nullptr || !router->is_string() || router->string.empty())
+      return complain("results entry: missing \"router\" string");
+    for (const char* key : {"n", "steps", "seconds", "moves_per_sec"}) {
+      const json::Value* v = entry.find(key);
+      if (v == nullptr || !v->is_number() || v->number <= 0)
+        return complain("results entry \"" + router->string +
+                        "\": missing or non-positive \"" + key + "\"");
+    }
+    for (const char* key : {"moves", "delivered", "packets"}) {
+      const json::Value* v = entry.find(key);
+      if (v == nullptr || !v->is_number() || v->number < 0)
+        return complain("results entry \"" + router->string +
+                        "\": missing or negative \"" + key + "\"");
+    }
+    ++count;
+  }
+  if (count == 0) return complain("results array is empty");
+  std::printf("validate: %s ok (%d results)\n", path.c_str(), count);
+  return true;
+}
+
+int json_sweep(const std::string& path, bool smoke) {
+  const std::vector<std::int32_t> sizes =
+      smoke ? std::vector<std::int32_t>{8}
+            : std::vector<std::int32_t>{32, 64, 120};
+  const int reps = smoke ? 1 : 3;
+  std::vector<RunStats> all;
+  for (const std::string& name : algorithm_names()) {
+    for (std::int32_t n : sizes) {
+      RunStats best;
+      for (int rep = 0; rep < reps; ++rep) {
+        RunStats r = run_once(name, n);
+        if (rep == 0 || r.moves_per_sec > best.moves_per_sec) best = r;
+      }
+      std::printf("%-24s n=%-4d steps=%-6lld moves=%-9lld %8.2f Kmoves/s%s\n",
+                  best.router.c_str(), best.n,
+                  static_cast<long long>(best.steps),
+                  static_cast<long long>(best.moves),
+                  best.moves_per_sec / 1e3, best.stalled ? " STALLED" : "");
+      all.push_back(best);
+    }
+  }
+  if (!write_json(path, all, smoke)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu results)\n", path.c_str(), all.size());
+  return validate_json(path) ? 0 : 1;
+}
+
+}  // namespace mr::engine_bench

@@ -1,0 +1,52 @@
+// E13's engine micro-benchmark core, shared between the
+// e13_engine_throughput binary (google-benchmark + --json CLI) and the
+// E13 scenario registration. Depends only on the simulator libraries so
+// the scenario suite never links google-benchmark.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/mesh.hpp"
+#include "workload/permutation.hpp"
+
+namespace mr::engine_bench {
+
+inline constexpr const char* kSchema = "meshroute-bench-engine/1";
+inline constexpr int kQueueCapacity = 2;
+
+struct RunStats {
+  std::string router;
+  std::string layout;
+  std::int32_t n = 0;
+  std::int64_t steps = 0;
+  std::int64_t moves = 0;
+  double seconds = 0;
+  double moves_per_sec = 0;
+  std::size_t delivered = 0;
+  std::size_t packets = 0;
+  bool stalled = false;
+};
+
+/// Central-queue routers get monotone (deadlock-free) traffic so the
+/// benchmark measures engine throughput, not deadlock spinning; the
+/// per-inlink router takes the full permutation.
+Workload workload_for(const Mesh& mesh, bool per_inlink);
+
+/// One timed engine run of `name` on an n×n mesh.
+RunStats run_once(const std::string& name, std::int32_t n);
+
+/// Writes the BENCH_engine.json record (schema kSchema).
+bool write_json(const std::string& path, const std::vector<RunStats>& all,
+                bool smoke);
+
+/// Validates the BENCH_engine.json schema; prints the first problem found.
+bool validate_json(const std::string& path);
+
+/// The fixed sweep: every router × sizes (tiny when `smoke`), best of reps,
+/// printed per row. Writes and validates `path`. Returns a process exit
+/// code.
+int json_sweep(const std::string& path, bool smoke);
+
+}  // namespace mr::engine_bench

@@ -1,0 +1,141 @@
+// meshroute_bench — the single driver for the experiment suite.
+//
+// Usage:
+//   meshroute_bench --list                 enumerate registered scenarios
+//   meshroute_bench [--run <id|label>]...  run a selection (default: all)
+//   meshroute_bench --json=DIR             also write <dir>/<id>.json per
+//                                          scenario (schema
+//                                          meshroute-scenario/1, validated
+//                                          after writing)
+//   meshroute_bench --smoke                small problem sizes (same as
+//                                          MESHROUTE_BENCH_SCALE=small)
+//   meshroute_bench --jobs=N               worker threads for the sweep
+//                                          (results are position-addressed:
+//                                          output is identical for any N)
+//   meshroute_bench --validate=PATH        only validate an existing
+//                                          scenario JSON file
+//
+// Markdown goes to stdout exactly as the historical per-experiment
+// binaries printed it; check verdicts follow each report as "[check]"
+// lines. Exit code is 0 iff every selected scenario ran without error and
+// every check passed. CSV export of each table still honours
+// MESHROUTE_OUTPUT_DIR.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "scenarios.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list] [--run <id|label>]... [--json=DIR] "
+               "[--smoke] [--jobs=N] [--validate=PATH]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mr;
+
+  bool list = false;
+  std::vector<std::string> selection;
+  std::string json_dir;
+  ScenarioOptions options;
+  options.scale = scale_from_env();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--run") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      selection.push_back(argv[++i]);
+    } else if (arg.rfind("--run=", 0) == 0) {
+      selection.push_back(arg.substr(6));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_dir = arg.substr(7);
+    } else if (arg == "--smoke") {
+      options.scale = Scale::Small;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = static_cast<std::size_t>(
+          std::strtoul(arg.substr(7).c_str(), nullptr, 10));
+    } else if (arg.rfind("--validate=", 0) == 0) {
+      const std::string path = arg.substr(11);
+      std::string error;
+      if (!validate_scenario_json(path, &error)) {
+        std::fprintf(stderr, "validate: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      std::printf("validate: %s ok\n", path.c_str());
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const ScenarioRegistry& registry = scenarios::builtin();
+
+  if (list) {
+    for (const ScenarioSpec* spec : registry.all())
+      std::printf("%-4s %-26s %s\n", spec->id.c_str(), spec->label.c_str(),
+                  spec->title.c_str());
+    return 0;
+  }
+
+  std::vector<const ScenarioSpec*> specs;
+  if (selection.empty()) {
+    specs = registry.all();
+  } else {
+    for (const std::string& want : selection) {
+      const ScenarioSpec* spec = registry.find(want);
+      if (spec == nullptr) {
+        std::fprintf(stderr, "error: no scenario named '%s' (try --list)\n",
+                     want.c_str());
+        return 2;
+      }
+      specs.push_back(spec);
+    }
+  }
+
+  const std::vector<ScenarioResult> results = run_scenarios(specs, options);
+
+  bool ok = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    if (i > 0) std::printf("\n");
+    std::fputs(r.to_markdown().c_str(), stdout);
+    if (r.errored) {
+      std::printf("[check] %s ERROR: %s\n", r.id.c_str(), r.error.c_str());
+    }
+    for (const ScenarioCheck& c : r.checks) {
+      std::printf("[check] %s %s: %s%s%s\n", r.id.c_str(), c.name.c_str(),
+                  c.pass ? "pass" : "FAIL", c.detail.empty() ? "" : " — ",
+                  c.detail.c_str());
+    }
+    ok = ok && r.passed();
+    if (!json_dir.empty()) {
+      const std::string path = write_scenario_json(r, json_dir);
+      if (path.empty()) {
+        std::fprintf(stderr, "error: cannot write JSON for %s under %s\n",
+                     r.id.c_str(), json_dir.c_str());
+        ok = false;
+        continue;
+      }
+      std::string error;
+      if (!validate_scenario_json(path, &error)) {
+        std::fprintf(stderr, "error: %s fails schema validation: %s\n",
+                     path.c_str(), error.c_str());
+        ok = false;
+      }
+    }
+  }
+  std::fflush(stdout);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+#include "scenarios.hpp"
+
+namespace mr::scenarios {
+
+void register_all(ScenarioRegistry& registry) {
+  register_e01(registry);
+  register_e02(registry);
+  register_e03(registry);
+  register_e04(registry);
+  register_e05(registry);
+  register_e06(registry);
+  register_e07(registry);
+  register_e08(registry);
+  register_e09(registry);
+  register_e10(registry);
+  register_e11(registry);
+  register_e12(registry);
+  register_e13(registry);
+  register_e14(registry);
+  register_e15(registry);
+  register_e16(registry);
+}
+
+ScenarioRegistry& builtin() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry;
+    register_all(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace mr::scenarios

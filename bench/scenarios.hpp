@@ -1,0 +1,36 @@
+// The built-in experiment suite (E01–E16) as scenario registrations.
+//
+// Each e*.cpp file in this directory registers exactly one ScenarioSpec;
+// the meshroute_bench driver (and the tests) get the whole suite through
+// builtin(). Registration is explicit — no static-initializer tricks — so
+// the suite's order and content are deterministic and linker-proof.
+#pragma once
+
+#include "harness/scenario.hpp"
+
+namespace mr::scenarios {
+
+void register_e01(ScenarioRegistry& registry);
+void register_e02(ScenarioRegistry& registry);
+void register_e03(ScenarioRegistry& registry);
+void register_e04(ScenarioRegistry& registry);
+void register_e05(ScenarioRegistry& registry);
+void register_e06(ScenarioRegistry& registry);
+void register_e07(ScenarioRegistry& registry);
+void register_e08(ScenarioRegistry& registry);
+void register_e09(ScenarioRegistry& registry);
+void register_e10(ScenarioRegistry& registry);
+void register_e11(ScenarioRegistry& registry);
+void register_e12(ScenarioRegistry& registry);
+void register_e13(ScenarioRegistry& registry);
+void register_e14(ScenarioRegistry& registry);
+void register_e15(ScenarioRegistry& registry);
+void register_e16(ScenarioRegistry& registry);
+
+/// Registers E01..E16 in order.
+void register_all(ScenarioRegistry& registry);
+
+/// The shared registry preloaded with the full suite (built on first use).
+ScenarioRegistry& builtin();
+
+}  // namespace mr::scenarios

@@ -20,9 +20,15 @@ std::size_t default_thread_count() {
 
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
+  parallel_for(count, fn, 0);
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t thread_count) {
   if (count == 0) return;
-  const std::size_t workers =
-      std::min(default_thread_count(), count);
+  if (thread_count == 0) thread_count = default_thread_count();
+  const std::size_t workers = std::min(thread_count, count);
   if (workers <= 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;

@@ -20,4 +20,8 @@ std::size_t default_thread_count();
 /// captured and the first one is rethrown on the calling thread.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+/// Same, but with an explicit worker count (0 = default_thread_count()).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t thread_count);
+
 }  // namespace mr

@@ -26,6 +26,8 @@ class Table {
   Table& add(double v, int precision = 3);
 
   std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   /// Markdown with aligned pipes.
   std::string to_markdown() const;

@@ -16,6 +16,11 @@ using Step = std::int64_t;
 inline constexpr NodeId kInvalidNode = -1;
 inline constexpr PacketId kInvalidPacket = -1;
 
+/// Default for Engine::Config::stall_limit and RunSpec::stall_limit: abort
+/// a run after this many consecutive steps without progress. One constant
+/// so the sim and harness layers cannot drift apart.
+inline constexpr Step kDefaultStallLimit = 500000;
+
 /// The four mesh link directions. Values are used as array indices.
 enum class Dir : std::uint8_t { North = 0, East = 1, South = 2, West = 3 };
 

@@ -12,6 +12,11 @@ Step default_step_budget(std::int32_t width, std::int32_t height, int k) {
 }
 
 RunResult run_workload(const RunSpec& spec, const Workload& workload) {
+  return run_workload(spec, workload, RunHooks{});
+}
+
+RunResult run_workload(const RunSpec& spec, const Workload& workload,
+                       const RunHooks& hooks) {
   const Mesh mesh(spec.width, spec.height, spec.torus);
   auto algorithm = make_algorithm(spec.algorithm);
   Engine::Config config;
@@ -21,8 +26,10 @@ RunResult run_workload(const RunSpec& spec, const Workload& workload) {
   for (const Demand& d : workload)
     engine.add_packet(d.source, d.dest, d.injected_at);
 
+  if (hooks.interceptor != nullptr) engine.set_interceptor(hooks.interceptor);
   MetricsObserver metrics;
   engine.add_observer(&metrics);
+  for (Observer* o : hooks.observers) engine.add_observer(o);
   engine.prepare();
 
   const Step budget = spec.max_steps > 0
@@ -37,8 +44,11 @@ RunResult run_workload(const RunSpec& spec, const Workload& workload) {
   result.delivered = engine.delivered_count();
   result.max_queue = engine.max_occupancy_seen();
   result.total_moves = engine.total_moves();
-  result.latency_p50 = metrics.latency().percentile(0.5);
-  result.latency_max = metrics.latency().max();
+  const LatencySummary latency = metrics.latency_summary();
+  result.latency_p50 = latency.p50;
+  result.latency_p95 = latency.p95;
+  result.latency_p99 = latency.p99;
+  result.latency_max = latency.max;
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/types.hpp"
 #include "sim/engine.hpp"
@@ -21,7 +22,15 @@ struct RunSpec {
   int queue_capacity = 1;  ///< k
   std::string algorithm;   ///< registry name
   Step max_steps = 0;      ///< 0 = auto (generous bound from mesh size)
-  Step stall_limit = 500000;
+  Step stall_limit = kDefaultStallLimit;
+};
+
+/// Optional extension points a scenario can attach to a run: an adversary
+/// interceptor (§3 step (b) hook) and extra observers/checkers. All
+/// pointers are non-owning and must outlive the run_workload call.
+struct RunHooks {
+  StepInterceptor* interceptor = nullptr;
+  std::vector<Observer*> observers;
 };
 
 struct RunResult {
@@ -33,11 +42,17 @@ struct RunResult {
   int max_queue = 0;           ///< peak single-queue occupancy
   std::int64_t total_moves = 0;
   Step latency_p50 = 0;
+  Step latency_p95 = 0;
+  Step latency_p99 = 0;
   Step latency_max = 0;
 };
 
 /// Runs the workload to completion (or to max_steps / stall).
 RunResult run_workload(const RunSpec& spec, const Workload& workload);
+
+/// Same, with adversary/observer hooks attached to the engine.
+RunResult run_workload(const RunSpec& spec, const Workload& workload,
+                       const RunHooks& hooks);
 
 /// Convenience: default max step budget for an n×m mesh with queue size k —
 /// comfortably above the Theorem 15 upper bound.

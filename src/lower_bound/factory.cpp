@@ -1,0 +1,58 @@
+#include "lower_bound/factory.hpp"
+
+#include "core/assert.hpp"
+#include "lower_bound/dim_order_construction.hpp"
+#include "lower_bound/main_construction.hpp"
+
+namespace mr {
+
+std::vector<std::string> adversarial_family_names() {
+  return {"main", "dim-order"};
+}
+
+AdversarialInstance adversarial_instance(const std::string& family,
+                                         std::int32_t n, int k,
+                                         const std::string& algorithm) {
+  AdversarialInstance out;
+  if (family == "main") {
+    const MainLbParams par = main_lb_params(n, k);
+    if (!par.valid) return out;
+    MainConstruction construction(Mesh::square(n), par);
+    auto run = construction.run_construction(algorithm, k);
+    out.valid = true;
+    out.permutation = std::move(run.constructed);
+    out.certified_steps = par.certified_steps;
+    out.classes = par.classes;
+    out.exchanges = run.exchanges;
+    return out;
+  }
+  if (family == "dim-order") {
+    const DimOrderLbParams par = dim_order_lb_params(n, k);
+    if (!par.valid) return out;
+    DimOrderConstruction construction(Mesh::square(n), par);
+    auto run = construction.run_construction(algorithm, k);
+    out.valid = true;
+    out.permutation = std::move(run.constructed);
+    out.certified_steps = par.certified_steps;
+    out.classes = par.classes;
+    out.exchanges = run.exchanges;
+    return out;
+  }
+  MR_REQUIRE_MSG(false, "unknown adversarial family '" << family << "'");
+  return out;
+}
+
+Workload retarget(const Workload& w, const Mesh& from, const Mesh& to) {
+  MR_REQUIRE(to.width() >= from.width() && to.height() >= from.height());
+  Workload out;
+  out.reserve(w.size());
+  for (const Demand& d : w) {
+    const Coord s = from.coord_of(d.source);
+    const Coord t = from.coord_of(d.dest);
+    out.push_back(
+        Demand{to.id_of(s.col, s.row), to.id_of(t.col, t.row), d.injected_at});
+  }
+  return out;
+}
+
+}  // namespace mr

@@ -1,0 +1,43 @@
+// Construction factories for the scenario layer: a registered scenario
+// names an adversarial-instance family instead of wiring up a §3/§5
+// construction by hand, and can re-target the constructed permutation
+// onto another topology.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+#include "topo/mesh.hpp"
+#include "workload/permutation.hpp"
+
+namespace mr {
+
+/// A constructed adversarial instance packaged as a spec component: the
+/// permutation plus the certificate the construction proves for it.
+struct AdversarialInstance {
+  bool valid = false;        ///< (n, k) admitted the construction
+  Workload permutation;      ///< post-exchange constructed permutation
+  Step certified_steps = 0;  ///< the ⌊l⌋·dn lower-bound certificate
+  std::int64_t classes = 0;
+  std::size_t exchanges = 0;
+};
+
+/// Known family names, in stable order: "main" (Theorem 14, §3–§4, vs a DX
+/// minimal adaptive router) and "dim-order" (§5, vs a dimension-order
+/// router).
+std::vector<std::string> adversarial_family_names();
+
+/// Builds the family's construction for an n×n mesh with queue size k and
+/// runs it against `algorithm` (which must belong to the family's router
+/// class) to extract the adversarial permutation. Returns .valid = false
+/// when (n, k) is below the construction's size floor. Throws
+/// InvariantViolation for unknown family names.
+AdversarialInstance adversarial_instance(const std::string& family,
+                                         std::int32_t n, int k,
+                                         const std::string& algorithm);
+
+/// Re-targets a workload built on mesh `from` onto the congruent top-left
+/// corner of the (at least as large) mesh `to`.
+Workload retarget(const Workload& w, const Mesh& from, const Mesh& to);
+
+}  // namespace mr

@@ -45,7 +45,7 @@ class Engine {
     /// they can only enter once something moves, so counting those steps
     /// is what detects a deadlocked network with a non-empty external
     /// buffer.
-    Step stall_limit = 500000;
+    Step stall_limit = kDefaultStallLimit;
   };
 
   Engine(const Mesh& mesh, Config config, Algorithm& algorithm);

@@ -43,6 +43,16 @@ void MetricsObserver::on_deliver(const Engine& e, const Packet& p) {
   ++delivered_so_far_;
 }
 
+LatencySummary MetricsObserver::latency_summary() const {
+  LatencySummary s;
+  s.mean = latency_.mean();
+  s.p50 = latency_.percentile(0.5);
+  s.p95 = latency_.percentile(0.95);
+  s.p99 = latency_.percentile(0.99);
+  s.max = latency_.max();
+  return s;
+}
+
 Step MetricsObserver::completion_step(double fraction,
                                       std::size_t total) const {
   // Ceiling: "half of 5 delivered" means 3 packets, not 2. The epsilon

@@ -10,6 +10,16 @@
 
 namespace mr {
 
+/// Fixed set of latency quantiles reported by every run (the scenario
+/// layer's structured metrics surface).
+struct LatencySummary {
+  double mean = 0;
+  Step p50 = 0;
+  Step p95 = 0;
+  Step p99 = 0;
+  Step max = 0;
+};
+
 class MetricsObserver : public Observer {
  public:
   /// sample_every: occupancy distribution is sampled on every N-th step
@@ -23,6 +33,7 @@ class MetricsObserver : public Observer {
   void on_deliver(const Engine& e, const Packet& p) override;
 
   const Histogram& latency() const { return latency_; }
+  LatencySummary latency_summary() const;
   const Histogram& occupancy() const { return occupancy_; }
   /// delivered_by_step()[t] = cumulative deliveries after step t;
   /// [0] counts the source==dest packets delivered during prepare().

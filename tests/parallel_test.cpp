@@ -1,0 +1,114 @@
+// core/parallel: exception propagation from workers and the
+// MESHROUTE_THREADS override.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hpp"
+
+namespace mr {
+namespace {
+
+// Scoped setenv/unsetenv so a failing assertion can't leak the override
+// into later tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(Parallel, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, ExplicitThreadCountStillCoversAllIndices) {
+  constexpr std::size_t kCount = 257;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    std::vector<std::atomic<int>> hits(kCount);
+    parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); },
+                 threads);
+    for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(Parallel, WorkerExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      parallel_for(64,
+                   [](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Parallel, WorkerExceptionMessageIsTheFirstThrown) {
+  try {
+    parallel_for(
+        8, [](std::size_t) -> void { throw std::runtime_error("worker failed"); },
+        1);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker failed");
+  }
+}
+
+TEST(Parallel, ExceptionDoesNotAbortRemainingIterationsPermanently) {
+  // After a failed run the pool must still be usable.
+  EXPECT_THROW(
+      parallel_for(4, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> total{0};
+  parallel_for(10, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(Parallel, MeshrouteThreadsOverridesDefaultCount) {
+  ScopedEnv env("MESHROUTE_THREADS", "3");
+  EXPECT_EQ(default_thread_count(), 3u);
+}
+
+TEST(Parallel, MeshrouteThreadsInvalidFallsBackToAtLeastOne) {
+  {
+    ScopedEnv env("MESHROUTE_THREADS", "0");
+    EXPECT_GE(default_thread_count(), 1u);
+  }
+  {
+    ScopedEnv env("MESHROUTE_THREADS", "not-a-number");
+    EXPECT_GE(default_thread_count(), 1u);
+  }
+}
+
+TEST(Parallel, ZeroCountIsANoOp) {
+  std::atomic<int> total{0};
+  parallel_for(0, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 0);
+}
+
+}  // namespace
+}  // namespace mr
