@@ -57,7 +57,7 @@ void register_e11(ScenarioRegistry& registry) {
         bool ok = true;
         for (const RunResult& r : results) {
           steps.add(double(r.steps));
-          p50.add(double(r.latency_p50));
+          p50.add(double(r.latency.p50));
           max_queue = std::max(max_queue, r.max_queue);
           ok = ok && r.all_delivered;
         }

@@ -44,7 +44,7 @@ void register_e15(ScenarioRegistry& registry) {
       spec.algorithm = "stray-" + std::to_string(delta);
       spec.max_steps = 400000;
       spec.stall_limit = 20000;
-      const RunResult r = run_workload(spec, adv.permutation);
+      const RunResult r = ctx.run(spec.algorithm, spec, adv.permutation);
       if (delta == 0) {
         base_steps = double(r.steps);
         certificate_holds = r.steps >= adv.certified_steps;
@@ -57,7 +57,6 @@ void register_e15(ScenarioRegistry& registry) {
           .add(r.all_delivered ? "yes" : "NO")
           .add(double(r.steps) / base_steps, 3)
           .add(adv.certified_steps);
-      ctx.record(spec.algorithm, r);
     }
     ctx.table(table);
     ctx.note(

@@ -43,7 +43,8 @@ void register_e16(ScenarioRegistry& registry) {
         spec.width = spec.height = n;
         spec.queue_capacity = n * n;  // effectively unbounded
         spec.algorithm = "farthest-first";
-        const RunResult r = run_workload(spec, w);
+        const RunResult r =
+            ctx.run(name + " n=" + std::to_string(n), spec, w);
         const bool ok = r.all_delivered && r.steps <= 2 * n - 2;
         within_2n_minus_2 = within_2n_minus_2 && ok;
         table.row()

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -127,6 +128,71 @@ bool validate_json(const std::string& path) {
   if (count == 0) return complain("results array is empty");
   std::printf("validate: %s ok (%d results)\n", path.c_str(), count);
   return true;
+}
+
+int throughput_guard(const std::string& baseline_path) {
+  std::ifstream in(baseline_path);
+  if (!in.good()) {
+    std::fprintf(stderr, "guard: cannot read %s\n", baseline_path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string parse_error;
+  const std::optional<json::Value> doc = json::parse(buf.str(), &parse_error);
+  if (!doc || !doc->is_object()) {
+    std::fprintf(stderr, "guard: %s: malformed JSON: %s\n",
+                 baseline_path.c_str(), parse_error.c_str());
+    return 1;
+  }
+  const json::Value* results = doc->find("results");
+  if (results == nullptr || !results->is_array() || results->array.empty()) {
+    std::fprintf(stderr, "guard: %s: missing \"results\"\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+
+  double tol = 0.25;
+  if (const char* env = std::getenv("MESHROUTE_GUARD_TOL")) {
+    const double v = std::atof(env);
+    if (v > 0 && v < 1) tol = v;
+  }
+
+  bool ok = true;
+  int compared = 0;
+  for (const json::Value& entry : results->array) {
+    const json::Value* router = entry.find("router");
+    const json::Value* n = entry.find("n");
+    const json::Value* rate = entry.find("moves_per_sec");
+    if (router == nullptr || !router->is_string() || n == nullptr ||
+        !n->is_number() || rate == nullptr || !rate->is_number() ||
+        rate->number <= 0)
+      continue;
+    // Best of 3: guards against a one-off scheduling hiccup being read as
+    // a regression.
+    RunStats best;
+    for (int rep = 0; rep < 3; ++rep) {
+      RunStats r = run_once(router->string,
+                            static_cast<std::int32_t>(n->number));
+      if (rep == 0 || r.moves_per_sec > best.moves_per_sec) best = r;
+    }
+    const double floor = rate->number * (1.0 - tol);
+    const bool pass = best.moves_per_sec >= floor;
+    std::printf("guard: %-24s n=%-4d %8.2f Kmoves/s vs baseline %8.2f (floor "
+                "%8.2f) %s\n",
+                best.router.c_str(), best.n, best.moves_per_sec / 1e3,
+                rate->number / 1e3, floor / 1e3, pass ? "ok" : "REGRESSED");
+    ok = ok && pass;
+    ++compared;
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "guard: %s: no comparable results\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  std::printf("guard: %d results vs %s, tolerance %.0f%%: %s\n", compared,
+              baseline_path.c_str(), tol * 100, ok ? "ok" : "FAIL");
+  return ok ? 0 : 1;
 }
 
 int json_sweep(const std::string& path, bool smoke) {

@@ -49,4 +49,11 @@ bool validate_json(const std::string& path);
 /// code.
 int json_sweep(const std::string& path, bool smoke);
 
+/// Throughput regression guard: re-runs every (router, n) present in the
+/// baseline BENCH_engine.json at `baseline_path` (written on the same
+/// machine) and fails if any falls below (1 - tol) x the baseline
+/// moves_per_sec. tol is 0.25 unless MESHROUTE_GUARD_TOL overrides it.
+/// Returns a process exit code.
+int throughput_guard(const std::string& baseline_path);
+
 }  // namespace mr::engine_bench

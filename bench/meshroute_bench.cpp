@@ -2,18 +2,29 @@
 //
 // Usage:
 //   meshroute_bench --list                 enumerate registered scenarios
+//                                          and routing algorithms
 //   meshroute_bench [--run <id|label>]...  run a selection (default: all)
 //   meshroute_bench --json=DIR             also write <dir>/<id>.json per
 //                                          scenario (schema
 //                                          meshroute-scenario/1, validated
 //                                          after writing)
+//   meshroute_bench --telemetry=DIR        export meshroute-telemetry/1
+//                                          JSONL + CSV artefacts for every
+//                                          scenario run under DIR
+//   meshroute_bench --profile              wall-clock the five step phases;
+//                                          each run reports a phase table
 //   meshroute_bench --smoke                small problem sizes (same as
 //                                          MESHROUTE_BENCH_SCALE=small)
 //   meshroute_bench --jobs=N               worker threads for the sweep
 //                                          (results are position-addressed:
 //                                          output is identical for any N)
-//   meshroute_bench --validate=PATH        only validate an existing
-//                                          scenario JSON file
+//   meshroute_bench --validate=PATH        only validate an existing JSON
+//                                          record (scenario .json or
+//                                          telemetry .jsonl)
+//   meshroute_bench --throughput-guard=P   only re-run the engine sweep and
+//                                          fail if moves/s regresses >25%
+//                                          against the BENCH_engine.json at
+//                                          P (tolerance: MESHROUTE_GUARD_TOL)
 //
 // Markdown goes to stdout exactly as the historical per-experiment
 // binaries printed it; check verdicts follow each report as "[check]"
@@ -25,17 +36,26 @@
 #include <string>
 #include <vector>
 
+#include "engine_bench.hpp"
 #include "harness/scenario.hpp"
+#include "routing/registry.hpp"
 #include "scenarios.hpp"
+#include "telemetry/export.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--run <id|label>]... [--json=DIR] "
-               "[--smoke] [--jobs=N] [--validate=PATH]\n",
+               "[--telemetry=DIR] [--profile] [--smoke] [--jobs=N] "
+               "[--validate=PATH] [--throughput-guard=PATH]\n",
                argv0);
   return 2;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 }  // namespace
@@ -60,6 +80,12 @@ int main(int argc, char** argv) {
       selection.push_back(arg.substr(6));
     } else if (arg.rfind("--json=", 0) == 0) {
       json_dir = arg.substr(7);
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      options.telemetry_dir = arg.substr(12);
+    } else if (arg == "--profile") {
+      options.profile = true;
+    } else if (arg.rfind("--throughput-guard=", 0) == 0) {
+      return engine_bench::throughput_guard(arg.substr(19));
     } else if (arg == "--smoke") {
       options.scale = Scale::Small;
     } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -68,7 +94,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--validate=", 0) == 0) {
       const std::string path = arg.substr(11);
       std::string error;
-      if (!validate_scenario_json(path, &error)) {
+      const bool ok = ends_with(path, ".jsonl")
+                          ? validate_telemetry_jsonl(path, &error)
+                          : validate_scenario_json(path, &error);
+      if (!ok) {
         std::fprintf(stderr, "validate: %s: %s\n", path.c_str(),
                      error.c_str());
         return 1;
@@ -83,9 +112,16 @@ int main(int argc, char** argv) {
   const ScenarioRegistry& registry = scenarios::builtin();
 
   if (list) {
+    std::printf("scenarios:\n");
     for (const ScenarioSpec* spec : registry.all())
-      std::printf("%-4s %-26s %s\n", spec->id.c_str(), spec->label.c_str(),
+      std::printf("  %-4s %-26s %s\n", spec->id.c_str(), spec->label.c_str(),
                   spec->title.c_str());
+    std::printf("\nalgorithms:\n");
+    for (const AlgorithmInfo& info : algorithm_catalog())
+      std::printf("  %-24s [%-10s] %s\n", info.name.c_str(),
+                  info.layout == QueueLayout::PerInlink ? "per-inlink"
+                                                        : "central",
+                  info.description.c_str());
     return 0;
   }
 
@@ -120,6 +156,15 @@ int main(int argc, char** argv) {
                   c.detail.c_str());
     }
     ok = ok && r.passed();
+    for (const ScenarioRunRecord& rec : r.runs) {
+      if (rec.run.telemetry_path.empty()) continue;
+      std::string error;
+      if (!validate_telemetry_jsonl(rec.run.telemetry_path, &error)) {
+        std::fprintf(stderr, "error: telemetry %s fails validation: %s\n",
+                     rec.run.telemetry_path.c_str(), error.c_str());
+        ok = false;
+      }
+    }
     if (!json_dir.empty()) {
       const std::string path = write_scenario_json(r, json_dir);
       if (path.empty()) {

@@ -39,8 +39,8 @@ int main(int argc, char** argv) {
         .add(r.steps)
         .add(double(r.steps) / n, 2)
         .add(std::int64_t(r.max_queue))
-        .add(r.latency_p50)
-        .add(r.latency_max)
+        .add(r.latency.p50)
+        .add(r.latency.max)
         .add(r.all_delivered ? "yes" : "NO");
   }
   table.print(std::cout);

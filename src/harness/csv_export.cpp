@@ -11,6 +11,13 @@ std::string csv_output_dir() {
   return env != nullptr ? std::string(env) : std::string();
 }
 
+bool write_csv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << table.to_csv();
+  return out.good();
+}
+
 std::string export_csv(const Table& table, const std::string& slug) {
   const std::string dir = csv_output_dir();
   if (dir.empty()) return {};
@@ -24,10 +31,7 @@ std::string export_csv(const Table& table, const std::string& slug) {
                 : '_';
   }
   const std::string path = dir + "/" + name + ".csv";
-  std::ofstream out(path);
-  if (!out) return {};
-  out << table.to_csv();
-  return path;
+  return write_csv(table, path) ? path : std::string();
 }
 
 }  // namespace mr

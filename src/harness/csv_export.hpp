@@ -12,6 +12,9 @@ namespace mr {
 /// Returns the configured output directory, or empty when export is off.
 std::string csv_output_dir();
 
+/// Writes `table` as CSV to an explicit path. Returns false on I/O failure.
+bool write_csv(const Table& table, const std::string& path);
+
 /// Writes `table` as <dir>/<slug>.csv if MESHROUTE_OUTPUT_DIR is set.
 /// `slug` is sanitised to [a-z0-9_-]. Returns the path written, or empty.
 std::string export_csv(const Table& table, const std::string& slug);

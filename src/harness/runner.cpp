@@ -1,6 +1,7 @@
 #include "harness/runner.hpp"
 
 #include "routing/registry.hpp"
+#include "telemetry/export.hpp"
 
 namespace mr {
 
@@ -29,7 +30,20 @@ RunResult run_workload(const RunSpec& spec, const Workload& workload,
   if (hooks.interceptor != nullptr) engine.set_interceptor(hooks.interceptor);
   MetricsObserver metrics;
   engine.add_observer(&metrics);
+
+  const TelemetrySpec& telemetry = spec.telemetry;
+  std::optional<TelemetryCollector> collector;
+  if (telemetry.series || !telemetry.export_dir.empty()) {
+    TelemetryOptions options;
+    options.series_capacity = telemetry.series_capacity;
+    options.sample_every = telemetry.sample_every;
+    collector.emplace(options);
+    engine.add_observer(&*collector);
+  }
+  if (telemetry.profile) engine.set_phase_profiling(true);
+
   for (Observer* o : hooks.observers) engine.add_observer(o);
+  for (StepObserver* o : hooks.step_observers) engine.add_observer(o);
   engine.prepare();
 
   const Step budget = spec.max_steps > 0
@@ -44,11 +58,27 @@ RunResult run_workload(const RunSpec& spec, const Workload& workload,
   result.delivered = engine.delivered_count();
   result.max_queue = engine.max_occupancy_seen();
   result.total_moves = engine.total_moves();
-  const LatencySummary latency = metrics.latency_summary();
-  result.latency_p50 = latency.p50;
-  result.latency_p95 = latency.p95;
-  result.latency_p99 = latency.p99;
-  result.latency_max = latency.max;
+  result.latency = metrics.latency_summary();
+  if (telemetry.profile) result.phase_profile = engine.phase_profile();
+
+  if (collector && !telemetry.export_dir.empty()) {
+    TelemetryRunInfo info;
+    info.run = telemetry.slug.empty() ? spec.algorithm : telemetry.slug;
+    info.algorithm = spec.algorithm;
+    info.width = spec.width;
+    info.height = spec.height;
+    info.torus = spec.torus;
+    info.queue_capacity = spec.queue_capacity;
+    info.layout = engine.queue_layout();
+    info.steps = result.steps;
+    info.packets = result.packets;
+    info.delivered = result.delivered;
+    info.stalled = result.stalled;
+    result.telemetry_path = write_telemetry(
+        *collector, info,
+        result.phase_profile ? &*result.phase_profile : nullptr,
+        telemetry.export_dir);
+  }
   return result;
 }
 

@@ -10,10 +10,26 @@
 #include "core/types.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 #include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr {
+
+/// Opt-in run observability. With `series` or `profile` set the runner
+/// attaches a TelemetryCollector / enables phase profiling itself — callers
+/// never construct observers. Setting `export_dir` additionally writes the
+/// meshroute-telemetry/1 JSONL + CSV artefacts there.
+struct TelemetrySpec {
+  bool series = false;   ///< collect time series + heatmaps
+  bool profile = false;  ///< wall-clock the five step phases
+  Step sample_every = 16;
+  std::size_t series_capacity = 4096;
+  std::string export_dir;  ///< empty = collect only, no files
+  std::string slug;        ///< export file slug; empty = algorithm name
+
+  bool enabled() const { return series || profile || !export_dir.empty(); }
+};
 
 struct RunSpec {
   std::int32_t width = 0;
@@ -23,6 +39,7 @@ struct RunSpec {
   std::string algorithm;   ///< registry name
   Step max_steps = 0;      ///< 0 = auto (generous bound from mesh size)
   Step stall_limit = kDefaultStallLimit;
+  TelemetrySpec telemetry;
 };
 
 /// Optional extension points a scenario can attach to a run: an adversary
@@ -31,6 +48,7 @@ struct RunSpec {
 struct RunHooks {
   StepInterceptor* interceptor = nullptr;
   std::vector<Observer*> observers;
+  std::vector<StepObserver*> step_observers;
 };
 
 struct RunResult {
@@ -41,10 +59,11 @@ struct RunResult {
   std::size_t delivered = 0;
   int max_queue = 0;           ///< peak single-queue occupancy
   std::int64_t total_moves = 0;
-  Step latency_p50 = 0;
-  Step latency_p95 = 0;
-  Step latency_p99 = 0;
-  Step latency_max = 0;
+  LatencySummary latency;
+  /// Filled when RunSpec::telemetry asked for profiling.
+  std::optional<PhaseProfile> phase_profile;
+  /// JSONL path when RunSpec::telemetry exported artefacts, else empty.
+  std::string telemetry_path;
 };
 
 /// Runs the workload to completion (or to max_steps / stall).

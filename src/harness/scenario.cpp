@@ -12,6 +12,7 @@
 #include "core/parallel.hpp"
 #include "harness/csv_export.hpp"
 #include "harness/json_min.hpp"
+#include "telemetry/phase_profile.hpp"
 
 namespace mr {
 
@@ -103,10 +104,13 @@ std::string ScenarioResult::to_json() const {
        << ", \"all_delivered\": " << (r.all_delivered ? "true" : "false")
        << ", \"stalled\": " << (r.stalled ? "true" : "false")
        << ", \"max_queue\": " << r.max_queue
-       << ", \"latency_p50\": " << r.latency_p50
-       << ", \"latency_p95\": " << r.latency_p95
-       << ", \"latency_p99\": " << r.latency_p99
-       << ", \"latency_max\": " << r.latency_max << "}";
+       << ", \"latency_p50\": " << r.latency.p50
+       << ", \"latency_p95\": " << r.latency.p95
+       << ", \"latency_p99\": " << r.latency.p99
+       << ", \"latency_max\": " << r.latency.max;
+    if (!r.telemetry_path.empty())
+      os << ", \"telemetry\": \"" << json::escape(r.telemetry_path) << "\"";
+    os << "}";
   }
   os << (runs.empty() ? "" : "\n  ") << "],\n";
 
@@ -172,8 +176,21 @@ void ScenarioReport::record(const std::string& run_label, const RunResult& r) {
 RunResult ScenarioReport::run(const std::string& run_label,
                               const RunSpec& spec, const Workload& workload,
                               const RunHooks& hooks) {
-  const RunResult r = run_workload(spec, workload, hooks);
+  RunSpec effective = spec;
+  if (!effective.telemetry.enabled()) {
+    if (!options_.telemetry_dir.empty()) {
+      effective.telemetry.series = true;
+      effective.telemetry.export_dir = options_.telemetry_dir;
+      effective.telemetry.slug = lower(out_->id) + "_" + run_label;
+    }
+    effective.telemetry.profile = options_.profile;
+  }
+  const RunResult r = run_workload(effective, workload, hooks);
   record(run_label, r);
+  if (r.phase_profile) {
+    note("phase profile (" + run_label + "):");
+    table(phase_profile_table(*r.phase_profile));
+  }
   return r;
 }
 
@@ -217,7 +234,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   result.title = spec.title;
   result.paper_ref = spec.paper_ref;
   result.scale = options.scale;
-  ScenarioReport report(options.scale, &result);
+  ScenarioReport report(options, &result);
   try {
     spec.body(report);
     if (spec.expect)

@@ -88,13 +88,24 @@ struct ScenarioResult {
 
 inline constexpr const char* kScenarioJsonSchema = "meshroute-scenario/1";
 
+struct ScenarioOptions {
+  Scale scale = Scale::Default;
+  std::size_t jobs = 0;  ///< worker threads for run_scenarios; 0 = default
+  /// When set, every ScenarioReport::run exports meshroute-telemetry/1
+  /// artefacts under this directory (slug "<id>_<run label>") unless the
+  /// run's spec already configured its own telemetry.
+  std::string telemetry_dir;
+  /// When true, runs are phase-profiled and each records a profile table.
+  bool profile = false;
+};
+
 /// The write handle a scenario body reports through.
 class ScenarioReport {
  public:
-  ScenarioReport(Scale scale, ScenarioResult* out)
-      : scale_(scale), out_(out) {}
+  ScenarioReport(const ScenarioOptions& options, ScenarioResult* out)
+      : options_(options), out_(out) {}
 
-  Scale scale() const { return scale_; }
+  Scale scale() const { return options_.scale; }
 
   void note(const std::string& text);
   void table(const Table& t);
@@ -102,12 +113,15 @@ class ScenarioReport {
              const std::string& detail = "");
   void record(const std::string& run_label, const RunResult& r);
 
-  /// Convenience: run_workload + record() in one call.
+  /// Convenience: run_workload + record() in one call. Applies the
+  /// ScenarioOptions telemetry/profile settings to the spec (without
+  /// overriding a spec whose own TelemetrySpec is already enabled) and, when
+  /// profiling, appends the phase table to the report.
   RunResult run(const std::string& run_label, const RunSpec& spec,
                 const Workload& workload, const RunHooks& hooks = {});
 
  private:
-  Scale scale_;
+  ScenarioOptions options_;
   ScenarioResult* out_;
 };
 
@@ -138,11 +152,6 @@ class ScenarioRegistry {
  private:
   // deque: pointers handed out by find()/all() stay valid across add().
   std::vector<std::unique_ptr<ScenarioSpec>> specs_;
-};
-
-struct ScenarioOptions {
-  Scale scale = Scale::Default;
-  std::size_t jobs = 0;  ///< worker threads for run_scenarios; 0 = default
 };
 
 /// Executes one spec. Exceptions from the body are captured into

@@ -12,7 +12,46 @@
 
 namespace mr {
 
-std::unique_ptr<Algorithm> make_algorithm(const std::string& name) {
+const std::vector<AlgorithmInfo>& algorithm_catalog() {
+  static const std::vector<AlgorithmInfo> catalog = {
+      {"dimension-order",
+       "greedy dimension-order (row then column), the §5 baseline",
+       QueueLayout::Central, true},
+      {"adaptive-alternate",
+       "minimal adaptive, alternates row/column moves when both profit",
+       QueueLayout::Central, true},
+      {"greedy-match",
+       "minimal adaptive, greedy packet-to-outlink matching per step",
+       QueueLayout::Central, true},
+      {"west-first",
+       "west-first turn model: all west hops first, then adaptive",
+       QueueLayout::Central, true},
+      {"stray-2",
+       "δ-stray nonminimal: deflects blocked packets ≤ δ off-rectangle (§5)",
+       QueueLayout::Central, false},
+      {"farthest-first",
+       "farthest-distance-first priority, non-exchangeable reference",
+       QueueLayout::Central, false},
+      {"bounded-dimension-order",
+       "Theorem 15 router: per-inlink queues, straight-priority outqueue",
+       QueueLayout::PerInlink, false},
+  };
+  return catalog;
+}
+
+AlgorithmSpec parse_algorithm_spec(const std::string& name) {
+  AlgorithmSpec spec;
+  if (name.rfind("stray-", 0) == 0) {
+    spec.name = "stray";
+    spec.params.stray_bound = std::atoi(name.c_str() + 6);
+  } else {
+    spec.name = name;
+  }
+  return spec;
+}
+
+std::unique_ptr<Algorithm> make_algorithm(const AlgorithmSpec& spec) {
+  const std::string& name = spec.name;
   if (name == "dimension-order")
     return std::make_unique<DimensionOrderRouter>();
   if (name == "adaptive-alternate")
@@ -22,24 +61,38 @@ std::unique_ptr<Algorithm> make_algorithm(const std::string& name) {
   if (name == "farthest-first") return std::make_unique<FarthestFirstRouter>();
   if (name == "bounded-dimension-order")
     return std::make_unique<BoundedDimensionOrderRouter>();
-  if (name.rfind("stray-", 0) == 0) {
-    const int delta = std::atoi(name.c_str() + 6);
-    MR_REQUIRE_MSG(delta >= 0 && delta <= 64, "bad stray delta in " << name);
-    return std::make_unique<StrayRouter>(delta);
+  if (name == "stray" || name.rfind("stray-", 0) == 0) {
+    const AlgorithmParams& p = name == "stray"
+                                   ? spec.params
+                                   : parse_algorithm_spec(name).params;
+    MR_REQUIRE_MSG(p.stray_bound >= 0 && p.stray_bound <= 64,
+                   "bad stray bound " << p.stray_bound);
+    MR_REQUIRE_MSG(p.stray_block_threshold >= 1,
+                   "bad stray block threshold " << p.stray_block_threshold);
+    return std::make_unique<StrayRouter>(p.stray_bound,
+                                         p.stray_block_threshold);
   }
   MR_REQUIRE_MSG(false, "unknown algorithm: " << name);
   return nullptr;
 }
 
+std::unique_ptr<Algorithm> make_algorithm(const std::string& name) {
+  return make_algorithm(parse_algorithm_spec(name));
+}
+
 std::vector<std::string> algorithm_names() {
-  return {"dimension-order", "adaptive-alternate", "greedy-match",
-          "west-first",      "stray-2",            "farthest-first",
-          "bounded-dimension-order"};
+  std::vector<std::string> names;
+  names.reserve(algorithm_catalog().size());
+  for (const AlgorithmInfo& info : algorithm_catalog())
+    names.push_back(info.name);
+  return names;
 }
 
 std::vector<std::string> dx_minimal_algorithm_names() {
-  return {"dimension-order", "adaptive-alternate", "greedy-match",
-          "west-first"};
+  std::vector<std::string> names;
+  for (const AlgorithmInfo& info : algorithm_catalog())
+    if (info.dx_minimal) names.push_back(info.name);
+  return names;
 }
 
 }  // namespace mr

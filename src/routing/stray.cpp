@@ -67,11 +67,11 @@ void StrayRouter::dx_update(NodeCtx& ctx, std::span<PacketDxView> resident) {
     if (armed(v.state)) {
       // A stuck deflection is re-aimed after a while (the target stayed
       // full); disarming lets the packet try profitable directions again.
-      if (new_streak >= 2 * kBlockThreshold)
+      if (new_streak >= static_cast<std::uint64_t>(2 * block_threshold_))
         v.state &= ~(kArmedBit | kDirMaskBits);
       continue;
     }
-    if (static_cast<int>(new_streak) >= kBlockThreshold &&
+    if (static_cast<int>(new_streak) >= block_threshold_ &&
         debt(v.state) < delta_) {
       // Arm a deflection: first existing unprofitable outlink, scanning
       // from a per-step rotation so repeated deflections spread out.

@@ -21,7 +21,10 @@ namespace mr {
 
 class StrayRouter final : public DxAlgorithm {
  public:
-  explicit StrayRouter(int delta) : delta_(delta) {}
+  /// delta: stray budget δ. block_threshold: consecutive blocked steps
+  /// before a deflection arms (re-aimed after twice that many).
+  explicit StrayRouter(int delta, int block_threshold = 3)
+      : delta_(delta), block_threshold_(block_threshold) {}
 
   std::string name() const override {
     return "stray-" + std::to_string(delta_);
@@ -44,8 +47,6 @@ class StrayRouter final : public DxAlgorithm {
   static constexpr std::uint64_t kDebtMask = 0x7F;
   static constexpr int kStreakShift = 10;              // bits 10-17: streak
   static constexpr std::uint64_t kStreakMask = 0xFF;
-  /// consecutive blocked steps before arming a deflection
-  static constexpr int kBlockThreshold = 3;
 
   static int debt(std::uint64_t s) {
     return static_cast<int>((s >> kDebtShift) & kDebtMask);
@@ -59,6 +60,7 @@ class StrayRouter final : public DxAlgorithm {
   }
 
   int delta_;
+  int block_threshold_;
 };
 
 }  // namespace mr

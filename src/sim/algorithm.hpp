@@ -115,7 +115,61 @@ class StepInterceptor {
                               std::span<const ScheduledMove> moves) = 0;
 };
 
-/// Observation hook for metrics/trace collection; never influences routing.
+/// One transmission executed in phase (d): `packet` travelled from → to in
+/// direction `dir`. `delivered` is true iff `to` was the packet's
+/// destination, in which case the engine removed it from the network.
+struct MoveRecord {
+  PacketId packet = kInvalidPacket;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Dir dir = Dir::North;
+  bool delivered = false;
+};
+
+/// Everything observable about one executed step, delivered to observers
+/// in a single callback after the step completes (so observation costs one
+/// virtual call per step, not one per move). Spans point into engine
+/// scratch and are valid only for the duration of the callback.
+struct StepDigest {
+  Step step = 0;  ///< step number; 0 for the prepare() digest
+
+  /// Phase (d) transmissions in engine order: delivering hops first, then
+  /// accepted hops, each group ascending by receiving node / travel
+  /// direction. Empty in the prepare() digest.
+  std::span<const MoveRecord> moves;
+
+  /// Packets with source == dest that the injection phase of this step
+  /// delivered without ever entering the network, ascending by PacketId.
+  std::span<const PacketId> injected_deliveries;
+
+  // Ready-made counters (all derivable from the spans; precomputed so
+  // cheap consumers never touch the records).
+  std::int64_t deliveries = 0;  ///< total deliveries incl. injected ones
+  std::int64_t injections = 0;  ///< successful entries incl. injected deliveries
+  std::array<std::int64_t, kNumDirs> moves_by_dir{};  ///< link utilisation
+  std::int64_t exchanges = 0;   ///< adversary exchanges during phase (b)
+  Step stall_run = 0;  ///< consecutive no-progress steps including this one
+};
+
+/// The observation interface: one digest per executed step. Observation
+/// never influences routing. Packet records read through the Engine inside
+/// a callback show end-of-step state (after phase (e)), which for every
+/// digest field referenced here is identical to the state at transmission
+/// time except for queue-slot indices.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  /// Called once at the end of prepare(): the initial configuration is
+  /// final; the digest carries step 0 and any source==dest deliveries.
+  virtual void on_prepare(const Engine&, const StepDigest&) {}
+  virtual void on_step(const Engine&, const StepDigest&) = 0;
+};
+
+/// Legacy per-event observation hook, retained as a thin adapter over the
+/// digest callback (see LegacyObserverAdapter): per step the adapter
+/// replays injected deliveries, then each move (with on_deliver after the
+/// delivering hop), then on_step_end — the exact event order the engine
+/// used to emit inline. Prefer StepObserver for new code.
 class Observer {
  public:
   virtual ~Observer() = default;
@@ -128,6 +182,20 @@ class Observer {
     (void)from;
     (void)to;
   }
+};
+
+/// Replays a StepDigest as the legacy per-event callback sequence.
+/// Engine::add_observer(Observer*) wraps each legacy observer in one of
+/// these; the replayed event order is bit-identical to the order the
+/// pre-digest engine emitted inline.
+class LegacyObserverAdapter final : public StepObserver {
+ public:
+  explicit LegacyObserverAdapter(Observer* legacy) : legacy_(legacy) {}
+  void on_prepare(const Engine& e, const StepDigest& d) override;
+  void on_step(const Engine& e, const StepDigest& d) override;
+
+ private:
+  Observer* legacy_;
 };
 
 }  // namespace mr

@@ -2,8 +2,24 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 
 namespace mr {
+
+void LegacyObserverAdapter::on_prepare(const Engine& e, const StepDigest& d) {
+  for (PacketId p : d.injected_deliveries) legacy_->on_deliver(e, e.packet(p));
+  legacy_->on_prepare_end(e);
+}
+
+void LegacyObserverAdapter::on_step(const Engine& e, const StepDigest& d) {
+  for (PacketId p : d.injected_deliveries) legacy_->on_deliver(e, e.packet(p));
+  for (const MoveRecord& m : d.moves) {
+    const Packet& pk = e.packet(m.packet);
+    legacy_->on_move(e, pk, m.from, m.to);
+    if (m.delivered) legacy_->on_deliver(e, pk);
+  }
+  legacy_->on_step_end(e);
+}
 
 namespace {
 // 64-bit FNV-1a, used for configuration fingerprints.
@@ -48,9 +64,15 @@ PacketId Engine::add_packet(NodeId source, NodeId dest, Step injected_at) {
   return pk.id;
 }
 
-void Engine::add_observer(Observer* observer) {
+void Engine::add_observer(StepObserver* observer) {
   MR_REQUIRE(observer != nullptr);
   observers_.push_back(observer);
+}
+
+void Engine::add_observer(Observer* observer) {
+  MR_REQUIRE(observer != nullptr);
+  adapters_.push_back(std::make_unique<LegacyObserverAdapter>(observer));
+  observers_.push_back(adapters_.back().get());
 }
 
 QueueTag Engine::arrival_tag(Dir travel_dir) const {
@@ -128,7 +150,7 @@ void Engine::inject_due_packets() {
       pk.delivered_at = step_;
       ++delivered_count_;
       ++injected_this_step_;
-      for (Observer* ob : observers_) ob->on_deliver(*this, pk);
+      if (!observers_.empty()) injected_deliveries_.push_back(p);
       continue;
     }
     const QueueTag tag = layout_ == QueueLayout::Central
@@ -167,13 +189,21 @@ void Engine::prepare() {
   std::stable_sort(injections_.begin(), injections_.end());
   step_ = 0;
   injected_this_step_ = 0;
+  injected_deliveries_.clear();
   inject_due_packets();
   // §3: the initial state of nodes/packets may depend on the initial
   // arrangement; the algorithm sets them here.
   algorithm_.init(*this);
   packet_scheduled_.assign(packets_.size(), 0);
   merge_active();
-  for (Observer* ob : observers_) ob->on_prepare_end(*this);
+  if (!observers_.empty()) {
+    StepDigest digest;
+    digest.step = 0;
+    digest.injected_deliveries = injected_deliveries_;
+    digest.deliveries = static_cast<std::int64_t>(injected_deliveries_.size());
+    digest.injections = injected_this_step_;
+    for (StepObserver* ob : observers_) ob->on_prepare(*this, digest);
+  }
 }
 
 void Engine::validate_out_plan(NodeId u, const OutPlan& plan) {
@@ -222,9 +252,25 @@ bool Engine::step_once() {
   if (all_delivered()) return false;
   ++step_;
 
+  // Phase profiling: zero clock reads unless enabled.
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point step_begin, phase_begin;
+  if (profiling_) step_begin = phase_begin = Clock::now();
+  const auto phase_end = [&](StepPhase p) {
+    if (!profiling_) return;
+    const Clock::time_point now = Clock::now();
+    phase_profile_.seconds[static_cast<int>(p)] +=
+        std::chrono::duration<double>(now - phase_begin).count();
+    phase_begin = now;
+  };
+
+  const bool observed = !observers_.empty();
   injected_this_step_ = 0;
+  injected_deliveries_.clear();
+  exchanges_before_step_ = static_cast<std::int64_t>(exchange_count_);
   inject_due_packets();
   merge_active();
+  if (profiling_) phase_begin = Clock::now();  // injection is out-of-phase
 
   // ----- (a) outqueue policies schedule packets -------------------------
   moves_.clear();
@@ -242,6 +288,7 @@ bool Engine::step_once() {
   // Clear the double-schedule flags set by validate_out_plan: exactly the
   // scheduled packets, so this is O(moves) instead of O(all packets).
   for (const ScheduledMove& m : moves_) packet_scheduled_[m.packet] = 0;
+  phase_end(StepPhase::PlanOut);
 
   // ----- (b) adversary exchanges ----------------------------------------
   if (interceptor_ != nullptr) {
@@ -260,6 +307,7 @@ bool Engine::step_once() {
       }
     }
   }
+  phase_end(StepPhase::Interceptor);
 
   // ----- (c) inqueue policies accept/reject ------------------------------
   // Arrivals at the destination are delivered by the model itself (§2) and
@@ -311,8 +359,10 @@ bool Engine::step_once() {
     for (std::size_t g = 0; g < group_.size(); ++g)
       if (in_plan_.accept[g]) accepted_.push_back(group_[g]);
   }
+  phase_end(StepPhase::PlanIn);
 
   // ----- (d) transmission -------------------------------------------------
+  if (observed) digest_moves_.clear();
   for (const ScheduledMove* m : deliveries_) {
     Packet& pk = packets_[m->packet];
     remove_from_node(pk.id);
@@ -320,8 +370,9 @@ bool Engine::step_once() {
     pk.delivered_at = step_;
     ++delivered_count_;
     ++moved_this_step;
-    for (Observer* ob : observers_) ob->on_move(*this, pk, m->from, m->to);
-    for (Observer* ob : observers_) ob->on_deliver(*this, pk);
+    if (observed)
+      digest_moves_.push_back(
+          MoveRecord{pk.id, m->from, m->to, m->dir, /*delivered=*/true});
   }
   for (const Offer& o : accepted_) {
     Packet& pk = packets_[o.packet];
@@ -332,7 +383,9 @@ bool Engine::step_once() {
         static_cast<std::uint8_t>(dir_index(opposite(o.dir)));
     ++moved_this_step;
     ++total_moves_;
-    for (Observer* ob : observers_) ob->on_move(*this, pk, from, o.to);
+    if (observed)
+      digest_moves_.push_back(
+          MoveRecord{pk.id, from, o.to, o.dir, /*delivered=*/false});
   }
 
   // No-overflow requirement of §2: check every node that received.
@@ -340,6 +393,7 @@ bool Engine::step_once() {
     check_capacity_after_transmit(o.to);
     record_occupancy(o.to);
   }
+  phase_end(StepPhase::Transmit);
 
   // ----- (e) state updates -------------------------------------------------
   // update_state runs in ascending NodeId over every node that held, sent
@@ -377,6 +431,7 @@ bool Engine::step_once() {
                                }),
                 active_.end());
   active_sorted_ = active_.size();
+  phase_end(StepPhase::Update);
 
   // Stall detection (livelock guard for buggy algorithms). A step with no
   // movement and no successful injection is a stall step even while
@@ -392,7 +447,28 @@ bool Engine::step_once() {
     stall_run_ = 0;
   }
 
-  for (Observer* ob : observers_) ob->on_step_end(*this);
+  if (observed) {
+    StepDigest digest;
+    digest.step = step_;
+    digest.moves = digest_moves_;
+    digest.injected_deliveries = injected_deliveries_;
+    digest.deliveries =
+        static_cast<std::int64_t>(deliveries_.size() +
+                                  injected_deliveries_.size());
+    digest.injections = injected_this_step_;
+    for (const MoveRecord& m : digest_moves_)
+      ++digest.moves_by_dir[dir_index(m.dir)];
+    digest.exchanges =
+        static_cast<std::int64_t>(exchange_count_) - exchanges_before_step_;
+    digest.stall_run = stall_run_;
+    for (StepObserver* ob : observers_) ob->on_step(*this, digest);
+  }
+
+  if (profiling_) {
+    ++phase_profile_.steps;
+    phase_profile_.total_seconds +=
+        std::chrono::duration<double>(Clock::now() - step_begin).count();
+  }
   return true;
 }
 

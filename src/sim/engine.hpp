@@ -19,8 +19,16 @@
 // activated nodes instead of re-sorting, and offers are grouped by
 // receiving node via a 4-way merge of the per-direction move streams
 // instead of a comparison sort.
+//
+// Observation is digest-based: the engine batches each step's moves,
+// deliveries and counters into one StepDigest and dispatches a single
+// on_step callback per observer per step — no virtual calls on the
+// per-move hot path. Legacy per-event Observers attach through
+// LegacyObserverAdapter with bit-identical event order. Optional phase
+// profiling (set_phase_profiling) accumulates wall-clock per §3 phase.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -33,6 +41,44 @@
 #include "topo/mesh.hpp"
 
 namespace mr {
+
+/// The five phases of the §3 step pipeline, in execution order. Indices
+/// into PhaseProfile::seconds.
+enum class StepPhase : std::uint8_t {
+  PlanOut = 0,      ///< (a) outqueue policies + plan validation
+  Interceptor = 1,  ///< (b) adversary exchanges
+  PlanIn = 2,       ///< (c) offer grouping + inqueue policies
+  Transmit = 3,     ///< (d) transmissions + capacity checks
+  Update = 4,       ///< (e) state updates + active-list compaction
+};
+inline constexpr int kNumPhases = 5;
+
+constexpr const char* phase_name(StepPhase p) {
+  switch (p) {
+    case StepPhase::PlanOut: return "plan_out";
+    case StepPhase::Interceptor: return "interceptor";
+    case StepPhase::PlanIn: return "plan_in";
+    case StepPhase::Transmit: return "transmit";
+    case StepPhase::Update: return "update";
+  }
+  return "?";
+}
+
+/// Wall-clock profile of the step pipeline, accumulated by the engine when
+/// phase profiling is enabled. `total_seconds` covers whole steps
+/// (injection and observer dispatch included), so
+/// total_seconds - sum(seconds) is the out-of-phase overhead.
+struct PhaseProfile {
+  std::array<double, kNumPhases> seconds{};
+  double total_seconds = 0;
+  std::int64_t steps = 0;
+
+  double phase_seconds_sum() const {
+    double s = 0;
+    for (double v : seconds) s += v;
+    return s;
+  }
+};
 
 class Engine {
  public:
@@ -60,7 +106,18 @@ class Engine {
   void set_interceptor(StepInterceptor* interceptor) {
     interceptor_ = interceptor;
   }
+  /// Registers a digest observer: one on_step callback per executed step.
+  void add_observer(StepObserver* observer);
+  /// Registers a legacy per-event observer by wrapping it in a
+  /// LegacyObserverAdapter (owned by the engine). Event order is identical
+  /// to the historical inline dispatch.
   void add_observer(Observer* observer);
+
+  /// Enables (or disables) wall-clock profiling of the five step phases.
+  /// Off by default; when off, stepping performs no clock reads.
+  void set_phase_profiling(bool enabled) { profiling_ = enabled; }
+  bool phase_profiling() const { return profiling_; }
+  const PhaseProfile& phase_profile() const { return phase_profile_; }
 
   /// Finalises the initial configuration: injects step-0 packets, delivers
   /// source==dest packets, calls Algorithm::init, then notifies observers
@@ -182,7 +239,10 @@ class Engine {
   std::vector<PacketId> waiting_injections_;  // due but queue was full
 
   StepInterceptor* interceptor_ = nullptr;
-  std::vector<Observer*> observers_;
+  std::vector<StepObserver*> observers_;
+  /// Adapters created by add_observer(Observer*); entries in observers_
+  /// may point at these.
+  std::vector<std::unique_ptr<LegacyObserverAdapter>> adapters_;
 
   Step step_ = 0;
   std::size_t delivered_count_ = 0;
@@ -197,6 +257,9 @@ class Engine {
 
   int max_occupancy_seen_ = 0;
   std::int64_t total_moves_ = 0;
+
+  bool profiling_ = false;
+  PhaseProfile phase_profile_;
 
   // Nodes currently holding >=1 packet. The first active_sorted_ entries
   // are sorted ascending; place_packet appends newly activated nodes past
@@ -219,6 +282,13 @@ class Engine {
   std::vector<std::uint8_t> packet_scheduled_;
   OutPlan out_plan_;
   InPlan in_plan_;
+
+  // Digest scratch (valid during observer dispatch only). digest_moves_ is
+  // built in phase (d) — delivering hops first, then accepted hops, both
+  // in engine order — and only when at least one observer is registered.
+  std::vector<MoveRecord> digest_moves_;
+  std::vector<PacketId> injected_deliveries_;
+  std::int64_t exchanges_before_step_ = 0;
 };
 
 }  // namespace mr

@@ -1,0 +1,279 @@
+#include "telemetry/export.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "core/table.hpp"
+#include "harness/csv_export.hpp"
+#include "harness/json_min.hpp"
+#include "telemetry/phase_profile.hpp"
+
+namespace mr {
+
+namespace {
+
+std::string sanitize_slug(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    const char lower =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    out += (std::isalnum(static_cast<unsigned char>(lower)) || lower == '-' ||
+            lower == '_')
+               ? lower
+               : '_';
+  }
+  return out.empty() ? std::string("run") : out;
+}
+
+const char* layout_name(QueueLayout layout) {
+  return layout == QueueLayout::PerInlink ? "per-inlink" : "central";
+}
+
+Table series_table(const TelemetryCollector& collector) {
+  Table table({"step", "span", "moves", "deliveries", "injections",
+               "stall_run", "moves_n", "moves_e", "moves_s", "moves_w"});
+  for (const TelemetrySeriesRow& row : collector.series()) {
+    table.row()
+        .add(row.step)
+        .add(row.span)
+        .add(row.moves)
+        .add(row.deliveries)
+        .add(row.injections)
+        .add(row.stall_run)
+        .add(row.moves_by_dir[dir_index(Dir::North)])
+        .add(row.moves_by_dir[dir_index(Dir::East)])
+        .add(row.moves_by_dir[dir_index(Dir::South)])
+        .add(row.moves_by_dir[dir_index(Dir::West)]);
+  }
+  return table;
+}
+
+Table heatmap_table(const TelemetryCollector& collector,
+                    const TelemetryRunInfo& info) {
+  Table table({"node", "col", "row", "samples", "mean_occupancy",
+               "max_occupancy"});
+  const std::int64_t samples = collector.heat_samples();
+  const auto& heat = collector.node_heat();
+  for (std::size_t u = 0; u < heat.size(); ++u) {
+    const TelemetryNodeHeat& h = heat[u];
+    if (h.sum == 0 && h.max == 0) continue;
+    const auto col = static_cast<std::int64_t>(u) %
+                     (info.width > 0 ? info.width : 1);
+    const auto row = static_cast<std::int64_t>(u) /
+                     (info.width > 0 ? info.width : 1);
+    table.row()
+        .add(static_cast<std::int64_t>(u))
+        .add(col)
+        .add(row)
+        .add(samples)
+        .add(samples > 0 ? static_cast<double>(h.sum) /
+                               static_cast<double>(samples)
+                         : 0.0,
+             4)
+        .add(h.max);
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string telemetry_to_jsonl(const TelemetryCollector& collector,
+                               const TelemetryRunInfo& info,
+                               const PhaseProfile* profile) {
+  std::ostringstream os;
+  const TelemetryTotals& totals = collector.totals();
+
+  os << "{\"schema\": \"" << kTelemetryJsonSchema
+     << "\", \"kind\": \"header\", \"run\": \"" << json::escape(info.run)
+     << "\", \"algorithm\": \"" << json::escape(info.algorithm)
+     << "\", \"width\": " << info.width << ", \"height\": " << info.height
+     << ", \"torus\": " << (info.torus ? "true" : "false")
+     << ", \"queue_capacity\": " << info.queue_capacity
+     << ", \"layout\": \"" << layout_name(info.layout)
+     << "\", \"sample_every\": " << collector.options().sample_every
+     << ", \"series_stride\": " << collector.series_stride() << "}\n";
+
+  for (const TelemetrySeriesRow& row : collector.series()) {
+    os << "{\"kind\": \"series\", \"step\": " << row.step
+       << ", \"span\": " << row.span << ", \"moves\": " << row.moves
+       << ", \"deliveries\": " << row.deliveries
+       << ", \"injections\": " << row.injections
+       << ", \"stall_run\": " << row.stall_run << ", \"moves_by_dir\": ["
+       << row.moves_by_dir[0] << ", " << row.moves_by_dir[1] << ", "
+       << row.moves_by_dir[2] << ", " << row.moves_by_dir[3] << "]}\n";
+  }
+
+  const std::int64_t samples = collector.heat_samples();
+  const auto& heat = collector.node_heat();
+  for (std::size_t u = 0; u < heat.size(); ++u) {
+    const TelemetryNodeHeat& h = heat[u];
+    if (h.sum == 0 && h.max == 0) continue;
+    os << "{\"kind\": \"heat\", \"node\": " << u
+       << ", \"samples\": " << samples << ", \"sum\": " << h.sum
+       << ", \"max\": " << h.max;
+    if (collector.per_inlink()) {
+      os << ", \"inlink_sum\": [" << h.inlink_sum[0] << ", "
+         << h.inlink_sum[1] << ", " << h.inlink_sum[2] << ", "
+         << h.inlink_sum[3] << "], \"inlink_max\": [" << h.inlink_max[0]
+         << ", " << h.inlink_max[1] << ", " << h.inlink_max[2] << ", "
+         << h.inlink_max[3] << "]";
+    }
+    os << "}\n";
+  }
+
+  if (profile != nullptr)
+    os << "{\"kind\": \"phases\", " << phase_profile_json_fields(*profile)
+       << "}\n";
+
+  os << "{\"kind\": \"summary\", \"steps\": " << info.steps
+     << ", \"moves\": " << totals.moves
+     << ", \"deliveries\": " << totals.deliveries
+     << ", \"injections\": " << totals.injections
+     << ", \"exchanges\": " << totals.exchanges
+     << ", \"max_stall_run\": " << totals.max_stall_run
+     << ", \"packets\": " << info.packets
+     << ", \"delivered\": " << info.delivered << ", \"stalled\": "
+     << (info.stalled ? "true" : "false") << ", \"moves_by_dir\": ["
+     << totals.moves_by_dir[0] << ", " << totals.moves_by_dir[1] << ", "
+     << totals.moves_by_dir[2] << ", " << totals.moves_by_dir[3] << "]}\n";
+  return os.str();
+}
+
+std::string write_telemetry(const TelemetryCollector& collector,
+                            const TelemetryRunInfo& info,
+                            const PhaseProfile* profile,
+                            const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return {};
+  const std::string slug = sanitize_slug(info.run);
+  const std::string path = dir + "/" + slug + ".jsonl";
+  {
+    std::ofstream out(path);
+    if (!out) return {};
+    out << telemetry_to_jsonl(collector, info, profile);
+    if (!out.good()) return {};
+  }
+  if (!write_csv(series_table(collector), dir + "/" + slug + "_series.csv"))
+    return {};
+  if (!write_csv(heatmap_table(collector, info),
+                 dir + "/" + slug + "_heatmap.csv"))
+    return {};
+  return path;
+}
+
+namespace {
+
+bool require_numbers(const json::Value& obj,
+                     std::initializer_list<const char*> keys,
+                     const std::string& where, std::string* error) {
+  for (const char* key : keys) {
+    const json::Value* v = obj.find(key);
+    if (v == nullptr || !v->is_number() || v->number < 0) {
+      if (error != nullptr)
+        *error = where + ": missing or negative \"" + key + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_telemetry_jsonl(const std::string& path, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = path + ": " + msg;
+    return false;
+  };
+  std::ifstream in(path);
+  if (!in.good()) return fail("cannot read");
+
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_header = false;
+  std::size_t summaries = 0;
+  bool last_was_summary = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::string where = "line " + std::to_string(lineno);
+    std::string parse_error;
+    const auto doc = json::parse(line, &parse_error);
+    if (!doc) return fail(where + ": malformed JSON: " + parse_error);
+    if (!doc->is_object()) return fail(where + ": not an object");
+    const json::Value* kind = doc->find("kind");
+    if (kind == nullptr || !kind->is_string())
+      return fail(where + ": missing \"kind\"");
+    if (!saw_header && kind->string != "header")
+      return fail(where + ": record before header");
+    last_was_summary = false;
+
+    if (kind->string == "header") {
+      if (saw_header || lineno != 1)
+        return fail(where + ": header must be the single first record");
+      saw_header = true;
+      const json::Value* schema = doc->find("schema");
+      if (schema == nullptr || !schema->is_string() ||
+          schema->string != kTelemetryJsonSchema)
+        return fail(where + ": missing or wrong \"schema\"");
+      for (const char* key : {"run", "algorithm", "layout"}) {
+        const json::Value* v = doc->find(key);
+        if (v == nullptr || !v->is_string() || v->string.empty())
+          return fail(where + ": missing or empty \"" + std::string(key) +
+                      "\"");
+      }
+      if (!require_numbers(*doc,
+                           {"width", "height", "queue_capacity",
+                            "sample_every", "series_stride"},
+                           where, error))
+        return false;
+    } else if (kind->string == "series") {
+      if (!require_numbers(*doc,
+                           {"step", "span", "moves", "deliveries",
+                            "injections", "stall_run"},
+                           where, error))
+        return false;
+      const json::Value* dirs = doc->find("moves_by_dir");
+      if (dirs == nullptr || !dirs->is_array() ||
+          dirs->array.size() != kNumDirs)
+        return fail(where + ": \"moves_by_dir\" must be a 4-array");
+    } else if (kind->string == "heat") {
+      if (!require_numbers(*doc, {"node", "samples", "sum", "max"}, where,
+                           error))
+        return false;
+    } else if (kind->string == "phases") {
+      for (int i = 0; i < kNumPhases; ++i) {
+        const json::Value* v =
+            doc->find(phase_name(static_cast<StepPhase>(i)));
+        if (v == nullptr || !v->is_number())
+          return fail(where + ": missing phase \"" +
+                      std::string(phase_name(static_cast<StepPhase>(i))) +
+                      "\"");
+      }
+      if (!require_numbers(*doc, {"total", "steps"}, where, error))
+        return false;
+    } else if (kind->string == "summary") {
+      ++summaries;
+      last_was_summary = true;
+      if (!require_numbers(*doc,
+                           {"steps", "moves", "deliveries", "injections",
+                            "max_stall_run", "packets", "delivered"},
+                           where, error))
+        return false;
+      const json::Value* stalled = doc->find("stalled");
+      if (stalled == nullptr || !stalled->is_bool())
+        return fail(where + ": missing boolean \"stalled\"");
+    } else {
+      return fail(where + ": unknown kind \"" + kind->string + "\"");
+    }
+  }
+  if (!saw_header) return fail("empty file (no header)");
+  if (summaries != 1 || !last_was_summary)
+    return fail("expected exactly one trailing summary record");
+  return true;
+}
+
+}  // namespace mr

@@ -1,0 +1,52 @@
+// meshroute-telemetry/1 export: one JSONL file per run (header record,
+// time-series records, heatmap records, optional phase-profile record,
+// summary record) plus CSV companions of the series and heatmap tables,
+// built on the harness json_min / csv_export backends.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace mr {
+
+inline constexpr const char* kTelemetryJsonSchema = "meshroute-telemetry/1";
+
+/// Run identity and outcome stamped into the header/summary records; the
+/// caller (runner, bench driver) fills this from its RunSpec/Engine.
+struct TelemetryRunInfo {
+  std::string run;        ///< export slug, e.g. "e01_dimension-order"
+  std::string algorithm;  ///< registry name
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  bool torus = false;
+  int queue_capacity = 1;
+  QueueLayout layout = QueueLayout::Central;
+  Step steps = 0;
+  std::size_t packets = 0;
+  std::size_t delivered = 0;
+  bool stalled = false;
+};
+
+/// Serialises collector + run info as meshroute-telemetry/1 JSONL.
+std::string telemetry_to_jsonl(const TelemetryCollector& collector,
+                               const TelemetryRunInfo& info,
+                               const PhaseProfile* profile);
+
+/// Writes <dir>/<slug>.jsonl (creating dir) plus <slug>_series.csv and
+/// <slug>_heatmap.csv. The slug is info.run sanitised to [a-z0-9_-].
+/// Returns the JSONL path, or empty on I/O failure.
+std::string write_telemetry(const TelemetryCollector& collector,
+                            const TelemetryRunInfo& info,
+                            const PhaseProfile* profile,
+                            const std::string& dir);
+
+/// Validates a meshroute-telemetry/1 JSONL file line by line through
+/// json_min: exactly one leading header record carrying the schema, every
+/// record an object with a known "kind", required numeric fields present,
+/// exactly one trailing summary. On failure stores a message in *error.
+bool validate_telemetry_jsonl(const std::string& path, std::string* error);
+
+}  // namespace mr

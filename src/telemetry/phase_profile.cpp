@@ -1,0 +1,45 @@
+#include "telemetry/phase_profile.hpp"
+
+#include <sstream>
+
+#include "harness/json_min.hpp"
+
+namespace mr {
+
+Table phase_profile_table(const PhaseProfile& profile) {
+  Table table({"phase", "seconds", "share %", "ns/step"});
+  const double phased = profile.phase_seconds_sum();
+  const double steps =
+      profile.steps > 0 ? static_cast<double>(profile.steps) : 1.0;
+  for (int i = 0; i < kNumPhases; ++i) {
+    const double s = profile.seconds[i];
+    table.row()
+        .add(phase_name(static_cast<StepPhase>(i)))
+        .add(s, 6)
+        .add(phased > 0 ? 100.0 * s / phased : 0.0, 1)
+        .add(1e9 * s / steps, 0);
+  }
+  const double other = profile.total_seconds - phased;
+  table.row().add("other").add(other, 6).add("").add(1e9 * other / steps, 0);
+  table.row()
+      .add("total")
+      .add(profile.total_seconds, 6)
+      .add("")
+      .add(1e9 * profile.total_seconds / steps, 0);
+  return table;
+}
+
+std::string phase_profile_json_fields(const PhaseProfile& profile) {
+  std::ostringstream os;
+  for (int i = 0; i < kNumPhases; ++i)
+    os << "\"" << phase_name(static_cast<StepPhase>(i))
+       << "\": " << json::number_to_string(profile.seconds[i]) << ", ";
+  os << "\"other\": "
+     << json::number_to_string(profile.total_seconds -
+                               profile.phase_seconds_sum())
+     << ", \"total\": " << json::number_to_string(profile.total_seconds)
+     << ", \"steps\": " << profile.steps;
+  return os.str();
+}
+
+}  // namespace mr

@@ -1,0 +1,23 @@
+// Reporting helpers for the engine's five-phase wall-clock profile
+// (Engine::set_phase_profiling / Engine::phase_profile). The sim layer
+// only accumulates raw seconds; rendering as a table or JSON fields
+// belongs here with the rest of the observability formatting.
+#pragma once
+
+#include <string>
+
+#include "core/table.hpp"
+#include "sim/engine.hpp"
+
+namespace mr {
+
+/// One row per phase: seconds, share of phased time, ns/step; then an
+/// "other" row (injection + observer dispatch + bookkeeping) and a total.
+Table phase_profile_table(const PhaseProfile& profile);
+
+/// The profile as the inner fields of a JSON object (no surrounding
+/// braces): "plan_out": s, ..., "update": s, "other": s,
+/// "total": s, "steps": n. Used by the telemetry JSONL "phases" record.
+std::string phase_profile_json_fields(const PhaseProfile& profile);
+
+}  // namespace mr

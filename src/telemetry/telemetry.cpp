@@ -1,0 +1,107 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace mr {
+
+TelemetryCollector::TelemetryCollector(TelemetryOptions options)
+    : options_(options) {
+  MR_REQUIRE(options_.series_capacity >= 2);
+  rows_.reserve(options_.series_capacity);
+}
+
+void TelemetryCollector::on_prepare(const Engine& e, const StepDigest& d) {
+  heat_.assign(static_cast<std::size_t>(e.mesh().num_nodes()),
+               TelemetryNodeHeat{});
+  per_inlink_ = e.queue_layout() == QueueLayout::PerInlink;
+  totals_.deliveries += d.deliveries;
+  totals_.injections += d.injections;
+}
+
+void TelemetryCollector::compact_rows() {
+  // Stride doubling: merge adjacent rows pairwise in place. Capacity may
+  // be odd; the unpaired last row simply becomes a half-width bucket and
+  // is merged again on the next overflow.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < rows_.size(); i += 2, ++out) {
+    TelemetrySeriesRow merged = rows_[i];
+    if (i + 1 < rows_.size()) {
+      const TelemetrySeriesRow& b = rows_[i + 1];
+      merged.span += b.span;
+      merged.moves += b.moves;
+      merged.deliveries += b.deliveries;
+      merged.injections += b.injections;
+      for (int dir = 0; dir < kNumDirs; ++dir)
+        merged.moves_by_dir[dir] += b.moves_by_dir[dir];
+      merged.stall_run = std::max(merged.stall_run, b.stall_run);
+    }
+    rows_[out] = merged;
+  }
+  rows_.resize(out);
+  stride_ *= 2;
+}
+
+void TelemetryCollector::sample_heat(const Engine& e) {
+  ++heat_samples_;
+  for (NodeId u : e.active_nodes()) {
+    TelemetryNodeHeat& h = heat_[static_cast<std::size_t>(u)];
+    const int occ = e.occupancy(u);
+    h.sum += occ;
+    h.max = std::max(h.max, occ);
+    if (per_inlink_) {
+      for (QueueTag t = 0; t < kNumDirs; ++t) {
+        const int q = e.occupancy(u, t);
+        h.inlink_sum[t] += q;
+        h.inlink_max[t] = std::max(h.inlink_max[t], q);
+      }
+    }
+  }
+}
+
+void TelemetryCollector::on_step(const Engine& e, const StepDigest& d) {
+  const auto moves = static_cast<std::int64_t>(d.moves.size());
+  totals_.steps = d.step;
+  totals_.moves += moves;
+  totals_.deliveries += d.deliveries;
+  totals_.injections += d.injections;
+  totals_.exchanges += d.exchanges;
+  for (int dir = 0; dir < kNumDirs; ++dir)
+    totals_.moves_by_dir[dir] += d.moves_by_dir[dir];
+  totals_.max_stall_run = std::max(totals_.max_stall_run, d.stall_run);
+
+  if (!pending_open_) {
+    pending_ = TelemetrySeriesRow{};
+    pending_.step = d.step;
+    pending_.span = 0;
+    pending_open_ = true;
+  }
+  pending_.span += 1;
+  pending_.moves += moves;
+  pending_.deliveries += d.deliveries;
+  pending_.injections += d.injections;
+  for (int dir = 0; dir < kNumDirs; ++dir)
+    pending_.moves_by_dir[dir] += d.moves_by_dir[dir];
+  pending_.stall_run = std::max(pending_.stall_run, d.stall_run);
+  if (pending_.span >= stride_) {
+    // After a compaction the (doubled) stride may exceed the pending span;
+    // the bucket then simply keeps filling to the new width.
+    if (rows_.size() == options_.series_capacity) compact_rows();
+    if (pending_.span >= stride_) {
+      rows_.push_back(pending_);
+      pending_open_ = false;
+    }
+  }
+
+  if (options_.sample_every > 0 && d.step % options_.sample_every == 0)
+    sample_heat(e);
+}
+
+std::vector<TelemetrySeriesRow> TelemetryCollector::series() const {
+  std::vector<TelemetrySeriesRow> out = rows_;
+  if (pending_open_) out.push_back(pending_);
+  return out;
+}
+
+}  // namespace mr

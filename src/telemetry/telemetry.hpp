@@ -1,0 +1,114 @@
+// Bounded-overhead run telemetry (the observability subsystem).
+//
+// TelemetryCollector is a StepObserver that turns the engine's per-step
+// digests into three artefacts:
+//   * a per-step time series — moves, deliveries, injections, stall-run
+//     length and per-direction link utilisation — kept bounded by stride
+//     doubling: when the series outgrows `series_capacity` rows, adjacent
+//     rows are merged pairwise and the bucket width doubles, so memory is
+//     O(series_capacity) regardless of run length;
+//   * queue-pressure heatmaps — stride-sampled occupancy per node (and per
+//     inlink queue under the PerInlink layout), accumulated as
+//     sum/max/sample counters in O(nodes) memory;
+//   * run totals (moves, deliveries, injections, exchanges, peak stall
+//     run) for the summary record.
+//
+// Collection cost is O(moves in the step) on sampled steps and O(1)+O(moves)
+// otherwise — no virtual calls on the engine's per-move hot path, since the
+// whole step arrives as one digest. Export lives in telemetry/export.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/algorithm.hpp"
+#include "sim/engine.hpp"
+
+namespace mr {
+
+struct TelemetryOptions {
+  /// Maximum retained time-series rows; must be >= 2. When the series
+  /// fills up, adjacent rows merge pairwise and the stride doubles.
+  std::size_t series_capacity = 4096;
+  /// Occupancy heatmaps are sampled every N-th step (0 disables heatmaps).
+  Step sample_every = 16;
+};
+
+/// One time-series bucket covering `span` consecutive steps starting at
+/// `step` (span is 1 until the first stride doubling). Counters are sums
+/// over the bucket; stall_run is the maximum within it.
+struct TelemetrySeriesRow {
+  Step step = 0;
+  Step span = 1;
+  std::int64_t moves = 0;       ///< all hops, delivering hops included
+  std::int64_t deliveries = 0;  ///< injected deliveries included
+  std::int64_t injections = 0;
+  std::array<std::int64_t, kNumDirs> moves_by_dir{};
+  Step stall_run = 0;  ///< max stall-run length observed in the bucket
+};
+
+/// Accumulated queue-pressure sample for one node. `sum`/`max` cover the
+/// whole-node occupancy; the per-inlink arrays are populated only under
+/// QueueLayout::PerInlink. Divide sums by TelemetryCollector::heat_samples()
+/// for means.
+struct TelemetryNodeHeat {
+  std::int64_t sum = 0;
+  int max = 0;
+  std::array<std::int64_t, kNumDirs> inlink_sum{};
+  std::array<int, kNumDirs> inlink_max{};
+};
+
+/// Final counters of a collected run.
+struct TelemetryTotals {
+  Step steps = 0;  ///< executed steps observed
+  std::int64_t moves = 0;
+  std::int64_t deliveries = 0;
+  std::int64_t injections = 0;
+  std::int64_t exchanges = 0;
+  std::array<std::int64_t, kNumDirs> moves_by_dir{};
+  Step max_stall_run = 0;
+};
+
+class TelemetryCollector : public StepObserver {
+ public:
+  explicit TelemetryCollector(TelemetryOptions options = {});
+
+  void on_prepare(const Engine& e, const StepDigest& d) override;
+  void on_step(const Engine& e, const StepDigest& d) override;
+
+  /// Retained series rows, pending partial bucket included. Row `step`
+  /// fields are strictly increasing; all spans except possibly the last
+  /// equal series_stride().
+  std::vector<TelemetrySeriesRow> series() const;
+  /// Current bucket width: 1 until the capacity first overflows, then a
+  /// power of two.
+  Step series_stride() const { return stride_; }
+
+  /// Heatmap accumulator per NodeId (empty when sampling is disabled).
+  const std::vector<TelemetryNodeHeat>& node_heat() const { return heat_; }
+  /// Number of sampled steps (the divisor for heat means).
+  std::int64_t heat_samples() const { return heat_samples_; }
+  bool per_inlink() const { return per_inlink_; }
+
+  const TelemetryTotals& totals() const { return totals_; }
+  const TelemetryOptions& options() const { return options_; }
+
+ private:
+  void compact_rows();
+  void sample_heat(const Engine& e);
+
+  TelemetryOptions options_;
+  Step stride_ = 1;
+  std::vector<TelemetrySeriesRow> rows_;
+  TelemetrySeriesRow pending_;
+  bool pending_open_ = false;
+
+  std::vector<TelemetryNodeHeat> heat_;
+  std::int64_t heat_samples_ = 0;
+  bool per_inlink_ = false;
+
+  TelemetryTotals totals_;
+};
+
+}  // namespace mr

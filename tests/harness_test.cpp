@@ -50,8 +50,8 @@ TEST(Runner, MetricsAreConsistent) {
   ASSERT_TRUE(r.all_delivered);
   EXPECT_EQ(r.packets, w.size());
   EXPECT_EQ(r.delivered, w.size());
-  EXPECT_LE(r.latency_p50, r.latency_max);
-  EXPECT_LE(r.latency_max, r.steps);
+  EXPECT_LE(r.latency.p50, r.latency.max);
+  EXPECT_LE(r.latency.max, r.steps);
   EXPECT_GE(r.total_moves, std::int64_t(0));
   EXPECT_LE(r.max_queue, 2);
 }
@@ -73,7 +73,7 @@ TEST(Runner, RepeatedRunsIdentical) {
   EXPECT_EQ(a.steps, b.steps);
   EXPECT_EQ(a.total_moves, b.total_moves);
   EXPECT_EQ(a.max_queue, b.max_queue);
-  EXPECT_EQ(a.latency_p50, b.latency_p50);
+  EXPECT_EQ(a.latency.p50, b.latency.p50);
 }
 
 TEST(Sweep, ResultsArePositionAddressed) {

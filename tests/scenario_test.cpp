@@ -92,7 +92,7 @@ TEST(Scenario, RoundTripCapturesRunsTablesChecksAndExpect) {
   EXPECT_EQ(result.runs[0].label, "transpose");
   EXPECT_GT(result.runs[0].run.steps, 0);
   EXPECT_TRUE(result.runs[0].run.all_delivered);
-  EXPECT_GE(result.runs[0].run.latency_max, result.runs[0].run.latency_p99);
+  EXPECT_GE(result.runs[0].run.latency.max, result.runs[0].run.latency.p99);
   ASSERT_EQ(result.tables.size(), 1u);
   // body check + the spec's expect predicate, in order
   ASSERT_EQ(result.checks.size(), 2u);

@@ -1,0 +1,305 @@
+// Telemetry subsystem tests: the LegacyObserverAdapter reproduces the
+// historical per-event callback stream exactly, the TelemetryCollector's
+// stride-doubling series stays bounded and lossless in its sums, and the
+// meshroute-telemetry/1 export round-trips through the json_min validator.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "routing/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+#include "workload/permutation.hpp"
+
+namespace mr {
+namespace {
+
+/// Rebuilds the legacy TraceRecorder event stream from step digests: the
+/// adapter contract is injected deliveries first, then each MoveRecord as
+/// on_move (+ on_deliver when it delivered).
+class DigestTraceRebuilder final : public StepObserver {
+ public:
+  void on_prepare(const Engine& e, const StepDigest& d) override {
+    append(e, d);
+  }
+  void on_step(const Engine& e, const StepDigest& d) override {
+    append(e, d);
+  }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::int64_t non_delivery_moves() const { return non_delivery_moves_; }
+
+ private:
+  void append(const Engine& e, const StepDigest& d) {
+    for (PacketId p : d.injected_deliveries)
+      events_.push_back({TraceEventKind::Deliver, d.step, p, e.packet(p).dest,
+                         e.packet(p).dest});
+    for (const MoveRecord& m : d.moves) {
+      events_.push_back({TraceEventKind::Move, d.step, m.packet, m.from, m.to});
+      if (m.delivered)
+        events_.push_back({TraceEventKind::Deliver, d.step, m.packet,
+                           e.packet(m.packet).dest, e.packet(m.packet).dest});
+      else
+        ++non_delivery_moves_;
+    }
+  }
+
+  std::vector<TraceEvent> events_;
+  std::int64_t non_delivery_moves_ = 0;
+};
+
+struct EngineRun {
+  Mesh mesh;
+  std::unique_ptr<Algorithm> algo;
+  std::unique_ptr<Engine> engine;
+};
+
+/// monotone: keep only down-right demands — central-queue routers can
+/// deadlock on full random permutations (cf. engine_bench::workload_for),
+/// so tests that assert delivery use the deadlock-free subset.
+EngineRun make_run(const std::string& router, std::int32_t n, bool torus,
+                   int k, std::uint64_t seed, bool monotone = false) {
+  EngineRun run{Mesh::square(n, torus), make_algorithm(router), nullptr};
+  Engine::Config config;
+  config.queue_capacity = k;
+  run.engine = std::make_unique<Engine>(run.mesh, config, *run.algo);
+  std::size_t i = 0;
+  for (const Demand& d : random_permutation(run.mesh, seed)) {
+    const Coord s = run.mesh.coord_of(d.source);
+    const Coord t = run.mesh.coord_of(d.dest);
+    if (monotone && (t.col < s.col || t.row < s.row)) continue;
+    run.engine->add_packet(d.source, d.dest,
+                           (i % 5 == 0) ? static_cast<Step>(i % 7) : 0);
+    ++i;
+  }
+  return run;
+}
+
+TEST(LegacyAdapter, DigestStreamMatchesTraceRecorder) {
+  for (const std::string& router :
+       {std::string("adaptive-alternate"), std::string("stray-2"),
+        std::string("bounded-dimension-order")}) {
+    EngineRun legacy = make_run(router, 10, false, 2, 11);
+    TraceRecorder trace;
+    legacy.engine->add_observer(&trace);
+    legacy.engine->prepare();
+    legacy.engine->run(300);
+
+    EngineRun digest = make_run(router, 10, false, 2, 11);
+    DigestTraceRebuilder rebuilt;
+    digest.engine->add_observer(&rebuilt);
+    digest.engine->prepare();
+    digest.engine->run(300);
+
+    ASSERT_EQ(trace.events().size(), rebuilt.events().size()) << router;
+    for (std::size_t i = 0; i < trace.events().size(); ++i)
+      ASSERT_EQ(trace.events()[i], rebuilt.events()[i])
+          << router << " event " << i;
+    // Non-delivering hops are exactly what the engine's own counter counts.
+    EXPECT_EQ(rebuilt.non_delivery_moves(), digest.engine->total_moves());
+  }
+}
+
+TEST(LegacyAdapter, MetricsObserverNumbersUnchanged) {
+  // MetricsObserver rides through the adapter; a digest-side recount of
+  // deliveries per step must agree with its delivery curve.
+  EngineRun run = make_run("greedy-match", 12, false, 2, 13, /*monotone=*/true);
+  MetricsObserver metrics;
+  run.engine->add_observer(&metrics);
+
+  std::vector<std::int64_t> deliveries_by_step;
+  class Recount final : public StepObserver {
+   public:
+    explicit Recount(std::vector<std::int64_t>* out) : out_(out) {}
+    void on_prepare(const Engine&, const StepDigest& d) override {
+      out_->push_back(d.deliveries);
+    }
+    void on_step(const Engine&, const StepDigest& d) override {
+      out_->push_back(d.deliveries);
+    }
+
+   private:
+    std::vector<std::int64_t>* out_;
+  } recount(&deliveries_by_step);
+  run.engine->add_observer(&recount);
+
+  run.engine->prepare();
+  run.engine->run(1000);
+  ASSERT_TRUE(run.engine->all_delivered());
+
+  const auto& curve = metrics.delivered_by_step();
+  ASSERT_EQ(curve.size(), deliveries_by_step.size());
+  std::int64_t cumulative = 0;
+  for (std::size_t t = 0; t < curve.size(); ++t) {
+    cumulative += deliveries_by_step[t];
+    EXPECT_EQ(curve[t], cumulative) << "step " << t;
+  }
+  const LatencySummary latency = metrics.latency_summary();
+  EXPECT_GE(latency.max, latency.p99);
+  EXPECT_GE(latency.p99, latency.p50);
+}
+
+TEST(StepDigest, CountersAreSelfConsistent) {
+  EngineRun run = make_run("dimension-order", 10, true, 2, 17);
+  class Check final : public StepObserver {
+   public:
+    void on_step(const Engine& e, const StepDigest& d) override {
+      std::int64_t delivering = 0;
+      std::array<std::int64_t, kNumDirs> by_dir{};
+      for (const MoveRecord& m : d.moves) {
+        if (m.delivered) ++delivering;
+        by_dir[dir_index(m.dir)]++;
+        EXPECT_EQ(e.mesh().neighbor(m.from, m.dir), m.to);
+      }
+      EXPECT_EQ(d.deliveries,
+                delivering + static_cast<std::int64_t>(
+                                 d.injected_deliveries.size()));
+      EXPECT_EQ(by_dir, d.moves_by_dir);
+      EXPECT_EQ(d.step, e.step());
+      ++steps;
+    }
+    int steps = 0;
+  } check;
+  run.engine->add_observer(&check);
+  run.engine->prepare();
+  run.engine->run(400);
+  EXPECT_GT(check.steps, 0);
+}
+
+TEST(TelemetryCollector, StrideDoublingKeepsSeriesBoundedAndLossless) {
+  TelemetryOptions options;
+  options.series_capacity = 8;
+  options.sample_every = 4;
+  TelemetryCollector collector(options);
+
+  EngineRun run =
+      make_run("dimension-order", 12, false, 1, 19, /*monotone=*/true);
+  run.engine->add_observer(&collector);
+  // Prepare-time (source==dest) deliveries land in the totals but not in
+  // any series row; capture them to balance the books below.
+  class PrepareDeliveries final : public StepObserver {
+   public:
+    void on_prepare(const Engine&, const StepDigest& d) override {
+      count = d.deliveries;
+    }
+    void on_step(const Engine&, const StepDigest&) override {}
+    std::int64_t count = 0;
+  } prepare_deliveries;
+  run.engine->add_observer(&prepare_deliveries);
+  run.engine->prepare();
+  run.engine->run(2000);
+  ASSERT_TRUE(run.engine->all_delivered());
+  ASSERT_GT(run.engine->step(), Step(8)) << "need enough steps to compact";
+
+  const auto rows = collector.series();
+  EXPECT_LE(rows.size(), options.series_capacity + 1);
+  EXPECT_GT(collector.series_stride(), Step(1));
+  // stride is a power of two
+  EXPECT_EQ(collector.series_stride() & (collector.series_stride() - 1), 0);
+
+  Step covered = 0;
+  std::int64_t moves = 0, deliveries = 0;
+  Step prev_step = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) EXPECT_GT(rows[i].step, prev_step);
+    prev_step = rows[i].step;
+    if (i + 1 < rows.size())
+      EXPECT_EQ(rows[i].span, collector.series_stride()) << "row " << i;
+    covered += rows[i].span;
+    moves += rows[i].moves;
+    deliveries += rows[i].deliveries;
+  }
+  // Compaction merges but never drops: bucket spans tile the run and the
+  // sums equal the run totals.
+  EXPECT_EQ(covered, run.engine->step());
+  EXPECT_EQ(moves, collector.totals().moves);
+  EXPECT_EQ(deliveries + prepare_deliveries.count,
+            collector.totals().deliveries);
+  EXPECT_EQ(collector.totals().deliveries,
+            static_cast<std::int64_t>(run.engine->delivered_count()));
+  EXPECT_EQ(collector.totals().steps, run.engine->step());
+
+  // Heatmap: sampling happened and no node exceeds the queue bound.
+  EXPECT_GT(collector.heat_samples(), 0);
+  int peak = 0;
+  for (const TelemetryNodeHeat& h : collector.node_heat())
+    peak = std::max(peak, h.max);
+  EXPECT_LE(peak, run.engine->max_occupancy_seen());
+}
+
+TEST(RunnerTelemetry, OptInExportsValidJsonlWithoutBehaviourChange) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mr_telemetry_test").string();
+  std::filesystem::remove_all(dir);
+
+  RunSpec spec;
+  spec.width = spec.height = 12;
+  spec.queue_capacity = 2;
+  spec.algorithm = "adaptive-alternate";
+
+  const Mesh mesh = Mesh::square(12);
+  const Workload w = random_permutation(mesh, 23);
+  const RunResult plain = run_workload(spec, w);
+
+  spec.telemetry.series = true;
+  spec.telemetry.profile = true;
+  spec.telemetry.export_dir = dir;
+  spec.telemetry.slug = "opt in run";
+  const RunResult observed = run_workload(spec, w);
+
+  // Telemetry must not perturb the simulation.
+  EXPECT_EQ(plain.steps, observed.steps);
+  EXPECT_EQ(plain.total_moves, observed.total_moves);
+  EXPECT_EQ(plain.max_queue, observed.max_queue);
+  EXPECT_EQ(plain.latency.p50, observed.latency.p50);
+
+  ASSERT_TRUE(observed.phase_profile.has_value());
+  EXPECT_GT(observed.phase_profile->total_seconds, 0.0);
+  EXPECT_EQ(observed.phase_profile->steps, observed.steps);
+  EXPECT_FALSE(plain.phase_profile.has_value());
+
+  ASSERT_FALSE(observed.telemetry_path.empty());
+  EXPECT_EQ(observed.telemetry_path, dir + "/opt_in_run.jsonl");
+  std::string error;
+  EXPECT_TRUE(validate_telemetry_jsonl(observed.telemetry_path, &error))
+      << error;
+  EXPECT_TRUE(std::filesystem::exists(dir + "/opt_in_run_series.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/opt_in_run_heatmap.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryValidation, RejectsMalformedJsonl) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mr_bad_telemetry.jsonl")
+          .string();
+  std::string error;
+
+  {
+    std::ofstream out(path);
+    out << "{\"kind\": \"series\", \"step\": 1}\n";
+  }
+  EXPECT_FALSE(validate_telemetry_jsonl(path, &error));
+  EXPECT_NE(error.find("header"), std::string::npos) << error;
+
+  {
+    std::ofstream out(path);
+    out << "{\"schema\": \"meshroute-telemetry/1\", \"kind\": \"header\", "
+           "\"run\": \"r\", \"algorithm\": \"a\", \"layout\": \"central\", "
+           "\"width\": 4, \"height\": 4, \"queue_capacity\": 1, "
+           "\"sample_every\": 0, \"series_stride\": 1}\n";
+  }
+  EXPECT_FALSE(validate_telemetry_jsonl(path, &error));
+  EXPECT_NE(error.find("summary"), std::string::npos) << error;
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mr

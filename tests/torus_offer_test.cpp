@@ -1,0 +1,115 @@
+// Regression pin for torus wrap-link offer grouping.
+//
+// On a torus the neighbor relation is not monotone in NodeId: the wrap
+// links connect row/column 0 back to n-1, so grouping transmit offers by
+// receiving node must use Mesh::neighbor, not NodeId arithmetic. The first
+// test asserts, move by move via the StepDigest, that every hop lands on
+// exactly the node its offered link points at — including wrap hops, which
+// the workload is chosen to force. The second pins hard-coded golden
+// fingerprints for fixed torus runs so any reordering of wrap-link offer
+// handling shows up as a bit-level diff.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "routing/registry.hpp"
+#include "sim/engine.hpp"
+#include "topo/mesh.hpp"
+#include "workload/permutation.hpp"
+
+namespace mr {
+namespace {
+
+/// Checks every MoveRecord against the mesh's own neighbor map and counts
+/// hops that cross a wrap link (coordinate jump of n-1 in one dimension).
+class OfferGroupingCheck final : public StepObserver {
+ public:
+  void on_step(const Engine& e, const StepDigest& d) override {
+    const Mesh& mesh = e.mesh();
+    for (const MoveRecord& m : d.moves) {
+      ASSERT_EQ(mesh.neighbor(m.from, m.dir), m.to)
+          << "step " << d.step << ": packet " << m.packet << " moved "
+          << m.from << "->" << m.to << " but the offered link points at "
+          << mesh.neighbor(m.from, m.dir);
+      const Coord a = mesh.coord_of(m.from);
+      const Coord b = mesh.coord_of(m.to);
+      if (std::abs(a.col - b.col) > 1 || std::abs(a.row - b.row) > 1)
+        ++wrap_moves;
+    }
+  }
+  std::int64_t wrap_moves = 0;
+};
+
+std::uint64_t torus_run(const std::string& router, std::int32_t n, int k,
+                        std::uint64_t seed, Step steps,
+                        std::int64_t* wrap_moves) {
+  const Mesh mesh = Mesh::square(n, /*torus=*/true);
+  auto algo = make_algorithm(router);
+  Engine::Config config;
+  config.queue_capacity = k;
+  Engine e(mesh, config, *algo);
+  for (const Demand& d : random_permutation(mesh, seed))
+    e.add_packet(d.source, d.dest);
+  OfferGroupingCheck check;
+  e.add_observer(&check);
+  e.prepare();
+  for (Step t = 0; t < steps && !e.all_delivered(); ++t) e.step_once();
+  if (wrap_moves != nullptr) *wrap_moves = check.wrap_moves;
+  return e.fingerprint();
+}
+
+/// Torus-capable routers: the DX minimal class plus the Theorem 15 router.
+/// The stray router's rectangle accounting assumes mesh geometry, so it is
+/// out of scope on the torus (as in fingerprint_regression_test).
+std::vector<std::string> torus_routers() {
+  std::vector<std::string> routers = dx_minimal_algorithm_names();
+  routers.push_back("bounded-dimension-order");
+  return routers;
+}
+
+TEST(TorusOffers, MovesFollowOfferedLinksIncludingWraps) {
+  for (const std::string& router : torus_routers()) {
+    std::int64_t wrap_moves = 0;
+    torus_run(router, 8, 2, 5, 64, &wrap_moves);
+    if (HasFatalFailure()) FAIL() << "offer grouping broken for " << router;
+    // A random permutation on a torus routes ~half its traffic across the
+    // wraps; every router must actually use them.
+    EXPECT_GT(wrap_moves, 0) << router << " never crossed a wrap link";
+  }
+}
+
+struct TorusGolden {
+  const char* router;
+  std::uint64_t fingerprint;
+};
+
+// Captured from the seed implementation (torus_run(router, 10, 2, 9, 24)).
+// Regenerate by running with MESHROUTE_PRINT_TORUS_FPS=1 after an
+// intentional semantic change, never to paper over a diff.
+constexpr TorusGolden kGoldens[] = {
+    {"dimension-order", 0x1799ceb56267e472ULL},
+    {"adaptive-alternate", 0x8b2e390ecabaa372ULL},
+    {"greedy-match", 0x73cc5b2a61b510baULL},
+    {"west-first", 0x32e664561c3c9ef1ULL},
+    {"bounded-dimension-order", 0xcbf29ce484222325ULL},
+};
+
+TEST(TorusOffers, FingerprintsMatchGolden) {
+  const bool print = std::getenv("MESHROUTE_PRINT_TORUS_FPS") != nullptr;
+  for (const TorusGolden& g : kGoldens) {
+    const std::uint64_t fp = torus_run(g.router, 10, 2, 9, 24, nullptr);
+    if (print) {
+      std::printf("    {\"%s\", 0x%llxULL},\n", g.router,
+                  static_cast<unsigned long long>(fp));
+      continue;
+    }
+    EXPECT_EQ(fp, g.fingerprint) << g.router;
+  }
+}
+
+}  // namespace
+}  // namespace mr
