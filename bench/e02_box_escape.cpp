@@ -36,7 +36,7 @@ struct EscapeTally : Observer {
     step_e.assign(classes, 0);
   }
 
-  void on_move(const Engine& e, const Packet& pk, NodeId from,
+  void on_move(const Sim& e, const Packet& pk, NodeId from,
                NodeId to) override {
     const PacketClass cls = geo->classify(e.mesh().coord_of(pk.source),
                                           e.mesh().coord_of(pk.dest));
@@ -56,7 +56,7 @@ struct EscapeTally : Observer {
     }
   }
 
-  void on_step_end(const Engine&) override {
+  void on_step_end(const Sim&) override {
     std::fill(step_n.begin(), step_n.end(), 0);
     std::fill(step_e.begin(), step_e.end(), 0);
   }

@@ -25,6 +25,14 @@
 //                                          fail if moves/s regresses >25%
 //                                          against the BENCH_engine.json at
 //                                          P (tolerance: MESHROUTE_GUARD_TOL)
+//   meshroute_bench --fuzz=N               run N differential-fuzz cases
+//                                          (optimized engine vs naive
+//                                          reference, invariant oracles on);
+//                                          --fuzz-seed=S seeds the sampler.
+//                                          On failure the shrunk repro spec
+//                                          is printed and written to
+//                                          fuzz-repro.txt
+//   meshroute_bench --fuzz-case=SPEC       re-run one repro spec line
 //
 // Markdown goes to stdout exactly as the historical per-experiment
 // binaries printed it; check verdicts follow each report as "[check]"
@@ -33,9 +41,12 @@
 // MESHROUTE_OUTPUT_DIR.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "check/fuzz.hpp"
 #include "engine_bench.hpp"
 #include "harness/scenario.hpp"
 #include "routing/registry.hpp"
@@ -48,7 +59,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--run <id|label>]... [--json=DIR] "
                "[--telemetry=DIR] [--profile] [--smoke] [--jobs=N] "
-               "[--validate=PATH] [--throughput-guard=PATH]\n",
+               "[--validate=PATH] [--throughput-guard=PATH] [--fuzz=N] "
+               "[--fuzz-seed=S] [--fuzz-case=SPEC]\n",
                argv0);
   return 2;
 }
@@ -64,6 +76,9 @@ int main(int argc, char** argv) {
   using namespace mr;
 
   bool list = false;
+  std::size_t fuzz_cases = 0;
+  std::uint64_t fuzz_seed = 1;
+  std::string fuzz_case_spec;
   std::vector<std::string> selection;
   std::string json_dir;
   ScenarioOptions options;
@@ -86,6 +101,14 @@ int main(int argc, char** argv) {
       options.profile = true;
     } else if (arg.rfind("--throughput-guard=", 0) == 0) {
       return engine_bench::throughput_guard(arg.substr(19));
+    } else if (arg.rfind("--fuzz=", 0) == 0) {
+      fuzz_cases = static_cast<std::size_t>(
+          std::strtoul(arg.substr(7).c_str(), nullptr, 10));
+      if (fuzz_cases == 0) return usage(argv[0]);
+    } else if (arg.rfind("--fuzz-seed=", 0) == 0) {
+      fuzz_seed = std::strtoull(arg.substr(12).c_str(), nullptr, 10);
+    } else if (arg.rfind("--fuzz-case=", 0) == 0) {
+      fuzz_case_spec = arg.substr(12);
     } else if (arg == "--smoke") {
       options.scale = Scale::Small;
     } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -107,6 +130,38 @@ int main(int argc, char** argv) {
     } else {
       return usage(argv[0]);
     }
+  }
+
+  if (!fuzz_case_spec.empty()) {
+    FuzzCase fuzz_case;
+    std::string error;
+    if (!parse_fuzz_case(fuzz_case_spec, &fuzz_case, &error)) {
+      std::fprintf(stderr, "fuzz-case: malformed spec: %s\n", error.c_str());
+      return 2;
+    }
+    error = run_fuzz_case(fuzz_case);
+    if (!error.empty()) {
+      std::fprintf(stderr, "fuzz-case FAIL: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("fuzz-case ok\n");
+    return 0;
+  }
+
+  if (fuzz_cases > 0) {
+    const FuzzReport report = run_fuzz(fuzz_cases, fuzz_seed, std::cerr);
+    if (report.failures > 0) {
+      std::fprintf(stderr, "fuzz: FAIL after %zu case(s): %s\n",
+                   report.cases_run, report.first_error.c_str());
+      std::fprintf(stderr, "fuzz: repro: --fuzz-case=\"%s\"\n",
+                   report.first_repro.c_str());
+      std::ofstream repro("fuzz-repro.txt");
+      repro << report.first_repro << "\n";
+      return 1;
+    }
+    std::printf("fuzz: %zu case(s) ok (seed %llu)\n", report.cases_run,
+                static_cast<unsigned long long>(fuzz_seed));
+    return 0;
   }
 
   const ScenarioRegistry& registry = scenarios::builtin();

@@ -17,7 +17,7 @@ using namespace mr;
 
 struct PeakMap : Observer {
   std::vector<int> peak;
-  void on_step_end(const Engine& e) override {
+  void on_step_end(const Sim& e) override {
     if (peak.empty()) peak.assign(e.mesh().num_nodes(), 0);
     for (NodeId u = 0; u < e.mesh().num_nodes(); ++u)
       peak[u] = std::max(peak[u], e.occupancy(u));

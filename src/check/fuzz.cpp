@@ -1,0 +1,362 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "check/oracles.hpp"
+#include "check/reference_engine.hpp"
+#include "core/rng.hpp"
+#include "routing/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "workload/patterns.hpp"
+
+namespace mr {
+
+namespace {
+
+/// Stall limit for fuzz runs: small, so deadlocked configurations (a
+/// legitimate outcome for some algorithm/k combinations) finish quickly.
+/// Both engines get the same limit; stalling identically is not a failure.
+constexpr Step kFuzzStallLimit = 64;
+
+bool supports_torus(const std::string& algorithm) {
+  for (const AlgorithmInfo& info : algorithm_catalog()) {
+    if (info.name != algorithm) continue;
+    // The stray rectangle and the farthest-first distance order are not
+    // defined across wrap links; everything else runs on the torus.
+    return info.dx_minimal || info.name == "bounded-dimension-order";
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string format_fuzz_case(const FuzzCase& c) {
+  std::ostringstream os;
+  os << "algo=" << c.algorithm << " n=" << c.n << " torus=" << (c.torus ? 1 : 0)
+     << " k=" << c.k << " budget=" << c.budget << " demands=";
+  for (std::size_t i = 0; i < c.demands.size(); ++i) {
+    const Demand& d = c.demands[i];
+    if (i > 0) os << ',';
+    os << d.source << '-' << d.dest;
+    if (d.injected_at != 0) os << '@' << d.injected_at;
+  }
+  return os.str();
+}
+
+bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
+                     std::string* error) {
+  FuzzCase c;
+  c.demands.clear();
+  bool saw_algo = false, saw_demands = false;
+  std::istringstream is(spec);
+  std::string token;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      if (error) *error = "expected key=value, got '" + token + "'";
+      return false;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "algo") {
+      c.algorithm = value;
+      saw_algo = true;
+    } else if (key == "n") {
+      c.n = static_cast<std::int32_t>(std::strtol(value.c_str(), &end, 10));
+    } else if (key == "torus") {
+      c.torus = value == "1" || value == "true";
+    } else if (key == "k") {
+      c.k = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+    } else if (key == "budget") {
+      c.budget = std::strtoll(value.c_str(), &end, 10);
+    } else if (key == "demands") {
+      saw_demands = true;
+      std::istringstream ds(value);
+      std::string item;
+      while (std::getline(ds, item, ',')) {
+        if (item.empty()) continue;
+        Demand d;
+        char* p = nullptr;
+        d.source =
+            static_cast<NodeId>(std::strtol(item.c_str(), &p, 10));
+        if (p == nullptr || *p != '-') {
+          if (error) *error = "malformed demand '" + item + "'";
+          return false;
+        }
+        d.dest = static_cast<NodeId>(std::strtol(p + 1, &p, 10));
+        if (p != nullptr && *p == '@') {
+          d.injected_at = std::strtoll(p + 1, &p, 10);
+        }
+        if (p == nullptr || *p != '\0') {
+          if (error) *error = "malformed demand '" + item + "'";
+          return false;
+        }
+        c.demands.push_back(d);
+      }
+    } else {
+      if (error) *error = "unknown key '" + key + "'";
+      return false;
+    }
+    if (end != nullptr && *end != '\0') {
+      if (error) *error = "malformed value for '" + key + "'";
+      return false;
+    }
+  }
+  if (!saw_algo || !saw_demands) {
+    if (error) *error = "spec needs at least algo= and demands=";
+    return false;
+  }
+  if (c.n < 2 || c.k < 1 || c.budget < 1) {
+    if (error) *error = "n must be >= 2, k >= 1, budget >= 1";
+    return false;
+  }
+  const NodeId nodes = c.n * c.n;
+  for (const Demand& d : c.demands) {
+    if (d.source < 0 || d.source >= nodes || d.dest < 0 || d.dest >= nodes ||
+        d.injected_at < 0) {
+      if (error) *error = "demand out of range for n=" + std::to_string(c.n);
+      return false;
+    }
+  }
+  *out = std::move(c);
+  return true;
+}
+
+std::string run_fuzz_case(const FuzzCase& c) {
+  std::ostringstream err;
+  try {
+    const Mesh mesh = Mesh::square(c.n, c.torus);
+    auto algo_opt = make_algorithm(c.algorithm);
+    auto algo_ref = make_algorithm(c.algorithm);
+
+    Engine::Config config;
+    config.queue_capacity = c.k;
+    config.stall_limit = kFuzzStallLimit;
+    Engine opt(mesh, config, *algo_opt);
+    ReferenceEngine ref(mesh, c.k, kFuzzStallLimit, *algo_ref);
+
+    for (const Demand& d : c.demands) {
+      opt.add_packet(d.source, d.dest, d.injected_at);
+      ref.add_packet(d.source, d.dest, d.injected_at);
+    }
+
+    // Oracles watch the optimized engine; the queue-bound oracle also
+    // watches the reference (its occupancy accessor is an independent
+    // scan there, so the cross-check is trivially true but the bound
+    // check is not).
+    QueueBoundOracle queue_bound;
+    LinkCapacityOracle link_capacity;
+    ProfitableMoveOracle profitable(algo_opt->minimal(),
+                                    algo_opt->max_stray());
+    ExchangeConsistencyOracle exchange;
+    TraceRecorder trace;
+    opt.add_observer(&queue_bound);
+    opt.add_observer(&link_capacity);
+    opt.add_observer(&profitable);
+    opt.add_observer(&exchange);
+    opt.add_observer(&trace);
+    QueueBoundOracle ref_queue_bound;
+    ref.add_observer(&ref_queue_bound);
+
+    DigestHasher opt_hash, ref_hash;
+    opt.add_observer(&opt_hash);
+    ref.add_observer(&ref_hash);
+
+    opt.prepare();
+    ref.prepare();
+    if (opt.fingerprint() != ref.fingerprint()) {
+      err << "fingerprint divergence after prepare()";
+      return err.str();
+    }
+    if (opt_hash.hash() != ref_hash.hash()) {
+      err << "digest divergence after prepare()";
+      return err.str();
+    }
+
+    for (Step t = 0; t < c.budget; ++t) {
+      const bool more_opt = opt.step_once();
+      const bool more_ref = ref.step_once();
+      if (more_opt != more_ref) {
+        err << "drain divergence at step " << opt.step() << ": optimized="
+            << more_opt << " reference=" << more_ref;
+        return err.str();
+      }
+      if (!more_opt) break;
+      if (opt.fingerprint() != ref.fingerprint()) {
+        err << "fingerprint divergence at step " << opt.step();
+        return err.str();
+      }
+      if (opt_hash.hash() != ref_hash.hash()) {
+        err << "digest divergence at step " << opt.step();
+        return err.str();
+      }
+      if (opt.stalled() != ref.stalled()) {
+        err << "stall divergence at step " << opt.step();
+        return err.str();
+      }
+      if (opt.stalled() || opt.all_delivered()) break;
+    }
+
+    if (opt.delivered_count() != ref.delivered_count() ||
+        opt.total_moves() != ref.total_moves() ||
+        opt.max_occupancy_seen() != ref.max_occupancy_seen() ||
+        opt.exchange_count() != ref.exchange_count() ||
+        opt.step() != ref.step()) {
+      err << "final-counter divergence: delivered " << opt.delivered_count()
+          << "/" << ref.delivered_count() << ", moves " << opt.total_moves()
+          << "/" << ref.total_moves() << ", max-occupancy "
+          << opt.max_occupancy_seen() << "/" << ref.max_occupancy_seen()
+          << ", steps " << opt.step() << "/" << ref.step();
+      return err.str();
+    }
+
+    // Offline pass: the recorded trace must replay cleanly too.
+    const std::string trace_error =
+        run_trace_oracles(trace.events(), mesh, opt.all_packets(), c.k,
+                          algo_opt->queue_layout());
+    if (!trace_error.empty()) {
+      err << "trace replay: " << trace_error;
+      return err.str();
+    }
+  } catch (const InvariantViolation& e) {
+    return std::string("invariant violation: ") + e.what();
+  } catch (const std::exception& e) {
+    return std::string("exception: ") + e.what();
+  }
+  return {};
+}
+
+FuzzCase shrink_fuzz_case(const FuzzCase& c) {
+  if (run_fuzz_case(c).empty()) return c;
+  FuzzCase cur = c;
+  // ddmin over the demand list: drop chunks while the case still fails,
+  // halving the chunk size when no chunk can be dropped.
+  std::size_t attempts = 0;
+  constexpr std::size_t kMaxAttempts = 2000;
+  std::size_t chunk = std::max<std::size_t>(1, cur.demands.size() / 2);
+  while (cur.demands.size() > 1 && attempts < kMaxAttempts) {
+    bool reduced = false;
+    for (std::size_t start = 0;
+         start < cur.demands.size() && attempts < kMaxAttempts;
+         start += chunk) {
+      FuzzCase candidate = cur;
+      const auto begin =
+          candidate.demands.begin() + static_cast<std::ptrdiff_t>(start);
+      const auto end =
+          candidate.demands.begin() +
+          static_cast<std::ptrdiff_t>(std::min(start + chunk,
+                                               candidate.demands.size()));
+      candidate.demands.erase(begin, end);
+      ++attempts;
+      if (candidate.demands.empty()) continue;
+      if (!run_fuzz_case(candidate).empty()) {
+        cur = std::move(candidate);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk == 1) break;
+      chunk = std::max<std::size_t>(1, chunk / 2);
+    } else {
+      chunk = std::min(chunk, std::max<std::size_t>(1, cur.demands.size() / 2));
+    }
+  }
+  return cur;
+}
+
+namespace {
+
+FuzzCase sample_case(Rng& rng) {
+  FuzzCase c;
+  const std::vector<std::string> names = algorithm_names();
+  c.algorithm = names[rng.next_below(names.size())];
+  c.n = static_cast<std::int32_t>(4 + rng.next_below(7));  // 4..10
+  c.torus = supports_torus(c.algorithm) && rng.next_below(3) == 0;
+  constexpr int kChoices[] = {1, 2, 4, 8};
+  c.k = kChoices[rng.next_below(4)];
+  c.budget = 4096;
+
+  const Mesh mesh = Mesh::square(c.n, c.torus);
+  const std::uint64_t wseed = rng.next_u64() | 1;
+  switch (rng.next_below(9)) {
+    case 0: c.demands = random_permutation(mesh, wseed); break;
+    case 1:
+      c.demands = random_partial_permutation(mesh, 0.5, wseed);
+      break;
+    case 2: c.demands = transpose(mesh); break;
+    case 3: c.demands = random_hh(mesh, 2, wseed); break;
+    case 4: c.demands = random_hh(mesh, 3, wseed); break;
+    case 5:
+      c.demands = hotspot(mesh, mesh.num_nodes() - 1,
+                          std::min<std::int32_t>(2 * c.n,
+                                                 mesh.num_nodes() - 1));
+      break;
+    case 6: c.demands = corner_flood(mesh, (c.n + 1) / 2, (c.n + 1) / 2); break;
+    case 7:
+      c.demands = diagonal_shift(
+          mesh, static_cast<std::int32_t>(1 + rng.next_below(
+                    static_cast<std::uint64_t>(c.n - 1))));
+      break;
+    default:
+      c.demands = row_to_column(
+          mesh, static_cast<std::int32_t>(rng.next_below(
+                    static_cast<std::uint64_t>(c.n))),
+          static_cast<std::int32_t>(rng.next_below(
+              static_cast<std::uint64_t>(c.n))));
+      break;
+  }
+  // A third of the cases stagger injections so the waiting-injection and
+  // dynamic-arrival paths diverge if either engine mishandles them.
+  if (rng.next_below(3) == 0) {
+    for (std::size_t i = 0; i < c.demands.size(); ++i)
+      if (i % 4 == 0)
+        c.demands[i].injected_at = static_cast<Step>(rng.next_below(6));
+  }
+  // A quarter get source==dest packets: delivered at injection, visible
+  // only through the injected-deliveries digest path.
+  if (rng.next_below(4) == 0) {
+    for (int extra = 0; extra < 2; ++extra) {
+      const NodeId u = static_cast<NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(mesh.num_nodes())));
+      c.demands.push_back(Demand{u, u, static_cast<Step>(rng.next_below(3))});
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(std::size_t num_cases, std::uint64_t seed,
+                    std::ostream& log) {
+  FuzzReport report;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < num_cases; ++i) {
+    const FuzzCase c = sample_case(rng);
+    const std::string error = run_fuzz_case(c);
+    ++report.cases_run;
+    log << "fuzz[" << i << "] algo=" << c.algorithm << " n=" << c.n
+        << (c.torus ? " torus" : " mesh") << " k=" << c.k
+        << " demands=" << c.demands.size();
+    if (error.empty()) {
+      log << " ok\n";
+      continue;
+    }
+    log << " FAIL: " << error << "\n";
+    ++report.failures;
+    report.first_error = error;
+    const FuzzCase shrunk = shrink_fuzz_case(c);
+    report.first_repro = format_fuzz_case(shrunk);
+    log << "shrunk to " << shrunk.demands.size() << " demand(s): "
+        << report.first_repro << "\n";
+    break;
+  }
+  return report;
+}
+
+}  // namespace mr

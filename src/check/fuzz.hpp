@@ -1,0 +1,58 @@
+// Seeded differential fuzzer: random (mesh, k, algorithm, workload)
+// configurations are run through both the optimized Engine and the naive
+// ReferenceEngine in lock-step, asserting bit-identical fingerprints and
+// step-digest hashes at every step while the paper-invariant oracles
+// (check/oracles.hpp) watch the optimized engine. A failing configuration
+// is shrunk (ddmin over the demand list) to a minimal repro, formatted as
+// a single self-contained spec line that `meshroute_bench
+// --fuzz-case=SPEC` re-runs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "workload/permutation.hpp"
+
+namespace mr {
+
+/// One fully specified differential-fuzz configuration.
+struct FuzzCase {
+  std::string algorithm;
+  std::int32_t n = 6;       ///< square side
+  bool torus = false;
+  int k = 2;                ///< queue capacity
+  Step budget = 4096;       ///< step budget per engine
+  Workload demands;         ///< materialized workload (with injection steps)
+};
+
+/// Spec-line round trip: "algo=<name> n=<n> torus=<0|1> k=<k> budget=<B>
+/// demands=<src>-<dst>@<step>,...".
+std::string format_fuzz_case(const FuzzCase& c);
+/// Parses a spec line; returns false and sets *error on malformed input.
+bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
+                     std::string* error);
+
+/// Runs one case differentially (both engines, all oracles). Returns the
+/// empty string on success, else a description of the divergence or
+/// invariant violation.
+std::string run_fuzz_case(const FuzzCase& c);
+
+/// Shrinks a failing case to a locally minimal demand list that still
+/// fails (ddmin). Returns the shrunk case; no-op if `c` passes.
+FuzzCase shrink_fuzz_case(const FuzzCase& c);
+
+struct FuzzReport {
+  std::size_t cases_run = 0;
+  std::size_t failures = 0;
+  std::string first_error;  ///< first divergence description
+  std::string first_repro;  ///< shrunk spec line for the first failure
+};
+
+/// Samples and runs `num_cases` configurations from `seed`, logging one
+/// line per case to `log`. Stops sampling new configurations after the
+/// first failure (which it shrinks); the report carries the repro line.
+FuzzReport run_fuzz(std::size_t num_cases, std::uint64_t seed,
+                    std::ostream& log);
+
+}  // namespace mr

@@ -92,7 +92,7 @@ void FastRouteAlgorithm::build_schedule(std::int32_t n) {
   schedule_length_ = t;
 }
 
-void FastRouteAlgorithm::init(Engine& e) {
+void FastRouteAlgorithm::init(Sim& e) {
   n_ = e.mesh().width();
   MR_REQUIRE_MSG(e.mesh().height() == n_ && !e.mesh().is_torus(),
                  "fastroute needs a square mesh");
@@ -157,7 +157,7 @@ std::int32_t FastRouteAlgorithm::strip_of(Coord canon) const {
   return (canon.row - tile_origin_row(canon)) / seg.d;
 }
 
-void FastRouteAlgorithm::enter_segment(Engine& e, std::size_t idx) {
+void FastRouteAlgorithm::enter_segment(Sim& e, std::size_t idx) {
   current_segment_ = idx;
   if (idx >= segments_.size()) return;
   Segment& seg = segments_[idx];
@@ -249,7 +249,7 @@ void FastRouteAlgorithm::enter_segment(Engine& e, std::size_t idx) {
   }
 }
 
-void FastRouteAlgorithm::check_segment_end(Engine& e, const Segment& seg) {
+void FastRouteAlgorithm::check_segment_end(Sim& e, const Segment& seg) {
   // Per-phase postconditions (Lemmas 29–32).
   for (std::size_t i = 0; i < packet_class_.size(); ++i) {
     if (packet_class_[i] != seg.cls) continue;
@@ -303,7 +303,7 @@ void FastRouteAlgorithm::check_segment_end(Engine& e, const Segment& seg) {
   }
 }
 
-void FastRouteAlgorithm::detect_moves(Engine& e) {
+void FastRouteAlgorithm::detect_moves(Sim& e) {
   if (current_segment_ >= segments_.size()) return;
   Segment& seg = segments_[current_segment_];
   const Step t = e.step();  // moves being detected happened at step t−1
@@ -375,7 +375,7 @@ void FastRouteAlgorithm::detect_moves(Engine& e) {
   }
 }
 
-void FastRouteAlgorithm::refresh(Engine& e) {
+void FastRouteAlgorithm::refresh(Sim& e) {
   const Step t = e.step();
   if (t == cached_step_) return;
   MR_REQUIRE(t == cached_step_ + 1);
@@ -389,7 +389,7 @@ void FastRouteAlgorithm::refresh(Engine& e) {
   }
 }
 
-void FastRouteAlgorithm::plan_out(Engine& e, NodeId u, OutPlan& plan) {
+void FastRouteAlgorithm::plan_out(Sim& e, NodeId u, OutPlan& plan) {
   refresh(e);
   if (current_segment_ >= segments_.size()) return;
   switch (segments_[current_segment_].kind) {
@@ -401,7 +401,7 @@ void FastRouteAlgorithm::plan_out(Engine& e, NodeId u, OutPlan& plan) {
   }
 }
 
-void FastRouteAlgorithm::plan_in(Engine& e, NodeId, std::span<const Offer> offers,
+void FastRouteAlgorithm::plan_in(Sim& e, NodeId, std::span<const Offer> offers,
                                  InPlan& plan) {
   refresh(e);
   // All refusal logic is sender-side (a node can observe its neighbour's
@@ -409,7 +409,7 @@ void FastRouteAlgorithm::plan_in(Engine& e, NodeId, std::span<const Offer> offer
   plan.accept.assign(offers.size(), true);
 }
 
-void FastRouteAlgorithm::plan_march(Engine& e, NodeId u, OutPlan& plan) {
+void FastRouteAlgorithm::plan_march(Sim& e, NodeId u, OutPlan& plan) {
   const Segment& seg = segments_[current_segment_];
   const Step t = e.step();
   const NodeId north = e.mesh().neighbor(u, canon_north_);
@@ -452,7 +452,7 @@ void FastRouteAlgorithm::plan_march(Engine& e, NodeId u, OutPlan& plan) {
   if (best != kInvalidPacket) plan.schedule(canon_north_, best);
 }
 
-void FastRouteAlgorithm::plan_sort_smooth(Engine& e, NodeId u, OutPlan& plan,
+void FastRouteAlgorithm::plan_sort_smooth(Sim& e, NodeId u, OutPlan& plan,
                                           bool even) {
   const Segment& seg = segments_[current_segment_];
   const Coord loc = to_canon(e.mesh().coord_of(u));
@@ -498,7 +498,7 @@ void FastRouteAlgorithm::plan_sort_smooth(Engine& e, NodeId u, OutPlan& plan,
   if (chosen != kInvalidPacket) plan.schedule(canon_north_, chosen);
 }
 
-void FastRouteAlgorithm::plan_balance(Engine& e, NodeId u, OutPlan& plan) {
+void FastRouteAlgorithm::plan_balance(Sim& e, NodeId u, OutPlan& plan) {
   const Segment& seg = segments_[current_segment_];
   if (active_count_[u] <= 2) return;  // the 2-rule
   const Coord loc = to_canon(e.mesh().coord_of(u));
@@ -523,7 +523,7 @@ void FastRouteAlgorithm::plan_balance(Engine& e, NodeId u, OutPlan& plan) {
   plan.schedule(canon_east_, best);
 }
 
-void FastRouteAlgorithm::plan_base_case(Engine& e, NodeId u, OutPlan& plan) {
+void FastRouteAlgorithm::plan_base_case(Sim& e, NodeId u, OutPlan& plan) {
   const Segment& seg = segments_[current_segment_];
   const Coord loc = to_canon(e.mesh().coord_of(u));
   PacketId east_best = kInvalidPacket, north_best = kInvalidPacket;

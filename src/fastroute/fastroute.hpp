@@ -54,9 +54,9 @@ class FastRouteAlgorithm final : public Algorithm {
   std::string name() const override { return "fastroute"; }
   bool minimal() const override { return true; }
 
-  void init(Engine& e) override;
-  void plan_out(Engine& e, NodeId u, OutPlan& plan) override;
-  void plan_in(Engine& e, NodeId v, std::span<const Offer> offers,
+  void init(Sim& e) override;
+  void plan_out(Sim& e, NodeId u, OutPlan& plan) override;
+  void plan_in(Sim& e, NodeId v, std::span<const Offer> offers,
                InPlan& plan) override;
 
   // ---- schedule introspection (tests / E09 / E10) ----------------------
@@ -96,10 +96,10 @@ class FastRouteAlgorithm final : public Algorithm {
   struct ClassInfo;  // per-packet bookkeeping
 
   void build_schedule(std::int32_t n);
-  void refresh(Engine& e);
-  void enter_segment(Engine& e, std::size_t idx);
-  void check_segment_end(Engine& e, const Segment& seg);
-  void detect_moves(Engine& e);
+  void refresh(Sim& e);
+  void enter_segment(Sim& e, std::size_t idx);
+  void check_segment_end(Sim& e, const Segment& seg);
+  void detect_moves(Sim& e);
 
   // canonical-frame helpers for the current segment
   Coord to_canon(Coord real) const;
@@ -109,10 +109,10 @@ class FastRouteAlgorithm final : public Algorithm {
   std::int32_t tile_origin_row(Coord canon) const;   // canonical tile row0
   std::int32_t tile_origin_col(Coord canon) const;
 
-  void plan_march(Engine& e, NodeId u, OutPlan& plan);
-  void plan_sort_smooth(Engine& e, NodeId u, OutPlan& plan, bool even);
-  void plan_balance(Engine& e, NodeId u, OutPlan& plan);
-  void plan_base_case(Engine& e, NodeId u, OutPlan& plan);
+  void plan_march(Sim& e, NodeId u, OutPlan& plan);
+  void plan_sort_smooth(Sim& e, NodeId u, OutPlan& plan, bool even);
+  void plan_balance(Sim& e, NodeId u, OutPlan& plan);
+  void plan_base_case(Sim& e, NodeId u, OutPlan& plan);
 
   Options options_;
   std::int32_t n_ = 0;

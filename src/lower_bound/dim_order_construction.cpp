@@ -17,7 +17,7 @@ class DimOrderInterceptor : public StepInterceptor {
 
   std::size_t exchanges() const { return exchanges_; }
 
-  void after_schedule(Engine& e,
+  void after_schedule(Sim& e,
                       std::span<const ScheduledMove> moves) override {
     const Step t = e.step();
     if (t > classes_ * dn_) return;
@@ -43,14 +43,14 @@ class DimOrderInterceptor : public StepInterceptor {
   }
 
  private:
-  std::int64_t classify(const Engine& e, PacketId p) const {
+  std::int64_t classify(const Sim& e, PacketId p) const {
     if (static_cast<std::size_t>(p) >= class_count_) return 0;
     const Packet& pk = e.packet(p);
     return geo_.classify(e.mesh().coord_of(pk.source),
                          e.mesh().coord_of(pk.dest));
   }
 
-  void exchange(Engine& e, PacketId mover, std::int64_t i) {
+  void exchange(Sim& e, PacketId mover, std::int64_t i) {
     PacketId unscheduled = kInvalidPacket;
     PacketId scheduled_elsewhere = kInvalidPacket;
     for (std::size_t id = 0; id < class_count_; ++id) {
@@ -105,7 +105,7 @@ class DimOrderChecker : public Observer {
         class_count_(class_count),
         escapes_(static_cast<std::size_t>(classes) + 1, 0) {}
 
-  void on_move(const Engine& e, const Packet& pk, NodeId from,
+  void on_move(const Sim& e, const Packet& pk, NodeId from,
                NodeId to) override {
     if (static_cast<std::size_t>(pk.id) >= class_count_) return;
     const std::int64_t i = geo_.classify(e.mesh().coord_of(pk.source),
@@ -125,7 +125,7 @@ class DimOrderChecker : public Observer {
     }
   }
 
-  void on_step_end(const Engine& e) override {
+  void on_step_end(const Sim& e) override {
     const Step t = e.step();
     const Step w = (t - 1) / dn_;
     for (std::size_t id = 0; id < class_count_; ++id) {

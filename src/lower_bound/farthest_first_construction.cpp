@@ -18,7 +18,7 @@ class FarthestFirstInterceptor : public StepInterceptor {
 
   std::size_t exchanges() const { return exchanges_; }
 
-  void after_schedule(Engine& e,
+  void after_schedule(Sim& e,
                       std::span<const ScheduledMove> moves) override {
     const Step t = e.step();
     scheduled_target_.assign(e.num_packets(), kInvalidNode);
@@ -46,14 +46,14 @@ class FarthestFirstInterceptor : public StepInterceptor {
   }
 
  private:
-  std::int64_t classify(const Engine& e, PacketId p) const {
+  std::int64_t classify(const Sim& e, PacketId p) const {
     if (static_cast<std::size_t>(p) >= class_count_) return 0;
     const Packet& pk = e.packet(p);
     return geo_.classify(e.mesh().coord_of(pk.source),
                          e.mesh().coord_of(pk.dest));
   }
 
-  void exchange(Engine& e, PacketId mover, std::int64_t j) {
+  void exchange(Sim& e, PacketId mover, std::int64_t j) {
     // Partner: westernmost-in-its-row N_{j−1}-packet inside the (j+1)-box
     // (columns ≤ n−j−1) that is not scheduled to enter the N_j-column.
     PacketId best = kInvalidPacket;
@@ -104,7 +104,7 @@ class FarthestFirstChecker : public Observer {
                        std::int32_t dn, std::size_t class_count)
       : geo_(geo), cn_(cn), dn_(dn), class_count_(class_count) {}
 
-  void on_move(const Engine& e, const Packet& pk, NodeId from,
+  void on_move(const Sim& e, const Packet& pk, NodeId from,
                NodeId to) override {
     if (static_cast<std::size_t>(pk.id) >= class_count_) return;
     const std::int64_t i = geo_.classify(e.mesh().coord_of(pk.source),
@@ -138,7 +138,7 @@ class FarthestFirstChecker : public Observer {
 
 /// Checks the per-row ordering invariant: within each sender row, for
 /// j > i, no N_j-packet lies strictly east of any N_i-packet.
-bool row_order_holds(const Engine& e, const FarthestFirstConstruction& geo,
+bool row_order_holds(const Sim& e, const FarthestFirstConstruction& geo,
                      std::int32_t cn, std::size_t class_count) {
   const std::int32_t width = e.mesh().width();
   // per row: min col per class and max col per class, then check chain.

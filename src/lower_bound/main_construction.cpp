@@ -3,100 +3,13 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "check/oracles.hpp"
 #include "core/rng.hpp"
 #include "routing/registry.hpp"
 
 namespace mr {
 
 namespace {
-
-/// Online checker for Lemmas 1–8 (§4.1). Throws InvariantViolation on any
-/// breach; the lemmas are theorems, so a violation means the construction
-/// implementation diverged from the paper.
-class InvariantChecker : public Observer {
- public:
-  InvariantChecker(const MainGeometry& geometry, std::int32_t dn,
-                   std::size_t class_packet_count)
-      : geo_(geometry),
-        dn_(dn),
-        class_count_(class_packet_count),
-        escapes_n_(static_cast<std::size_t>(geometry.classes()) + 1, 0),
-        escapes_e_(static_cast<std::size_t>(geometry.classes()) + 1, 0) {}
-
-  std::int64_t max_escapes_per_step() const { return max_escapes_; }
-
-  void on_move(const Engine& e, const Packet& pk, NodeId from,
-               NodeId to) override {
-    if (static_cast<std::size_t>(pk.id) >= class_count_) return;
-    const PacketClass cls = geo_.classify(e.mesh().coord_of(pk.source),
-                                          e.mesh().coord_of(pk.dest));
-    if (cls.type == ClassType::None) return;
-    const std::int64_t i = cls.i;
-    if (!geo_.in_box(e.mesh().coord_of(from), i) ||
-        geo_.in_box(e.mesh().coord_of(to), i)) {
-      return;  // not an escape from the i-box
-    }
-    const Step t = e.step();
-    MR_REQUIRE_MSG(t > (i - 1) * dn_,
-                   "Lemma 1 violated: class-" << i << " packet " << pk.id
-                                              << " left the i-box at step "
-                                              << t);
-    if (t <= i * dn_) {
-      auto& count = cls.type == ClassType::N ? escapes_n_[i] : escapes_e_[i];
-      ++count;
-      MR_REQUIRE_MSG(count <= 1, "Lemma 2 violated: "
-                                     << count << " class-" << i
-                                     << " packets left the i-box in step "
-                                     << t);
-      max_escapes_ = std::max(max_escapes_, count);
-    }
-  }
-
-  void on_step_end(const Engine& e) override {
-    const Step t = e.step();
-    const Step w = (t - 1) / dn_;  // window index: steps (w·dn, (w+1)·dn]
-    for (std::size_t id = 0; id < class_count_; ++id) {
-      const Packet& pk = e.packet(static_cast<PacketId>(id));
-      if (pk.delivered()) continue;
-      const PacketClass cls = geo_.classify(e.mesh().coord_of(pk.source),
-                                            e.mesh().coord_of(pk.dest));
-      if (cls.type == ClassType::None) continue;
-      const std::int64_t i = cls.i;
-      // Packets awaiting injection sit at their source.
-      const Coord at = e.mesh().coord_of(
-          pk.location != kInvalidNode ? pk.location : pk.source);
-      // Lemmas 5/6: classes j ≥ w+2 are still confined to the w-box.
-      if (i >= w + 2) {
-        MR_REQUIRE_MSG(geo_.in_box(at, w),
-                       "Lemma 5/6 violated: class-" << i << " packet outside "
-                                                    << w << "-box at step "
-                                                    << t);
-      }
-      if (t <= i * dn_) {
-        if (cls.type == ClassType::N) {
-          // Lemma 7: not at/north of the E_i-row while west of N_i-column.
-          MR_REQUIRE_MSG(!(at.row >= geo_.line(i) && at.col < geo_.line(i)),
-                         "Lemma 7 violated at step " << t);
-        } else {
-          // Lemma 8: not at/east of the N_i-column while south of E_i-row.
-          MR_REQUIRE_MSG(!(at.col >= geo_.line(i) && at.row < geo_.line(i)),
-                         "Lemma 8 violated at step " << t);
-        }
-      }
-    }
-    // Escape counters are per step.
-    std::fill(escapes_n_.begin(), escapes_n_.end(), 0);
-    std::fill(escapes_e_.begin(), escapes_e_.end(), 0);
-  }
-
- private:
-  const MainGeometry& geo_;
-  std::int32_t dn_;
-  std::size_t class_count_;
-  std::vector<std::int64_t> escapes_n_;
-  std::vector<std::int64_t> escapes_e_;
-  std::int64_t max_escapes_ = 0;
-};
 
 /// Exchange rules EX1–EX4 (§3 step 3), applied between scheduling and
 /// acceptance. Iterates to a fixed point: an exchange can re-expose a
@@ -110,7 +23,7 @@ class ExchangeInterceptor : public StepInterceptor {
 
   std::size_t exchanges() const { return exchanges_; }
 
-  void after_schedule(Engine& e, std::span<const ScheduledMove> moves) override {
+  void after_schedule(Sim& e, std::span<const ScheduledMove> moves) override {
     const Step t = e.step();
     if (t > geo_.classes() * dn_) return;  // all exchange windows closed
 
@@ -132,7 +45,7 @@ class ExchangeInterceptor : public StepInterceptor {
   }
 
  private:
-  PacketClass classify(const Engine& e, PacketId p) const {
+  PacketClass classify(const Sim& e, PacketId p) const {
     if (static_cast<std::size_t>(p) >= class_count_) return PacketClass{};
     const Packet& pk = e.packet(p);
     return geo_.classify(e.mesh().coord_of(pk.source),
@@ -140,7 +53,7 @@ class ExchangeInterceptor : public StepInterceptor {
   }
 
   /// Returns true if an exchange was performed for this move.
-  bool apply_rules(Engine& e, const ScheduledMove& m) {
+  bool apply_rules(Sim& e, const ScheduledMove& m) {
     const Step t = e.step();
     const Coord v = e.mesh().coord_of(m.to);
     if (v.col >= geo_.size() || v.row >= geo_.size()) return false;
@@ -177,7 +90,7 @@ class ExchangeInterceptor : public StepInterceptor {
     return false;  // the i-box corner is not covered by any rule
   }
 
-  void exchange_with(Engine& e, PacketId mover, ClassType want,
+  void exchange_with(Sim& e, PacketId mover, ClassType want,
                      std::int64_t i, bool line_is_column) {
     // Partner: a packet of class (want, i) inside the (i−1)-box that is not
     // scheduled to enter the N_i-column / E_i-row (Lemmas 3/4 guarantee one
@@ -405,7 +318,9 @@ MainConstruction::RunResult MainConstruction::run_construction(
 
   ExchangeInterceptor exchanger(geometry_, dn_, class_count);
   engine.set_interceptor(&exchanger);
-  InvariantChecker checker(geometry_, dn_, class_count);
+  // Lemmas 1-8 are checked by the shared box-escape oracle from the
+  // differential-verification subsystem (check/oracles.hpp).
+  BoxEscapeOracle checker(geometry_, dn_, class_count);
   if (options_.check_invariants) engine.add_observer(&checker);
   if (extra_observer != nullptr) engine.add_observer(extra_observer);
 

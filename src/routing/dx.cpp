@@ -2,7 +2,7 @@
 
 namespace mr {
 
-DxAlgorithm::NodeCtx DxAlgorithm::make_ctx(const Engine& e, NodeId u) const {
+DxAlgorithm::NodeCtx DxAlgorithm::make_ctx(const Sim& e, NodeId u) const {
   NodeCtx ctx;
   ctx.node = u;
   ctx.coord = e.mesh().coord_of(u);
@@ -19,7 +19,7 @@ DxAlgorithm::NodeCtx DxAlgorithm::make_ctx(const Engine& e, NodeId u) const {
   return ctx;
 }
 
-void DxAlgorithm::fill_views(const Engine& e, NodeId u) {
+void DxAlgorithm::fill_views(const Sim& e, NodeId u) {
   views_.clear();
   for (PacketId p : e.packets_at(u)) {
     const Packet& pk = e.packet(p);
@@ -29,7 +29,7 @@ void DxAlgorithm::fill_views(const Engine& e, NodeId u) {
   }
 }
 
-void DxAlgorithm::init(Engine& e) {
+void DxAlgorithm::init(Sim& e) {
   for (NodeId u = 0; u < e.mesh().num_nodes(); ++u) {
     if (e.packets_at(u).empty()) continue;
     NodeCtx ctx = make_ctx(e, u);
@@ -40,14 +40,14 @@ void DxAlgorithm::init(Engine& e) {
   }
 }
 
-void DxAlgorithm::plan_out(Engine& e, NodeId u, OutPlan& plan) {
+void DxAlgorithm::plan_out(Sim& e, NodeId u, OutPlan& plan) {
   NodeCtx ctx = make_ctx(e, u);
   fill_views(e, u);
   dx_plan_out(ctx, std::span<const PacketDxView>(views_), plan);
   // Outqueue policies may not change state (§3 updates states in (e)).
 }
 
-void DxAlgorithm::plan_in(Engine& e, NodeId v, std::span<const Offer> offers,
+void DxAlgorithm::plan_in(Sim& e, NodeId v, std::span<const Offer> offers,
                           InPlan& plan) {
   NodeCtx ctx = make_ctx(e, v);
   fill_views(e, v);
@@ -64,7 +64,7 @@ void DxAlgorithm::plan_in(Engine& e, NodeId v, std::span<const Offer> offers,
              std::span<const DxOffer>(dx_offers_), plan);
 }
 
-void DxAlgorithm::update_state(Engine& e, NodeId v) {
+void DxAlgorithm::update_state(Sim& e, NodeId v) {
   NodeCtx ctx = make_ctx(e, v);
   fill_views(e, v);
   dx_update(ctx, std::span<PacketDxView>(views_));

@@ -81,11 +81,11 @@ class DxAlgorithm : public Algorithm {
 
   // Adapter plumbing: translates Engine callbacks into DX views. Final so
   // subclasses cannot reopen access to destinations.
-  void init(Engine& e) final;
-  void plan_out(Engine& e, NodeId u, OutPlan& plan) final;
-  void plan_in(Engine& e, NodeId v, std::span<const Offer> offers,
+  void init(Sim& e) final;
+  void plan_out(Sim& e, NodeId u, OutPlan& plan) final;
+  void plan_in(Sim& e, NodeId v, std::span<const Offer> offers,
                InPlan& plan) final;
-  void update_state(Engine& e, NodeId v) final;
+  void update_state(Sim& e, NodeId v) final;
 
  protected:
   /// Initial node state from the profitable outlinks of resident packets
@@ -117,8 +117,8 @@ class DxAlgorithm : public Algorithm {
   }
 
  private:
-  NodeCtx make_ctx(const Engine& e, NodeId u) const;
-  void fill_views(const Engine& e, NodeId u);
+  NodeCtx make_ctx(const Sim& e, NodeId u) const;
+  void fill_views(const Sim& e, NodeId u);
 
   // scratch, reused across callbacks
   std::vector<PacketDxView> views_;

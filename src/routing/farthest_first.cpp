@@ -7,7 +7,7 @@
 
 namespace mr {
 
-void FarthestFirstRouter::plan_out(Engine& e, NodeId u, OutPlan& plan) {
+void FarthestFirstRouter::plan_out(Sim& e, NodeId u, OutPlan& plan) {
   const Mesh& mesh = e.mesh();
   // Per outlink, remember the best (farthest-in-that-dimension) candidate.
   std::array<std::int32_t, kNumDirs> best_dist{-1, -1, -1, -1};
@@ -26,7 +26,7 @@ void FarthestFirstRouter::plan_out(Engine& e, NodeId u, OutPlan& plan) {
   }
 }
 
-void FarthestFirstRouter::plan_in(Engine& e, NodeId v,
+void FarthestFirstRouter::plan_in(Sim& e, NodeId v,
                                   std::span<const Offer> offers,
                                   InPlan& plan) {
   // Accept the farthest packets first while space remains even if none of

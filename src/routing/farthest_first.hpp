@@ -17,8 +17,8 @@ class FarthestFirstRouter final : public Algorithm {
  public:
   std::string name() const override { return "farthest-first"; }
 
-  void plan_out(Engine& e, NodeId u, OutPlan& plan) override;
-  void plan_in(Engine& e, NodeId v, std::span<const Offer> offers,
+  void plan_out(Sim& e, NodeId u, OutPlan& plan) override;
+  void plan_in(Sim& e, NodeId v, std::span<const Offer> offers,
                InPlan& plan) override;
 };
 

@@ -7,7 +7,7 @@
 //   (d) transmit  — accepted packets move; arrivals at destination deliver
 //   (e) update    — node and packet states update
 //
-// Algorithm implementations receive the Engine for queries. Full-information
+// Algorithm implementations receive the Sim for queries. Full-information
 // algorithms (farthest-first, §6) may inspect destinations; destination-
 // exchangeable algorithms must derive from DxAlgorithm (dx.hpp), whose
 // callbacks expose only the §2-legal fields.
@@ -24,12 +24,7 @@
 
 namespace mr {
 
-class Engine;
-
-enum class QueueLayout : std::uint8_t {
-  Central,    ///< one queue of size k per node
-  PerInlink,  ///< four queues of size k, one per inlink (§5, Theorem 15)
-};
+class Sim;
 
 /// Outqueue decision for one node: packet scheduled on each outlink.
 struct OutPlan {
@@ -81,21 +76,21 @@ class Algorithm {
   /// Called once before step 1, after initial packets are placed. The
   /// initial states set here may, for DX algorithms, depend only on the
   /// §2-legal fields.
-  virtual void init(Engine&) {}
+  virtual void init(Sim&) {}
 
   /// (a) Outqueue policy of node u. `plan` arrives cleared.
-  virtual void plan_out(Engine& e, NodeId u, OutPlan& plan) = 0;
+  virtual void plan_out(Sim& e, NodeId u, OutPlan& plan) = 0;
 
   /// (c) Inqueue policy of node v. Offers arrive in deterministic order
   /// (by travel direction). The engine verifies post-step occupancy.
   /// Offers whose packet is arriving at its destination are delivered by
   /// the engine directly and never shown to the policy.
-  virtual void plan_in(Engine& e, NodeId v, std::span<const Offer> offers,
+  virtual void plan_in(Sim& e, NodeId v, std::span<const Offer> offers,
                        InPlan& plan) = 0;
 
   /// (e) State update for node v (called for every node that held, sent or
   /// received a packet this step). Default: no state.
-  virtual void update_state(Engine&, NodeId) {}
+  virtual void update_state(Sim&, NodeId) {}
 };
 
 /// A move that will happen in phase (d) unless rejected in (c).
@@ -111,7 +106,7 @@ struct ScheduledMove {
 class StepInterceptor {
  public:
   virtual ~StepInterceptor() = default;
-  virtual void after_schedule(Engine& e,
+  virtual void after_schedule(Sim& e,
                               std::span<const ScheduledMove> moves) = 0;
 };
 
@@ -152,7 +147,7 @@ struct StepDigest {
 };
 
 /// The observation interface: one digest per executed step. Observation
-/// never influences routing. Packet records read through the Engine inside
+/// never influences routing. Packet records read through the Sim inside
 /// a callback show end-of-step state (after phase (e)), which for every
 /// digest field referenced here is identical to the state at transmission
 /// time except for queue-slot indices.
@@ -161,8 +156,8 @@ class StepObserver {
   virtual ~StepObserver() = default;
   /// Called once at the end of prepare(): the initial configuration is
   /// final; the digest carries step 0 and any source==dest deliveries.
-  virtual void on_prepare(const Engine&, const StepDigest&) {}
-  virtual void on_step(const Engine&, const StepDigest&) = 0;
+  virtual void on_prepare(const Sim&, const StepDigest&) {}
+  virtual void on_step(const Sim&, const StepDigest&) = 0;
 };
 
 /// Legacy per-event observation hook, retained as a thin adapter over the
@@ -175,24 +170,24 @@ class Observer {
   virtual ~Observer() = default;
   /// Called once at the end of prepare(): the initial configuration is
   /// final and source==dest packets have already been delivered (step 0).
-  virtual void on_prepare_end(const Engine&) {}
-  virtual void on_step_end(const Engine&) {}
-  virtual void on_deliver(const Engine&, const Packet&) {}
-  virtual void on_move(const Engine&, const Packet&, NodeId from, NodeId to) {
+  virtual void on_prepare_end(const Sim&) {}
+  virtual void on_step_end(const Sim&) {}
+  virtual void on_deliver(const Sim&, const Packet&) {}
+  virtual void on_move(const Sim&, const Packet&, NodeId from, NodeId to) {
     (void)from;
     (void)to;
   }
 };
 
 /// Replays a StepDigest as the legacy per-event callback sequence.
-/// Engine::add_observer(Observer*) wraps each legacy observer in one of
+/// Sim::add_observer(Observer*) wraps each legacy observer in one of
 /// these; the replayed event order is bit-identical to the order the
 /// pre-digest engine emitted inline.
 class LegacyObserverAdapter final : public StepObserver {
  public:
   explicit LegacyObserverAdapter(Observer* legacy) : legacy_(legacy) {}
-  void on_prepare(const Engine& e, const StepDigest& d) override;
-  void on_step(const Engine& e, const StepDigest& d) override;
+  void on_prepare(const Sim& e, const StepDigest& d) override;
+  void on_step(const Sim& e, const StepDigest& d) override;
 
  private:
   Observer* legacy_;

@@ -6,73 +6,25 @@
 
 namespace mr {
 
-void LegacyObserverAdapter::on_prepare(const Engine& e, const StepDigest& d) {
-  for (PacketId p : d.injected_deliveries) legacy_->on_deliver(e, e.packet(p));
-  legacy_->on_prepare_end(e);
-}
-
-void LegacyObserverAdapter::on_step(const Engine& e, const StepDigest& d) {
-  for (PacketId p : d.injected_deliveries) legacy_->on_deliver(e, e.packet(p));
-  for (const MoveRecord& m : d.moves) {
-    const Packet& pk = e.packet(m.packet);
-    legacy_->on_move(e, pk, m.from, m.to);
-    if (m.delivered) legacy_->on_deliver(e, pk);
-  }
-  legacy_->on_step_end(e);
-}
-
-namespace {
-// 64-bit FNV-1a, used for configuration fingerprints.
-struct Fnv {
-  std::uint64_t h = 14695981039346656037ULL;
-  void mix(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xFF;
-      h *= 1099511628211ULL;
-    }
-  }
-};
-}  // namespace
-
 Engine::Engine(const Mesh& mesh, Config config, Algorithm& algorithm)
-    : mesh_(mesh),
-      config_(config),
+    : Sim(mesh, config.queue_capacity, algorithm.queue_layout(),
+          /*masks_cached=*/true),
       algorithm_(algorithm),
-      layout_(algorithm.queue_layout()),
+      stall_limit_(config.stall_limit),
       enforce_minimal_(algorithm.minimal()),
       max_stray_(algorithm.max_stray()) {
-  MR_REQUIRE(config_.queue_capacity >= 1);
+  MR_REQUIRE_MSG(stall_limit_ >= 0,
+                 "stall_limit must be >= 0, got " << stall_limit_);
   const auto n = static_cast<std::size_t>(mesh_.num_nodes());
-  node_packets_.resize(n);
-  node_state_.assign(n, 0);
   is_active_.assign(n, 0);
   if (layout_ == QueueLayout::PerInlink) inlink_occ_.assign(n * kNumDirs, 0);
 }
 
 PacketId Engine::add_packet(NodeId source, NodeId dest, Step injected_at) {
   MR_REQUIRE_MSG(!prepared_, "add_packet after prepare()");
-  MR_REQUIRE(source >= 0 && source < mesh_.num_nodes());
-  MR_REQUIRE(dest >= 0 && dest < mesh_.num_nodes());
-  MR_REQUIRE(injected_at >= 0);
-  Packet pk;
-  pk.id = static_cast<PacketId>(packets_.size());
-  pk.source = source;
-  pk.dest = dest;
-  pk.injected_at = injected_at;
-  packets_.push_back(pk);
-  injections_.emplace_back(injected_at, pk.id);
-  return pk.id;
-}
-
-void Engine::add_observer(StepObserver* observer) {
-  MR_REQUIRE(observer != nullptr);
-  observers_.push_back(observer);
-}
-
-void Engine::add_observer(Observer* observer) {
-  MR_REQUIRE(observer != nullptr);
-  adapters_.push_back(std::make_unique<LegacyObserverAdapter>(observer));
-  observers_.push_back(adapters_.back().get());
+  const PacketId id = register_packet(source, dest, injected_at);
+  injections_.emplace_back(injected_at, id);
+  return id;
 }
 
 QueueTag Engine::arrival_tag(Dir travel_dir) const {
@@ -159,7 +111,7 @@ void Engine::inject_due_packets() {
     const int used = layout_ == QueueLayout::Central
                          ? occupancy(pk.source)
                          : occupancy(pk.source, tag);
-    if (used >= config_.queue_capacity) {
+    if (used >= queue_capacity_) {
       waiting_injections_.push_back(p);  // §5: wait outside the network
       continue;
     }
@@ -441,7 +393,7 @@ bool Engine::step_once() {
   if (moved_this_step == 0 && injected_this_step_ == 0 &&
       injection_cursor_ == injections_.size()) {
     ++stall_run_;
-    if (config_.stall_limit > 0 && stall_run_ >= config_.stall_limit)
+    if (stall_limit_ > 0 && stall_run_ >= stall_limit_)
       stalled_ = true;
   } else {
     stall_run_ = 0;
@@ -481,15 +433,15 @@ Step Engine::run(Step max_steps) {
 
 void Engine::check_capacity_after_transmit(NodeId v) {
   if (layout_ == QueueLayout::Central) {
-    MR_REQUIRE_MSG(occupancy(v) <= config_.queue_capacity,
+    MR_REQUIRE_MSG(occupancy(v) <= queue_capacity_,
                    "queue overflow at node " << v << ": " << occupancy(v)
-                                             << " > k=" << config_.queue_capacity
+                                             << " > k=" << queue_capacity_
                                              << " (step " << step_ << ")");
     return;
   }
   const std::size_t base = inlink_index(v, 0);
   for (int t = 0; t < kNumDirs; ++t) {
-    MR_REQUIRE_MSG(inlink_occ_[base + t] <= config_.queue_capacity,
+    MR_REQUIRE_MSG(inlink_occ_[base + t] <= queue_capacity_,
                    "inlink queue overflow at node "
                        << v << " queue " << t << " (step " << step_
                        << ")");
@@ -507,27 +459,6 @@ void Engine::exchange_destinations(PacketId a, PacketId b) {
       pk.profitable = mesh_.profitable_dirs(pk.location, pk.dest);
   }
   ++exchange_count_;
-}
-
-std::uint64_t Engine::fingerprint(bool include_dest) const {
-  Fnv f;
-  for (NodeId u = 0; u < mesh_.num_nodes(); ++u) {
-    const auto& q = node_packets_[u];
-    if (q.empty() && node_state_[u] == 0) continue;
-    f.mix(static_cast<std::uint64_t>(u));
-    f.mix(node_state_[u]);
-    for (PacketId p : q) {
-      const Packet& pk = packets_[p];
-      f.mix(static_cast<std::uint64_t>(pk.id));
-      f.mix(static_cast<std::uint64_t>(pk.source));
-      if (include_dest) f.mix(static_cast<std::uint64_t>(pk.dest));
-      f.mix(pk.state);
-      f.mix(pk.queue);
-      f.mix(pk.arrival_inlink);
-      f.mix(static_cast<std::uint64_t>(pk.arrived_at));
-    }
-  }
-  return f.h;
 }
 
 }  // namespace mr

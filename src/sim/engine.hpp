@@ -1,8 +1,9 @@
 // Discrete-step, multi-port, synchronous mesh routing engine (paper §2).
 //
-// The engine owns the network configuration (packets, per-node queues and
-// states) and executes the five-phase step of §3 under a pluggable
-// Algorithm. It validates the model's invariants at runtime:
+// Engine is the optimized implementation of the Sim interface
+// (sim/sim.hpp): it owns the network configuration (packets, per-node
+// queues and states) and executes the five-phase step of §3 under a
+// pluggable Algorithm. It validates the model's invariants at runtime:
 //   * queue occupancy never exceeds k (per queue for the per-inlink layout),
 //   * minimal algorithms only ever move packets along profitable outlinks,
 //   * at most one packet is scheduled per outlink and accepted per inlink.
@@ -11,7 +12,9 @@
 //
 // Determinism: with a fixed initial configuration and algorithm the engine
 // is bit-reproducible; all iteration orders are by ascending NodeId and
-// travel direction.
+// travel direction. The naive ReferenceEngine (check/reference_engine.hpp)
+// implements the same observable semantics move for move; the differential
+// fuzzer (check/fuzz.hpp) asserts the two stay bit-identical.
 //
 // Per-step cost is O(active nodes + moves): queue occupancy is maintained
 // as incremental counters, packets carry their queue-slot index and cached
@@ -30,7 +33,6 @@
 
 #include <array>
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <vector>
 
@@ -38,6 +40,7 @@
 #include "core/types.hpp"
 #include "sim/algorithm.hpp"
 #include "sim/packet.hpp"
+#include "sim/sim.hpp"
 #include "topo/mesh.hpp"
 
 namespace mr {
@@ -80,17 +83,17 @@ struct PhaseProfile {
   }
 };
 
-class Engine {
+class Engine : public Sim {
  public:
   struct Config {
-    int queue_capacity = 1;  ///< k, packets per queue
+    int queue_capacity = 1;  ///< k, packets per queue (must be >= 1)
     /// Abort run() after this many consecutive steps with no movement, no
     /// delivery and no successful injection while no future-dated
-    /// injection is pending (0 disables the check). Packets waiting
-    /// outside the network for a full source queue do NOT defer the check:
-    /// they can only enter once something moves, so counting those steps
-    /// is what detects a deadlocked network with a non-empty external
-    /// buffer.
+    /// injection is pending (0 disables the check; negative is rejected).
+    /// Packets waiting outside the network for a full source queue do NOT
+    /// defer the check: they can only enter once something moves, so
+    /// counting those steps is what detects a deadlocked network with a
+    /// non-empty external buffer.
     Step stall_limit = kDefaultStallLimit;
   };
 
@@ -106,12 +109,6 @@ class Engine {
   void set_interceptor(StepInterceptor* interceptor) {
     interceptor_ = interceptor;
   }
-  /// Registers a digest observer: one on_step callback per executed step.
-  void add_observer(StepObserver* observer);
-  /// Registers a legacy per-event observer by wrapping it in a
-  /// LegacyObserverAdapter (owned by the engine). Event order is identical
-  /// to the historical inline dispatch.
-  void add_observer(Observer* observer);
 
   /// Enables (or disables) wall-clock profiling of the five step phases.
   /// Off by default; when off, stepping performs no clock reads.
@@ -133,75 +130,18 @@ class Engine {
   /// stall limit trips. Returns the number of the last executed step.
   Step run(Step max_steps);
 
-  // --- queries (valid during callbacks and between steps) ---------------
-  const Mesh& mesh() const { return mesh_; }
-  int queue_capacity() const { return config_.queue_capacity; }
-  QueueLayout queue_layout() const { return layout_; }
-  /// Number of the step currently executing (1-based), or of the last
-  /// executed step between steps; 0 before the first step.
-  Step step() const { return step_; }
-
-  std::size_t num_packets() const { return packets_.size(); }
-  std::size_t delivered_count() const { return delivered_count_; }
-  bool all_delivered() const { return delivered_count_ == packets_.size(); }
-  bool stalled() const { return stalled_; }
-
-  const Packet& packet(PacketId p) const { return packets_[p]; }
-  /// Packets currently queued at node u, in queue order (arrival order).
-  std::span<const PacketId> packets_at(NodeId u) const {
-    return node_packets_[u];
-  }
+  // --- Sim interface -----------------------------------------------------
   /// Nodes currently holding at least one packet, ascending by NodeId.
   /// Valid between steps and inside on_prepare_end / on_step_end.
-  std::span<const NodeId> active_nodes() const { return active_; }
-  int occupancy(NodeId u) const {
-    return static_cast<int>(node_packets_[u].size());
-  }
+  std::span<const NodeId> active_nodes() const override { return active_; }
   /// Occupancy of one inlink queue (PerInlink layout only). O(1): read
   /// from the incrementally maintained counters.
-  int occupancy(NodeId u, QueueTag tag) const {
+  int occupancy(NodeId u, QueueTag tag) const override {
     MR_REQUIRE(layout_ == QueueLayout::PerInlink);
     return inlink_occ_[inlink_index(u, tag)];
   }
-  int capacity_left(NodeId u) const {
-    return config_.queue_capacity - occupancy(u);
-  }
-
-  /// Profitable outlinks of packet p from its current node (§2's only
-  /// destination-derived information). O(1): the mask is cached on the
-  /// packet and refreshed on placement and destination exchange.
-  DirMask profitable_mask(PacketId p) const {
-    return packets_[p].profitable;
-  }
-
-  std::uint64_t node_state(NodeId u) const { return node_state_[u]; }
-  void set_node_state(NodeId u, std::uint64_t s) { node_state_[u] = s; }
-  void set_packet_state(PacketId p, std::uint64_t s) {
-    packets_[p].state = s;
-  }
-
-  // --- adversary interface (only legal from StepInterceptor) -----------
-  /// Exchange of §2: swaps the destination addresses of a and b; all other
-  /// packet information (state, source, position) is untouched.
-  void exchange_destinations(PacketId a, PacketId b);
-  std::size_t exchange_count() const { return exchange_count_; }
-
-  // --- metrics ----------------------------------------------------------
-  /// Largest queue occupancy observed at any point after a transmission
-  /// phase (per single queue in the PerInlink layout).
-  int max_occupancy_seen() const { return max_occupancy_seen_; }
-  std::int64_t total_moves() const { return total_moves_; }
-
-  /// Order-sensitive 64-bit fingerprint of the full network configuration
-  /// (node states + queued packets with all fields). Used by the Lemma 12
-  /// replay-equivalence check. With include_dest = false the destination
-  /// fields are omitted: Lemma 11/12 predict that the construction and the
-  /// replay agree on everything except the not-yet-performed exchanges,
-  /// which only permute destinations.
-  std::uint64_t fingerprint(bool include_dest = true) const;
-
-  /// Copies of all packet records (delivered ones included).
-  const std::vector<Packet>& all_packets() const { return packets_; }
+  using Sim::occupancy;
+  void exchange_destinations(PacketId a, PacketId b) override;
 
  private:
   void inject_due_packets();
@@ -219,16 +159,11 @@ class Engine {
     return static_cast<std::size_t>(u) * kNumDirs + tag;
   }
 
-  Mesh mesh_;
-  Config config_;
   Algorithm& algorithm_;
-  QueueLayout layout_;
+  Step stall_limit_;
   bool enforce_minimal_;
   int max_stray_ = -1;  ///< §5 nonminimal containment (when not minimal)
 
-  std::vector<Packet> packets_;
-  std::vector<std::vector<PacketId>> node_packets_;
-  std::vector<std::uint64_t> node_state_;
   /// PerInlink layout only: occupancy counter per (node, inlink queue),
   /// updated in place_packet/remove_from_node.
   std::vector<std::int32_t> inlink_occ_;
@@ -239,24 +174,12 @@ class Engine {
   std::vector<PacketId> waiting_injections_;  // due but queue was full
 
   StepInterceptor* interceptor_ = nullptr;
-  std::vector<StepObserver*> observers_;
-  /// Adapters created by add_observer(Observer*); entries in observers_
-  /// may point at these.
-  std::vector<std::unique_ptr<LegacyObserverAdapter>> adapters_;
 
-  Step step_ = 0;
-  std::size_t delivered_count_ = 0;
   bool prepared_ = false;
-  bool stalled_ = false;
   Step stall_run_ = 0;
-  std::size_t exchange_count_ = 0;
-  bool in_interceptor_ = false;
   /// Packets that entered the network (or were delivered at their source)
   /// during the current step's injection phase; part of stall detection.
   std::int64_t injected_this_step_ = 0;
-
-  int max_occupancy_seen_ = 0;
-  std::int64_t total_moves_ = 0;
 
   bool profiling_ = false;
   PhaseProfile phase_profile_;

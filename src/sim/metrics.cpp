@@ -6,14 +6,14 @@
 
 namespace mr {
 
-void MetricsObserver::on_prepare_end(const Engine& e) {
+void MetricsObserver::on_prepare_end(const Sim& e) {
   (void)e;
   // Entry for step 0: deliveries that happened during prepare()
   // (source==dest packets) belong to the curve, not to step 1.
   delivered_by_step_.push_back(delivered_so_far_);
 }
 
-void MetricsObserver::sample_occupancy(const Engine& e) {
+void MetricsObserver::sample_occupancy(const Sim& e) {
   // Only nodes holding packets can have non-zero occupancy, so sampling is
   // O(active nodes). Under the per-inlink layout every one of the (up to
   // four) queues is its own sample; lumping them into a whole-node count
@@ -32,12 +32,12 @@ void MetricsObserver::sample_occupancy(const Engine& e) {
   }
 }
 
-void MetricsObserver::on_step_end(const Engine& e) {
+void MetricsObserver::on_step_end(const Sim& e) {
   delivered_by_step_.push_back(delivered_so_far_);
   if (sample_every_ > 0 && e.step() % sample_every_ == 0) sample_occupancy(e);
 }
 
-void MetricsObserver::on_deliver(const Engine& e, const Packet& p) {
+void MetricsObserver::on_deliver(const Sim& e, const Packet& p) {
   latency_.add(p.delivered_at - p.injected_at);
   (void)e;
   ++delivered_so_far_;

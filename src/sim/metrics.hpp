@@ -28,9 +28,9 @@ class MetricsObserver : public Observer {
   explicit MetricsObserver(Step sample_every = 16)
       : sample_every_(sample_every) {}
 
-  void on_prepare_end(const Engine& e) override;
-  void on_step_end(const Engine& e) override;
-  void on_deliver(const Engine& e, const Packet& p) override;
+  void on_prepare_end(const Sim& e) override;
+  void on_step_end(const Sim& e) override;
+  void on_deliver(const Sim& e, const Packet& p) override;
 
   const Histogram& latency() const { return latency_; }
   LatencySummary latency_summary() const;
@@ -45,7 +45,7 @@ class MetricsObserver : public Observer {
   Step completion_step(double fraction, std::size_t total) const;
 
  private:
-  void sample_occupancy(const Engine& e);
+  void sample_occupancy(const Sim& e);
 
   Step sample_every_;
   Histogram latency_;

@@ -13,6 +13,12 @@
 
 namespace mr {
 
+/// How a node's buffer space is organised (paper §2 vs §5, Theorem 15).
+enum class QueueLayout : std::uint8_t {
+  Central,    ///< one queue of size k per node
+  PerInlink,  ///< four queues of size k, one per inlink (§5, Theorem 15)
+};
+
 /// Which queue inside a node a packet occupies.
 /// Central layout: always kCentralQueue. Per-inlink layout: the index of the
 /// inlink direction the packet arrived on (0..3).

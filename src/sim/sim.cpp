@@ -1,0 +1,95 @@
+#include "sim/sim.hpp"
+
+#include "sim/algorithm.hpp"
+
+namespace mr {
+
+namespace {
+// 64-bit FNV-1a, used for configuration fingerprints.
+struct Fnv {
+  std::uint64_t h = 14695981039346656037ULL;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+};
+}  // namespace
+
+Sim::Sim(const Mesh& mesh, int queue_capacity, QueueLayout layout,
+         bool masks_cached)
+    : mesh_(mesh),
+      queue_capacity_(queue_capacity),
+      layout_(layout),
+      masks_cached_(masks_cached) {
+  MR_REQUIRE_MSG(queue_capacity_ >= 1,
+                 "queue capacity k must be positive, got " << queue_capacity_);
+  const auto n = static_cast<std::size_t>(mesh_.num_nodes());
+  node_packets_.resize(n);
+  node_state_.assign(n, 0);
+}
+
+Sim::~Sim() = default;
+
+void Sim::add_observer(StepObserver* observer) {
+  MR_REQUIRE(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void Sim::add_observer(Observer* observer) {
+  MR_REQUIRE(observer != nullptr);
+  adapters_.push_back(std::make_unique<LegacyObserverAdapter>(observer));
+  observers_.push_back(adapters_.back().get());
+}
+
+PacketId Sim::register_packet(NodeId source, NodeId dest, Step injected_at) {
+  MR_REQUIRE(source >= 0 && source < mesh_.num_nodes());
+  MR_REQUIRE(dest >= 0 && dest < mesh_.num_nodes());
+  MR_REQUIRE(injected_at >= 0);
+  Packet pk;
+  pk.id = static_cast<PacketId>(packets_.size());
+  pk.source = source;
+  pk.dest = dest;
+  pk.injected_at = injected_at;
+  packets_.push_back(pk);
+  return pk.id;
+}
+
+std::uint64_t Sim::fingerprint(bool include_dest) const {
+  Fnv f;
+  for (NodeId u = 0; u < mesh_.num_nodes(); ++u) {
+    const auto& q = node_packets_[u];
+    if (q.empty() && node_state_[u] == 0) continue;
+    f.mix(static_cast<std::uint64_t>(u));
+    f.mix(node_state_[u]);
+    for (PacketId p : q) {
+      const Packet& pk = packets_[p];
+      f.mix(static_cast<std::uint64_t>(pk.id));
+      f.mix(static_cast<std::uint64_t>(pk.source));
+      if (include_dest) f.mix(static_cast<std::uint64_t>(pk.dest));
+      f.mix(pk.state);
+      f.mix(pk.queue);
+      f.mix(pk.arrival_inlink);
+      f.mix(static_cast<std::uint64_t>(pk.arrived_at));
+    }
+  }
+  return f.h;
+}
+
+void LegacyObserverAdapter::on_prepare(const Sim& e, const StepDigest& d) {
+  for (PacketId p : d.injected_deliveries) legacy_->on_deliver(e, e.packet(p));
+  legacy_->on_prepare_end(e);
+}
+
+void LegacyObserverAdapter::on_step(const Sim& e, const StepDigest& d) {
+  for (PacketId p : d.injected_deliveries) legacy_->on_deliver(e, e.packet(p));
+  for (const MoveRecord& m : d.moves) {
+    const Packet& pk = e.packet(m.packet);
+    legacy_->on_move(e, pk, m.from, m.to);
+    if (m.delivered) legacy_->on_deliver(e, pk);
+  }
+  legacy_->on_step_end(e);
+}
+
+}  // namespace mr

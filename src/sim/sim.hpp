@@ -1,0 +1,163 @@
+// Abstract network-configuration interface shared by every step-engine
+// implementation (paper §2).
+//
+// A Sim owns the pieces of the model every engine must represent —
+// packets, per-node queues, node states, the step counter — and exposes
+// the query/mutation surface that Algorithm implementations, adversary
+// interceptors and observers are written against. Two engines implement
+// it:
+//   * Engine (sim/engine.hpp): the optimized O(moves) production engine
+//     with incremental occupancy counters, cached profitable masks and a
+//     sorted-active merge;
+//   * ReferenceEngine (check/reference_engine.hpp): a deliberately naive
+//     straight-from-the-paper implementation used for differential
+//     verification.
+// Because both derive from this class and share the state layout and the
+// fingerprint() hash, a divergence between the two is necessarily a
+// semantic difference in stepping, never an artefact of observation.
+//
+// Hot-path queries (packet, packets_at, node_state, occupancy) are
+// concrete reads of the shared state and cost the same as before the
+// split; only rarely-called or deliberately-divergent operations
+// (occupancy per inlink queue, active-node enumeration, destination
+// exchange) are virtual. profitable_mask() is concrete but honours
+// `masks_cached_`: the optimized engine maintains the per-packet cache,
+// the reference engine recomputes from the mesh on every call.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "core/types.hpp"
+#include "sim/packet.hpp"
+#include "topo/mesh.hpp"
+
+namespace mr {
+
+class StepObserver;
+class Observer;
+class LegacyObserverAdapter;
+
+class Sim {
+ public:
+  Sim(const Mesh& mesh, int queue_capacity, QueueLayout layout,
+      bool masks_cached);
+  virtual ~Sim();
+
+  Sim(const Sim&) = delete;
+  Sim& operator=(const Sim&) = delete;
+
+  // --- configuration -----------------------------------------------------
+  const Mesh& mesh() const { return mesh_; }
+  int queue_capacity() const { return queue_capacity_; }
+  QueueLayout queue_layout() const { return layout_; }
+
+  // --- observation -------------------------------------------------------
+  /// Registers a digest observer: one on_step callback per executed step.
+  void add_observer(StepObserver* observer);
+  /// Registers a legacy per-event observer by wrapping it in a
+  /// LegacyObserverAdapter (owned by the sim). Event order is identical
+  /// to the historical inline dispatch.
+  void add_observer(Observer* observer);
+
+  // --- queries (valid during callbacks and between steps) ---------------
+  /// Number of the step currently executing (1-based), or of the last
+  /// executed step between steps; 0 before the first step.
+  Step step() const { return step_; }
+
+  std::size_t num_packets() const { return packets_.size(); }
+  std::size_t delivered_count() const { return delivered_count_; }
+  bool all_delivered() const { return delivered_count_ == packets_.size(); }
+  bool stalled() const { return stalled_; }
+
+  const Packet& packet(PacketId p) const { return packets_[p]; }
+  /// Packets currently queued at node u, in queue order (arrival order).
+  std::span<const PacketId> packets_at(NodeId u) const {
+    return node_packets_[u];
+  }
+  int occupancy(NodeId u) const {
+    return static_cast<int>(node_packets_[u].size());
+  }
+  /// Occupancy of one inlink queue (PerInlink layout only).
+  virtual int occupancy(NodeId u, QueueTag tag) const = 0;
+  int capacity_left(NodeId u) const {
+    return queue_capacity_ - occupancy(u);
+  }
+
+  /// Nodes currently holding at least one packet, ascending by NodeId.
+  /// Valid between steps and inside on_prepare / on_step callbacks.
+  virtual std::span<const NodeId> active_nodes() const = 0;
+
+  /// Profitable outlinks of packet p from its current node (§2's only
+  /// destination-derived information). Reads the per-packet cache when the
+  /// implementation maintains one, else recomputes from the mesh.
+  DirMask profitable_mask(PacketId p) const {
+    const Packet& pk = packets_[p];
+    if (masks_cached_) return pk.profitable;
+    return mesh_.profitable_dirs(pk.location, pk.dest);
+  }
+
+  std::uint64_t node_state(NodeId u) const { return node_state_[u]; }
+  void set_node_state(NodeId u, std::uint64_t s) { node_state_[u] = s; }
+  void set_packet_state(PacketId p, std::uint64_t s) {
+    packets_[p].state = s;
+  }
+
+  // --- adversary interface (only legal from StepInterceptor) -----------
+  /// Exchange of §2: swaps the destination addresses of a and b; all other
+  /// packet information (state, source, position) is untouched.
+  virtual void exchange_destinations(PacketId a, PacketId b) = 0;
+  std::size_t exchange_count() const { return exchange_count_; }
+
+  // --- metrics ----------------------------------------------------------
+  /// Largest queue occupancy observed at any point after a transmission
+  /// phase (per single queue in the PerInlink layout).
+  int max_occupancy_seen() const { return max_occupancy_seen_; }
+  std::int64_t total_moves() const { return total_moves_; }
+
+  /// Order-sensitive 64-bit fingerprint of the full network configuration
+  /// (node states + queued packets with all fields). Used by the Lemma 12
+  /// replay-equivalence check and the differential fuzzer. With
+  /// include_dest = false the destination fields are omitted: Lemma 11/12
+  /// predict that the construction and the replay agree on everything
+  /// except the not-yet-performed exchanges, which only permute
+  /// destinations.
+  std::uint64_t fingerprint(bool include_dest = true) const;
+
+  /// Copies of all packet records (delivered ones included).
+  const std::vector<Packet>& all_packets() const { return packets_; }
+
+ protected:
+  /// Validates and appends a new packet record (shared add_packet core).
+  PacketId register_packet(NodeId source, NodeId dest, Step injected_at);
+
+  Mesh mesh_;
+  int queue_capacity_;
+  QueueLayout layout_;
+  /// True when the implementation maintains Packet::profitable; false
+  /// makes profitable_mask() recompute from the mesh on every call.
+  bool masks_cached_;
+
+  std::vector<Packet> packets_;
+  std::vector<std::vector<PacketId>> node_packets_;
+  std::vector<std::uint64_t> node_state_;
+
+  std::vector<StepObserver*> observers_;
+  /// Adapters created by add_observer(Observer*); entries in observers_
+  /// may point at these.
+  std::vector<std::unique_ptr<LegacyObserverAdapter>> adapters_;
+
+  Step step_ = 0;
+  std::size_t delivered_count_ = 0;
+  bool stalled_ = false;
+  std::size_t exchange_count_ = 0;
+  bool in_interceptor_ = false;
+
+  int max_occupancy_seen_ = 0;
+  std::int64_t total_moves_ = 0;
+};
+
+}  // namespace mr

@@ -8,7 +8,7 @@
 
 namespace mr {
 
-void TraceRecorder::on_move(const Engine& e, const Packet& p, NodeId from,
+void TraceRecorder::on_move(const Sim& e, const Packet& p, NodeId from,
                             NodeId to) {
   if (max_events_ > 0 && events_.size() >= max_events_) {
     truncated_ = true;
@@ -17,7 +17,7 @@ void TraceRecorder::on_move(const Engine& e, const Packet& p, NodeId from,
   events_.push_back(TraceEvent{TraceEventKind::Move, e.step(), p.id, from, to});
 }
 
-void TraceRecorder::on_deliver(const Engine& e, const Packet& p) {
+void TraceRecorder::on_deliver(const Sim& e, const Packet& p) {
   if (max_events_ > 0 && events_.size() >= max_events_) {
     truncated_ = true;
     return;

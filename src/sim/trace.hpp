@@ -34,9 +34,9 @@ class TraceRecorder : public Observer {
   explicit TraceRecorder(std::size_t max_events = 0)
       : max_events_(max_events) {}
 
-  void on_move(const Engine& e, const Packet& p, NodeId from,
+  void on_move(const Sim& e, const Packet& p, NodeId from,
                NodeId to) override;
-  void on_deliver(const Engine& e, const Packet& p) override;
+  void on_deliver(const Sim& e, const Packet& p) override;
 
   const std::vector<TraceEvent>& events() const { return events_; }
   bool truncated() const { return truncated_; }

@@ -12,7 +12,7 @@ TelemetryCollector::TelemetryCollector(TelemetryOptions options)
   rows_.reserve(options_.series_capacity);
 }
 
-void TelemetryCollector::on_prepare(const Engine& e, const StepDigest& d) {
+void TelemetryCollector::on_prepare(const Sim& e, const StepDigest& d) {
   heat_.assign(static_cast<std::size_t>(e.mesh().num_nodes()),
                TelemetryNodeHeat{});
   per_inlink_ = e.queue_layout() == QueueLayout::PerInlink;
@@ -43,7 +43,7 @@ void TelemetryCollector::compact_rows() {
   stride_ *= 2;
 }
 
-void TelemetryCollector::sample_heat(const Engine& e) {
+void TelemetryCollector::sample_heat(const Sim& e) {
   ++heat_samples_;
   for (NodeId u : e.active_nodes()) {
     TelemetryNodeHeat& h = heat_[static_cast<std::size_t>(u)];
@@ -60,7 +60,7 @@ void TelemetryCollector::sample_heat(const Engine& e) {
   }
 }
 
-void TelemetryCollector::on_step(const Engine& e, const StepDigest& d) {
+void TelemetryCollector::on_step(const Sim& e, const StepDigest& d) {
   const auto moves = static_cast<std::int64_t>(d.moves.size());
   totals_.steps = d.step;
   totals_.moves += moves;

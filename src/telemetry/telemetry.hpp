@@ -74,8 +74,8 @@ class TelemetryCollector : public StepObserver {
  public:
   explicit TelemetryCollector(TelemetryOptions options = {});
 
-  void on_prepare(const Engine& e, const StepDigest& d) override;
-  void on_step(const Engine& e, const StepDigest& d) override;
+  void on_prepare(const Sim& e, const StepDigest& d) override;
+  void on_step(const Sim& e, const StepDigest& d) override;
 
   /// Retained series rows, pending partial bucket included. Row `step`
   /// fields are strictly increasing; all spans except possibly the last
@@ -96,7 +96,7 @@ class TelemetryCollector : public StepObserver {
 
  private:
   void compact_rows();
-  void sample_heat(const Engine& e);
+  void sample_heat(const Sim& e);
 
   TelemetryOptions options_;
   Step stride_ = 1;

@@ -22,7 +22,7 @@ class AlwaysEjectChecker : public Observer {
 
   // Called at end of step t; compares against the snapshot taken at the
   // end of step t−1 (queue contents at the start of step t).
-  void on_step_end(const Engine& e) override {
+  void on_step_end(const Sim& e) override {
     if (!prev_.empty()) {
       // For every node that had a non-empty column queue, at least one of
       // those packets must have left the node (moved or delivered).
@@ -142,7 +142,7 @@ TEST(BoundedDo, RowPacketsNeverEnterColumnQueuesEarly) {
     e.add_packet(d.source, d.dest, d.injected_at);
 
   struct TagChecker : Observer {
-    void on_step_end(const Engine& eng) override {
+    void on_step_end(const Sim& eng) override {
       for (NodeId u = 0; u < eng.mesh().num_nodes(); ++u) {
         for (PacketId p : eng.packets_at(u)) {
           const Packet& pk = eng.packet(p);

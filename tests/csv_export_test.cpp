@@ -40,5 +40,70 @@ TEST(CsvExport, WritesSanitisedFile) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CsvExport, QuotesCellsWithSeparators) {
+  Table t({"name", "note"});
+  t.row().add("a,b").add("plain");
+  EXPECT_EQ(t.to_csv(), "name,note\n\"a,b\",plain\n");
+}
+
+TEST(CsvExport, EscapesEmbeddedQuotes) {
+  Table t({"q"});
+  t.row().add("say \"hi\"");
+  // RFC 4180: embedded quotes double, the cell is wrapped.
+  EXPECT_EQ(t.to_csv(), "q\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvExport, QuotesEmbeddedNewlines) {
+  Table t({"text"});
+  t.row().add("line1\nline2");
+  EXPECT_EQ(t.to_csv(), "text\n\"line1\nline2\"\n");
+}
+
+TEST(CsvExport, QuotesHeadersToo) {
+  Table t({"a,b", "c"});
+  t.row().add("1").add("2");
+  EXPECT_EQ(t.to_csv(), "\"a,b\",c\n1,2\n");
+}
+
+TEST(CsvExport, EmptyTableEmitsHeaderOnly) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.to_csv(), "a,b\n");
+}
+
+TEST(CsvExport, EmptyCellsRoundTrip) {
+  Table t({"a", "b", "c"});
+  t.row().add("").add("x").add("");
+  EXPECT_EQ(t.to_csv(), "a,b,c\n,x,\n");
+}
+
+TEST(CsvExport, WriteCsvFailsOnUnwritablePath) {
+  Table t({"a"});
+  t.row().add(1);
+  EXPECT_FALSE(write_csv(t, "/nonexistent-dir/sub/out.csv"));
+}
+
+TEST(CsvExport, ExportPreservesQuotedContentOnDisk) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "mr_csv_export_quoted";
+  std::filesystem::create_directories(dir);
+  setenv("MESHROUTE_OUTPUT_DIR", dir.c_str(), 1);
+
+  Table t({"k", "detail"});
+  t.row().add(2).add("stall, then drain");
+  const std::string path = export_csv(t, "quoted");
+  ASSERT_FALSE(path.empty());
+
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "k,detail");
+  EXPECT_EQ(row, "2,\"stall, then drain\"");
+
+  unsetenv("MESHROUTE_OUTPUT_DIR");
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace mr

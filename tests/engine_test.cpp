@@ -46,7 +46,7 @@ TEST(Engine, DimensionOrderPathIsRowFirst) {
   // Track the trajectory via an observer.
   struct Tracker : Observer {
     std::vector<NodeId> path;
-    void on_move(const Engine&, const Packet&, NodeId, NodeId to) override {
+    void on_move(const Sim&, const Packet&, NodeId, NodeId to) override {
       path.push_back(to);
     }
   };
@@ -84,7 +84,7 @@ TEST(Engine, MinimalityEnforced) {
   class BadAlgo : public Algorithm {
    public:
     std::string name() const override { return "bad"; }
-    void plan_out(Engine& e, NodeId u, OutPlan& plan) override {
+    void plan_out(Sim& e, NodeId u, OutPlan& plan) override {
       // Schedule the packet *away* from its destination.
       const PacketId p = e.packets_at(u)[0];
       const DirMask good = e.profitable_mask(p);
@@ -95,7 +95,7 @@ TEST(Engine, MinimalityEnforced) {
         }
       }
     }
-    void plan_in(Engine&, NodeId, std::span<const Offer> offers,
+    void plan_in(Sim&, NodeId, std::span<const Offer> offers,
                  InPlan& plan) override {
       plan.reset(offers.size());
     }
@@ -171,7 +171,7 @@ TEST(Engine, InterceptorExchangeSwapsDestinations) {
   class Swapper : public StepInterceptor {
    public:
     bool done = false;
-    void after_schedule(Engine& e, std::span<const ScheduledMove>) override {
+    void after_schedule(Sim& e, std::span<const ScheduledMove>) override {
       if (!done) {
         e.exchange_destinations(0, 1);
         done = true;
@@ -198,8 +198,8 @@ TEST(Engine, InterceptorExchangeSwapsDestinations) {
 class FrozenRouter : public Algorithm {
  public:
   std::string name() const override { return "frozen"; }
-  void plan_out(Engine&, NodeId, OutPlan&) override {}
-  void plan_in(Engine&, NodeId, std::span<const Offer>,
+  void plan_out(Sim&, NodeId, OutPlan&) override {}
+  void plan_in(Sim&, NodeId, std::span<const Offer>,
                InPlan& plan) override {
     (void)plan;  // arrives reset: reject all
   }

@@ -33,7 +33,7 @@ FastRunResult run_fastroute(std::int32_t n, const Workload& w,
   for (const Demand& d : w) e.add_packet(d.source, d.dest, d.injected_at);
 
   struct MinimalityCheck : Observer {
-    void on_move(const Engine& eng, const Packet& p, NodeId from,
+    void on_move(const Sim& eng, const Packet& p, NodeId from,
                  NodeId to) override {
       ASSERT_EQ(eng.mesh().distance(to, p.dest),
                 eng.mesh().distance(from, p.dest) - 1);

@@ -36,11 +36,13 @@ struct Scenario {
   int k = 1;
   std::uint64_t seed = 0;
   Step steps = 0;
+  int h = 1;  ///< h-h workload via random_hh when > 1
 
   std::string key() const {
     std::ostringstream os;
     os << router << "/n" << n << (torus ? "t" : "m") << "/k" << k << "/s"
        << seed;
+    if (h > 1) os << "/h" << h;
     return os.str();
   }
 };
@@ -50,12 +52,24 @@ std::vector<Scenario> scenarios() {
   for (const std::string& name : algorithm_names()) {
     s.push_back({name, 12, false, 1, 7, 48});
     s.push_back({name, 12, false, 2, 8, 48});
+    // h-h (h > 1) pins: every node sends/receives h packets, so the
+    // waiting-injection and queue-contention paths run far hotter than
+    // under a permutation.
+    s.push_back({name, 10, false, 2, 11, 48, /*h=*/2});
   }
   // Torus coverage: wrap links break the monotone-neighbor property the
   // mesh enjoys, so the offer-grouping order needs its own goldens.
-  for (const std::string& name : dx_minimal_algorithm_names())
+  // (stray-2 and farthest-first stay mesh-only: the stray rectangle and
+  // farthest-first distance ordering are not defined across wrap links.)
+  for (const std::string& name : dx_minimal_algorithm_names()) {
     s.push_back({name, 10, true, 2, 9, 48});
+    s.push_back({name, 10, true, 1, 13, 48});
+    s.push_back({name, 10, true, 4, 14, 48});
+    s.push_back({name, 8, true, 2, 12, 48, /*h=*/3});
+  }
   s.push_back({"bounded-dimension-order", 10, true, 2, 9, 48});
+  s.push_back({"bounded-dimension-order", 10, true, 4, 14, 48});
+  s.push_back({"bounded-dimension-order", 8, true, 2, 12, 48, /*h=*/3});
   return s;
 }
 
@@ -66,7 +80,8 @@ std::vector<std::uint64_t> trace(const Scenario& sc) {
   Engine::Config config;
   config.queue_capacity = sc.k;
   Engine e(mesh, config, *algo);
-  const Workload w = random_permutation(mesh, sc.seed);
+  const Workload w = sc.h > 1 ? random_hh(mesh, sc.h, sc.seed)
+                              : random_permutation(mesh, sc.seed);
   for (std::size_t i = 0; i < w.size(); ++i) {
     // Stagger a fifth of the injections so the delayed-injection and
     // queue-full waiting paths are exercised, not just the static case.

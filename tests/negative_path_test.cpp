@@ -1,0 +1,175 @@
+// Negative-path coverage: malformed configurations and corrupt input files
+// must be rejected loudly (InvariantViolation / validation error), never
+// half-accepted. Covers Engine::Config validation and the telemetry JSONL
+// validator on truncated and malformed records.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/assert.hpp"
+#include "routing/registry.hpp"
+#include "sim/engine.hpp"
+#include "telemetry/export.hpp"
+#include "topo/mesh.hpp"
+
+namespace mr {
+namespace {
+
+// --- Engine::Config ------------------------------------------------------
+
+TEST(EngineConfig, RejectsNonPositiveQueueCapacity) {
+  const Mesh mesh = Mesh::square(4);
+  auto algo = make_algorithm("dimension-order");
+  for (int k : {0, -1, -100}) {
+    Engine::Config config;
+    config.queue_capacity = k;
+    EXPECT_THROW(Engine(mesh, config, *algo), InvariantViolation) << k;
+  }
+}
+
+TEST(EngineConfig, RejectsNegativeStallLimit) {
+  const Mesh mesh = Mesh::square(4);
+  auto algo = make_algorithm("dimension-order");
+  Engine::Config config;
+  config.stall_limit = -1;
+  EXPECT_THROW(Engine(mesh, config, *algo), InvariantViolation);
+}
+
+TEST(EngineConfig, AcceptsBoundaryValues) {
+  const Mesh mesh = Mesh::square(4);
+  auto algo = make_algorithm("dimension-order");
+  Engine::Config config;
+  config.queue_capacity = 1;
+  config.stall_limit = 0;  // 0 disables stall detection; legal
+  EXPECT_NO_THROW(Engine(mesh, config, *algo));
+}
+
+// --- telemetry JSONL validation ------------------------------------------
+
+class TelemetryValidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "mr_negative_path_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write(const std::string& name, const std::string& content) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  static std::string header_line() {
+    return R"({"kind":"header","schema":"meshroute-telemetry/1",)"
+           R"("run":"t","algorithm":"dimension-order","layout":"central",)"
+           R"("width":4,"height":4,"queue_capacity":1,"sample_every":1,)"
+           R"("series_stride":1})";
+  }
+
+  static std::string summary_line() {
+    return R"({"kind":"summary","steps":1,"moves":0,"deliveries":0,)"
+           R"("injections":0,"max_stall_run":0,"packets":0,"delivered":0,)"
+           R"("stalled":false})";
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TelemetryValidateTest, AcceptsMinimalValidFile) {
+  const std::string path =
+      write("ok.jsonl", header_line() + "\n" + summary_line() + "\n");
+  std::string error;
+  EXPECT_TRUE(validate_telemetry_jsonl(path, &error)) << error;
+}
+
+TEST_F(TelemetryValidateTest, RejectsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(
+      validate_telemetry_jsonl((dir_ / "nope.jsonl").string(), &error));
+  EXPECT_NE(error.find("cannot read"), std::string::npos) << error;
+}
+
+TEST_F(TelemetryValidateTest, RejectsEmptyFile) {
+  const std::string path = write("empty.jsonl", "");
+  std::string error;
+  EXPECT_FALSE(validate_telemetry_jsonl(path, &error));
+  EXPECT_NE(error.find("no header"), std::string::npos) << error;
+}
+
+TEST_F(TelemetryValidateTest, RejectsTruncatedRecord) {
+  // File cut off mid-record (e.g. a crashed writer): the half-line is
+  // malformed JSON and must be reported with its line number.
+  const std::string path = write(
+      "truncated.jsonl",
+      header_line() + "\n" + R"({"kind":"series","step":1,"span":1,"mo)");
+  std::string error;
+  EXPECT_FALSE(validate_telemetry_jsonl(path, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("malformed JSON"), std::string::npos) << error;
+}
+
+TEST_F(TelemetryValidateTest, RejectsMissingSummary) {
+  // A writer that died before the summary: header alone is not a run.
+  const std::string path = write("nosummary.jsonl", header_line() + "\n");
+  std::string error;
+  EXPECT_FALSE(validate_telemetry_jsonl(path, &error));
+  EXPECT_NE(error.find("summary"), std::string::npos) << error;
+}
+
+TEST_F(TelemetryValidateTest, RejectsRecordBeforeHeader) {
+  const std::string path =
+      write("noheader.jsonl", summary_line() + "\n" + header_line() + "\n");
+  std::string error;
+  EXPECT_FALSE(validate_telemetry_jsonl(path, &error));
+  EXPECT_NE(error.find("before header"), std::string::npos) << error;
+}
+
+TEST_F(TelemetryValidateTest, RejectsWrongSchema) {
+  std::string bad_header = header_line();
+  const std::string from = "meshroute-telemetry/1";
+  bad_header.replace(bad_header.find(from), from.size(),
+                     "meshroute-telemetry/9");
+  const std::string path =
+      write("schema.jsonl", bad_header + "\n" + summary_line() + "\n");
+  std::string error;
+  EXPECT_FALSE(validate_telemetry_jsonl(path, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos) << error;
+}
+
+TEST_F(TelemetryValidateTest, RejectsNonObjectLine) {
+  const std::string path = write(
+      "array.jsonl", header_line() + "\n[1,2,3]\n" + summary_line() + "\n");
+  std::string error;
+  EXPECT_FALSE(validate_telemetry_jsonl(path, &error));
+  EXPECT_NE(error.find("not an object"), std::string::npos) << error;
+}
+
+TEST_F(TelemetryValidateTest, RejectsUnknownKind) {
+  const std::string path =
+      write("kind.jsonl", header_line() + "\n" + R"({"kind":"mystery"})" +
+                              "\n" + summary_line() + "\n");
+  std::string error;
+  EXPECT_FALSE(validate_telemetry_jsonl(path, &error));
+  EXPECT_NE(error.find("unknown kind"), std::string::npos) << error;
+}
+
+TEST_F(TelemetryValidateTest, RejectsSeriesMissingRequiredField) {
+  // A series record without "moves": required numeric fields are enforced.
+  const std::string series =
+      R"({"kind":"series","step":1,"span":1,"deliveries":0,)"
+      R"("injections":0,"stall_run":0,"moves_by_dir":[0,0,0,0]})";
+  const std::string path = write(
+      "series.jsonl", header_line() + "\n" + series + "\n" + summary_line() +
+                          "\n");
+  std::string error;
+  EXPECT_FALSE(validate_telemetry_jsonl(path, &error));
+  EXPECT_NE(error.find("moves"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace mr

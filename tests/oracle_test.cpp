@@ -1,0 +1,511 @@
+// Fault-injection tests for the paper-invariant oracles (check/oracles.hpp):
+// each oracle must demonstrably FIRE when fed a corrupted configuration or
+// digest, and stay silent on a legal one. A test-local Sim subclass builds
+// arbitrary (including illegal) network states directly, bypassing both
+// engines, so the oracles are exercised as independent checkers rather than
+// as echoes of engine-side validation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/oracles.hpp"
+#include "core/assert.hpp"
+#include "lower_bound/classes.hpp"
+#include "sim/trace.hpp"
+#include "topo/mesh.hpp"
+
+namespace mr {
+namespace {
+
+/// A Sim whose state the test sets up by hand — legal or corrupted.
+class FakeSim : public Sim {
+ public:
+  FakeSim(const Mesh& mesh, int k, QueueLayout layout)
+      : Sim(mesh, k, layout, /*masks_cached=*/false) {}
+
+  PacketId add(NodeId source, NodeId dest) {
+    return register_packet(source, dest, 0);
+  }
+  /// Places p at node u with no validation whatsoever.
+  void place(PacketId p, NodeId u, QueueTag tag = kCentralQueue) {
+    packets_[p].location = u;
+    packets_[p].queue = tag;
+    node_packets_[u].push_back(p);
+  }
+  void set_location(PacketId p, NodeId u) { packets_[p].location = u; }
+  void set_dest(PacketId p, NodeId d) { packets_[p].dest = d; }
+  void set_source(PacketId p, NodeId s) { packets_[p].source = s; }
+  void mark_delivered(PacketId p, Step t) {
+    packets_[p].delivered_at = t;
+    packets_[p].location = kInvalidNode;
+  }
+
+  using Sim::occupancy;
+  int occupancy(NodeId u, QueueTag tag) const override {
+    int count = 0;
+    for (PacketId p : node_packets_[u])
+      if (packets_[p].queue == tag) ++count;
+    return count;
+  }
+  std::span<const NodeId> active_nodes() const override { return {}; }
+  void exchange_destinations(PacketId a, PacketId b) override {
+    std::swap(packets_[a].dest, packets_[b].dest);
+    ++exchange_count_;
+  }
+};
+
+/// Runs f and returns the InvariantViolation message, or "" if none threw.
+template <typename F>
+std::string violation(F&& f) {
+  try {
+    f();
+  } catch (const InvariantViolation& e) {
+    return e.what();
+  }
+  return {};
+}
+
+StepDigest digest_at(Step t, std::span<const MoveRecord> moves = {}) {
+  StepDigest d;
+  d.step = t;
+  d.moves = moves;
+  return d;
+}
+
+// --- QueueBoundOracle ----------------------------------------------------
+
+TEST(QueueBoundOracle, SilentOnLegalConfiguration) {
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  sim.place(sim.add(0, 5), 0);
+  sim.place(sim.add(1, 5), 0);
+  QueueBoundOracle oracle;
+  EXPECT_EQ(violation([&] { oracle.on_step(sim, digest_at(1)); }), "");
+}
+
+TEST(QueueBoundOracle, FiresOnOverfullCentralQueue) {
+  FakeSim sim(Mesh::square(4), 1, QueueLayout::Central);
+  sim.place(sim.add(0, 5), 0);
+  sim.place(sim.add(1, 5), 0);  // second packet in a k=1 queue
+  QueueBoundOracle oracle;
+  const std::string msg = violation([&] { oracle.on_step(sim, digest_at(1)); });
+  EXPECT_NE(msg.find("[oracle:queue-bound]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("> k=1"), std::string::npos) << msg;
+}
+
+TEST(QueueBoundOracle, FiresOnOverfullInlinkQueue) {
+  FakeSim sim(Mesh::square(4), 1, QueueLayout::PerInlink);
+  sim.place(sim.add(0, 5), 0, /*tag=*/2);
+  sim.place(sim.add(1, 5), 0, /*tag=*/2);  // same inlink queue, k=1
+  QueueBoundOracle oracle;
+  const std::string msg = violation([&] { oracle.on_step(sim, digest_at(1)); });
+  EXPECT_NE(msg.find("[oracle:queue-bound]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("inlink queue 2"), std::string::npos) << msg;
+}
+
+TEST(QueueBoundOracle, SilentOnSpreadInlinkQueues) {
+  FakeSim sim(Mesh::square(4), 1, QueueLayout::PerInlink);
+  sim.place(sim.add(0, 5), 0, /*tag=*/1);
+  sim.place(sim.add(1, 5), 0, /*tag=*/2);  // different queues: legal
+  QueueBoundOracle oracle;
+  EXPECT_EQ(violation([&] { oracle.on_step(sim, digest_at(1)); }), "");
+}
+
+TEST(QueueBoundOracle, FiresOnLocationDrift) {
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const PacketId p = sim.add(0, 5);
+  sim.place(p, 0);
+  sim.set_location(p, 3);  // queued at 0 but claims to sit at 3
+  QueueBoundOracle oracle;
+  const std::string msg = violation([&] { oracle.on_step(sim, digest_at(1)); });
+  EXPECT_NE(msg.find("records location 3"), std::string::npos) << msg;
+}
+
+TEST(QueueBoundOracle, FiresOnDeliveredPacketStillQueued) {
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const PacketId p = sim.add(0, 5);
+  sim.place(p, 0);
+  sim.mark_delivered(p, 1);
+  sim.set_location(p, 0);  // keep location consistent; delivered is the fault
+  QueueBoundOracle oracle;
+  const std::string msg = violation([&] { oracle.on_step(sim, digest_at(1)); });
+  EXPECT_NE(msg.find("delivered packet"), std::string::npos) << msg;
+}
+
+TEST(QueueBoundOracle, FiresOnOccupancyCounterDrift) {
+  // A sim whose occupancy accessor disagrees with its actual queues — the
+  // bug class the cross-check exists for (a drifted incremental counter).
+  class DriftingSim : public FakeSim {
+   public:
+    using FakeSim::FakeSim;
+    using FakeSim::occupancy;
+    int occupancy(NodeId, QueueTag) const override { return 0; }
+  };
+  DriftingSim sim(Mesh::square(4), 2, QueueLayout::PerInlink);
+  sim.place(sim.add(0, 5), 0, /*tag=*/1);
+  QueueBoundOracle oracle;
+  const std::string msg = violation([&] { oracle.on_step(sim, digest_at(1)); });
+  EXPECT_NE(msg.find("reports occupancy 0"), std::string::npos) << msg;
+}
+
+// --- LinkCapacityOracle --------------------------------------------------
+
+TEST(LinkCapacityOracle, SilentOnLegalMoves) {
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const PacketId p = sim.add(0, 5);
+  sim.place(p, 1);  // post-step position after hopping 0 → east → 1
+  const std::vector<MoveRecord> moves = {{p, 0, 1, Dir::East, false}};
+  LinkCapacityOracle oracle;
+  EXPECT_EQ(violation([&] { oracle.on_step(sim, digest_at(1, moves)); }), "");
+}
+
+TEST(LinkCapacityOracle, FiresOnDoubleBookedLink) {
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const PacketId a = sim.add(0, 5);
+  const PacketId b = sim.add(0, 6);
+  sim.place(a, 1);
+  sim.place(b, 1);
+  // Both packets cross link 0→east in the same step.
+  const std::vector<MoveRecord> moves = {{a, 0, 1, Dir::East, false},
+                                         {b, 0, 1, Dir::East, false}};
+  LinkCapacityOracle oracle;
+  const std::string msg =
+      violation([&] { oracle.on_step(sim, digest_at(1, moves)); });
+  EXPECT_NE(msg.find("[oracle:link-capacity]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("carried two packets"), std::string::npos) << msg;
+}
+
+TEST(LinkCapacityOracle, FiresOnNonAdjacentHop) {
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const PacketId p = sim.add(0, 15);
+  sim.place(p, 5);
+  // 0 → 5 is a diagonal, not the east neighbour (1).
+  const std::vector<MoveRecord> moves = {{p, 0, 5, Dir::East, false}};
+  LinkCapacityOracle oracle;
+  const std::string msg =
+      violation([&] { oracle.on_step(sim, digest_at(1, moves)); });
+  EXPECT_NE(msg.find("does not land at"), std::string::npos) << msg;
+}
+
+TEST(LinkCapacityOracle, FiresOnPacketMovingTwice) {
+  // Two delivering hops of the same packet over two different links: the
+  // per-move consistency checks pass (delivered packets are out of the
+  // network), so the one-move-per-packet check is what fires.
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const PacketId p = sim.add(0, 1);
+  sim.mark_delivered(p, 1);
+  const std::vector<MoveRecord> moves = {{p, 0, 1, Dir::East, true},
+                                         {p, 5, 1, Dir::South, true}};
+  LinkCapacityOracle oracle;
+  const std::string msg =
+      violation([&] { oracle.on_step(sim, digest_at(1, moves)); });
+  EXPECT_NE(msg.find("moved twice"), std::string::npos) << msg;
+}
+
+TEST(LinkCapacityOracle, FiresOnDeliveredFlagWithPacketStillQueued) {
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const PacketId p = sim.add(0, 1);
+  sim.place(p, 1);  // digest says delivered, packet still sits at node 1
+  const std::vector<MoveRecord> moves = {{p, 0, 1, Dir::East, true}};
+  LinkCapacityOracle oracle;
+  const std::string msg =
+      violation([&] { oracle.on_step(sim, digest_at(1, moves)); });
+  EXPECT_NE(msg.find("left it in the network"), std::string::npos) << msg;
+}
+
+TEST(LinkCapacityOracle, FiresOnDigestPositionMismatch) {
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const PacketId p = sim.add(0, 5);
+  sim.place(p, 2);  // digest records arrival at 1, packet sits at 2
+  const std::vector<MoveRecord> moves = {{p, 0, 1, Dir::East, false}};
+  LinkCapacityOracle oracle;
+  const std::string msg =
+      violation([&] { oracle.on_step(sim, digest_at(1, moves)); });
+  EXPECT_NE(msg.find("but sits at 2"), std::string::npos) << msg;
+}
+
+// --- ProfitableMoveOracle ------------------------------------------------
+
+TEST(ProfitableMoveOracle, SilentOnProfitableHop) {
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const PacketId p = sim.add(0, 3);
+  sim.place(p, 1);
+  const std::vector<MoveRecord> moves = {{p, 0, 1, Dir::East, false}};
+  ProfitableMoveOracle oracle(/*minimal=*/true);
+  EXPECT_EQ(violation([&] { oracle.on_step(sim, digest_at(1, moves)); }), "");
+}
+
+TEST(ProfitableMoveOracle, FiresOnDistanceIncreasingHop) {
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const PacketId p = sim.add(1, 0);  // destination is west of the packet
+  sim.place(p, 2);
+  const std::vector<MoveRecord> moves = {{p, 1, 2, Dir::East, false}};
+  ProfitableMoveOracle oracle(/*minimal=*/true);
+  const std::string msg =
+      violation([&] { oracle.on_step(sim, digest_at(1, moves)); });
+  EXPECT_NE(msg.find("[oracle:minimal-move]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("does not reduce the distance"), std::string::npos)
+      << msg;
+}
+
+TEST(ProfitableMoveOracle, FiresOutsideStrayRectangle) {
+  const Mesh mesh = Mesh::square(6);
+  FakeSim sim(mesh, 2, QueueLayout::Central);
+  // Source (0,0), dest (1,0): the δ=1 expanded rectangle spans cols 0..2.
+  const PacketId p = sim.add(mesh.id_of(0, 0), mesh.id_of(1, 0));
+  const NodeId from = mesh.id_of(2, 0), to = mesh.id_of(3, 0);
+  sim.place(p, to);
+  const std::vector<MoveRecord> moves = {{p, from, to, Dir::East, false}};
+  ProfitableMoveOracle oracle(/*minimal=*/false, /*max_stray=*/1);
+  const std::string msg =
+      violation([&] { oracle.on_step(sim, digest_at(1, moves)); });
+  EXPECT_NE(msg.find("strayed more than delta=1"), std::string::npos) << msg;
+}
+
+TEST(ProfitableMoveOracle, SilentInsideStrayRectangle) {
+  const Mesh mesh = Mesh::square(6);
+  FakeSim sim(mesh, 2, QueueLayout::Central);
+  const PacketId p = sim.add(mesh.id_of(0, 0), mesh.id_of(1, 0));
+  const NodeId from = mesh.id_of(1, 0), to = mesh.id_of(2, 0);
+  sim.place(p, to);  // col 2 = max(s,t).col + δ: on the boundary, legal
+  const std::vector<MoveRecord> moves = {{p, from, to, Dir::East, false}};
+  ProfitableMoveOracle oracle(/*minimal=*/false, /*max_stray=*/1);
+  EXPECT_EQ(violation([&] { oracle.on_step(sim, digest_at(1, moves)); }), "");
+}
+
+// --- ExchangeConsistencyOracle -------------------------------------------
+
+TEST(ExchangeConsistencyOracle, FiresOnDestChangeWithoutExchange) {
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const PacketId p = sim.add(0, 5);
+  sim.place(p, 0);
+  ExchangeConsistencyOracle oracle;
+  oracle.on_prepare(sim, digest_at(0));
+  sim.set_dest(p, 6);  // mutated outside an exchange
+  const std::string msg = violation([&] { oracle.on_step(sim, digest_at(1)); });
+  EXPECT_NE(msg.find("[oracle:exchange]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("no exchanges"), std::string::npos) << msg;
+}
+
+TEST(ExchangeConsistencyOracle, FiresOnSourceMutation) {
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const PacketId p = sim.add(0, 5);
+  sim.place(p, 0);
+  ExchangeConsistencyOracle oracle;
+  oracle.on_prepare(sim, digest_at(0));
+  sim.set_source(p, 2);  // sources are immutable, always
+  StepDigest d = digest_at(1);
+  d.exchanges = 1;  // even in a step with exchanges
+  const std::string msg = violation([&] { oracle.on_step(sim, d); });
+  EXPECT_NE(msg.find("source of packet"), std::string::npos) << msg;
+}
+
+TEST(ExchangeConsistencyOracle, FiresOnInventedDestination) {
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const PacketId p = sim.add(0, 5);
+  const PacketId q = sim.add(1, 6);
+  sim.place(p, 0);
+  sim.place(q, 1);
+  ExchangeConsistencyOracle oracle;
+  oracle.on_prepare(sim, digest_at(0));
+  sim.set_dest(p, 9);  // 9 was nobody's destination: not a permutation
+  StepDigest d = digest_at(1);
+  d.exchanges = 1;
+  const std::string msg = violation([&] { oracle.on_step(sim, d); });
+  EXPECT_NE(msg.find("destination multiset"), std::string::npos) << msg;
+}
+
+TEST(ExchangeConsistencyOracle, SilentOnGenuineExchange) {
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const PacketId p = sim.add(0, 5);
+  const PacketId q = sim.add(1, 6);
+  sim.place(p, 0);
+  sim.place(q, 1);
+  ExchangeConsistencyOracle oracle;
+  oracle.on_prepare(sim, digest_at(0));
+  sim.exchange_destinations(p, q);
+  StepDigest d = digest_at(1);
+  d.exchanges = 1;
+  EXPECT_EQ(violation([&] { oracle.on_step(sim, d); }), "");
+}
+
+// --- BoxEscapeOracle -----------------------------------------------------
+
+// Geometry: 12×12, cn = 4 ⇒ γ = 2, line(i) = 2 + i; dn = 3; two classes.
+// An N_2 packet starts inside the 1-box and is destined for column
+// line(2) = 4 strictly north of row 4.
+struct BoxFixture {
+  Mesh mesh = Mesh::square(12);
+  MainGeometry geo{12, 4, 2};
+  std::int32_t dn = 3;
+};
+
+TEST(BoxEscapeOracle, FiresOnEarlyBoxEscape) {
+  BoxFixture fx;
+  FakeSim sim(fx.mesh, 2, QueueLayout::Central);
+  const NodeId src = fx.mesh.id_of(0, 0);
+  const NodeId dst = fx.mesh.id_of(4, 6);  // N_2-packet
+  const PacketId p = sim.add(src, dst);
+  // Hop from (4,4) (inside the 2-box) to (5,4) (outside) at step 1, but
+  // Lemma 1 forbids class-2 escapes before step (2−1)·dn = 3.
+  const NodeId from = fx.mesh.id_of(4, 4), to = fx.mesh.id_of(5, 4);
+  sim.place(p, to);
+  const std::vector<MoveRecord> moves = {{p, from, to, Dir::East, false}};
+  BoxEscapeOracle oracle(fx.geo, fx.dn, /*class_packet_count=*/1);
+  const std::string msg =
+      violation([&] { oracle.on_step(sim, digest_at(1, moves)); });
+  EXPECT_NE(msg.find("Lemma 1 violated"), std::string::npos) << msg;
+}
+
+TEST(BoxEscapeOracle, FiresOnDoubleEscapeInOneStep) {
+  BoxFixture fx;
+  FakeSim sim(fx.mesh, 2, QueueLayout::Central);
+  // Two N_1-packets (dest column line(1) = 3, north of row 3) both leave
+  // the 1-box in step 1 — Lemma 2 allows at most one per class per step
+  // and fires while processing the second escaping move.
+  const PacketId a = sim.add(fx.mesh.id_of(0, 0), fx.mesh.id_of(3, 7));
+  const PacketId b = sim.add(fx.mesh.id_of(1, 0), fx.mesh.id_of(3, 8));
+  const NodeId from_a = fx.mesh.id_of(3, 3), to_a = fx.mesh.id_of(3, 4);
+  const NodeId from_b = fx.mesh.id_of(2, 3), to_b = fx.mesh.id_of(2, 4);
+  sim.place(a, to_a);
+  sim.place(b, to_b);
+  const std::vector<MoveRecord> moves = {{a, from_a, to_a, Dir::North, false},
+                                         {b, from_b, to_b, Dir::North, false}};
+  BoxEscapeOracle oracle(fx.geo, fx.dn, /*class_packet_count=*/2);
+  const std::string msg =
+      violation([&] { oracle.on_step(sim, digest_at(1, moves)); });
+  EXPECT_NE(msg.find("Lemma 2 violated"), std::string::npos) << msg;
+}
+
+TEST(BoxEscapeOracle, FiresOnConfinementBreach) {
+  BoxFixture fx;
+  FakeSim sim(fx.mesh, 2, QueueLayout::Central);
+  // Step 1 ⇒ window w = 0, so classes ≥ 2 must still sit in the 0-box
+  // (cols/rows 0..2). Park an N_2-packet at (5,0) with no move at all.
+  const PacketId p = sim.add(fx.mesh.id_of(0, 0), fx.mesh.id_of(4, 6));
+  sim.place(p, fx.mesh.id_of(5, 0));
+  BoxEscapeOracle oracle(fx.geo, fx.dn, /*class_packet_count=*/1);
+  const std::string msg = violation([&] { oracle.on_step(sim, digest_at(1)); });
+  EXPECT_NE(msg.find("Lemma 5/6 violated"), std::string::npos) << msg;
+}
+
+TEST(BoxEscapeOracle, SilentOnConfinedPackets) {
+  BoxFixture fx;
+  FakeSim sim(fx.mesh, 2, QueueLayout::Central);
+  const PacketId p = sim.add(fx.mesh.id_of(0, 0), fx.mesh.id_of(4, 6));
+  sim.place(p, fx.mesh.id_of(1, 1));  // inside the 0-box: all lemmas hold
+  BoxEscapeOracle oracle(fx.geo, fx.dn, /*class_packet_count=*/1);
+  EXPECT_EQ(violation([&] { oracle.on_step(sim, digest_at(1)); }), "");
+  EXPECT_EQ(oracle.max_escapes_per_step(), 0);
+}
+
+// --- DigestHasher --------------------------------------------------------
+
+TEST(DigestHasher, DistinguishesDigestStreams) {
+  DigestHasher a, b, c;
+  FakeSim sim(Mesh::square(4), 2, QueueLayout::Central);
+  const std::vector<MoveRecord> moves = {{0, 0, 1, Dir::East, false}};
+  a.on_step(sim, digest_at(1, moves));
+  b.on_step(sim, digest_at(1, moves));
+  EXPECT_EQ(a.hash(), b.hash());
+  c.on_step(sim, digest_at(1));  // same step, no moves
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+// --- run_trace_oracles ---------------------------------------------------
+
+TEST(TraceOracles, CleanStreamPasses) {
+  const Mesh mesh = Mesh::square(4);
+  std::vector<Packet> packets(1);
+  packets[0].id = 0;
+  packets[0].source = 0;
+  packets[0].dest = 2;
+  const std::vector<TraceEvent> events = {
+      {TraceEventKind::Move, 1, 0, 0, 1},
+      {TraceEventKind::Move, 2, 0, 1, 2},
+      {TraceEventKind::Deliver, 2, 0, 2, 2},
+  };
+  EXPECT_EQ(run_trace_oracles(events, mesh, packets, 1, QueueLayout::Central),
+            "");
+}
+
+TEST(TraceOracles, FiresOnDoubleBookedLink) {
+  const Mesh mesh = Mesh::square(4);
+  std::vector<Packet> packets(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    packets[i].id = static_cast<PacketId>(i);
+    packets[i].source = 0;
+    packets[i].dest = 3;
+  }
+  const std::vector<TraceEvent> events = {
+      {TraceEventKind::Move, 1, 0, 0, 1},
+      {TraceEventKind::Move, 1, 1, 0, 1},  // same link, same step
+  };
+  const std::string msg =
+      run_trace_oracles(events, mesh, packets, 2, QueueLayout::Central);
+  EXPECT_NE(msg.find("link"), std::string::npos) << msg;
+}
+
+TEST(TraceOracles, FiresOnQueueOverflow) {
+  const Mesh mesh = Mesh::square(4);
+  // Three packets squeezed into node 1 with k=2: two arrivals on top of
+  // one injected resident.
+  std::vector<Packet> packets(3);
+  packets[0].id = 0;
+  packets[0].source = 1;
+  packets[0].dest = 3;
+  packets[1].id = 1;
+  packets[1].source = 0;
+  packets[1].dest = 3;
+  packets[2].id = 2;
+  packets[2].source = 5;
+  packets[2].dest = 3;
+  const std::vector<TraceEvent> events = {
+      {TraceEventKind::Move, 1, 1, 0, 1},
+      {TraceEventKind::Move, 1, 2, 5, 1},
+  };
+  const std::string msg =
+      run_trace_oracles(events, mesh, packets, 2, QueueLayout::Central);
+  EXPECT_NE(msg.find("queue bound violated"), std::string::npos) << msg;
+}
+
+TEST(TraceOracles, FiresOnTeleport) {
+  const Mesh mesh = Mesh::square(4);
+  std::vector<Packet> packets(1);
+  packets[0].id = 0;
+  packets[0].source = 0;
+  packets[0].dest = 15;
+  const std::vector<TraceEvent> events = {
+      {TraceEventKind::Move, 1, 0, 0, 1},
+      {TraceEventKind::Move, 2, 0, 2, 3},  // departs from 2, but sat at 1
+  };
+  const std::string msg =
+      run_trace_oracles(events, mesh, packets, 1, QueueLayout::Central);
+  EXPECT_FALSE(msg.empty());
+}
+
+TEST(TraceOracles, PerInlinkCountsQueuesSeparately) {
+  // Node 5 of a 4×4 mesh receives two packets in one step from different
+  // inlinks: a per-inlink layout with k=1 is fine, a central one is not.
+  const Mesh mesh = Mesh::square(4);
+  std::vector<Packet> packets(2);
+  packets[0].id = 0;
+  packets[0].source = 4;
+  packets[0].dest = 7;
+  packets[1].id = 1;
+  packets[1].source = 1;
+  packets[1].dest = 13;
+  const std::vector<TraceEvent> events = {
+      {TraceEventKind::Move, 1, 0, 4, 5},
+      {TraceEventKind::Move, 1, 1, 1, 5},
+  };
+  EXPECT_EQ(
+      run_trace_oracles(events, mesh, packets, 1, QueueLayout::PerInlink), "");
+  const std::string msg =
+      run_trace_oracles(events, mesh, packets, 1, QueueLayout::Central);
+  EXPECT_NE(msg.find("queue bound violated"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace mr

@@ -209,13 +209,13 @@ TEST(Stray, EngineRejectsExcessStray) {
     std::string name() const override { return "defector"; }
     bool minimal() const override { return false; }
     int max_stray() const override { return 1; }
-    void plan_out(Engine& e, NodeId u, OutPlan& plan) override {
+    void plan_out(Sim& e, NodeId u, OutPlan& plan) override {
       // Always push the packet north regardless of its rectangle.
       if (!e.packets_at(u).empty() &&
           e.mesh().neighbor(u, Dir::North) != kInvalidNode)
         plan.schedule(Dir::North, e.packets_at(u)[0]);
     }
-    void plan_in(Engine&, NodeId, std::span<const Offer> offers,
+    void plan_in(Sim&, NodeId, std::span<const Offer> offers,
                  InPlan& plan) override {
       plan.reset(offers.size());
       for (std::size_t i = 0; i < offers.size(); ++i) plan.accept[i] = true;

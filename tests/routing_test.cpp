@@ -106,7 +106,7 @@ TEST_P(RoutingSuite, MovesAreAlwaysMinimal) {
   for (const Demand& d : w) e.add_packet(d.source, d.dest, d.injected_at);
 
   struct MinimalityCheck : Observer {
-    void on_move(const Engine& eng, const Packet& p, NodeId from,
+    void on_move(const Sim& eng, const Packet& p, NodeId from,
                  NodeId to) override {
       const NodeId dest = p.dest;
       EXPECT_EQ(eng.mesh().distance(to, dest),

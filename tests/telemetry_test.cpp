@@ -27,17 +27,17 @@ namespace {
 /// on_move (+ on_deliver when it delivered).
 class DigestTraceRebuilder final : public StepObserver {
  public:
-  void on_prepare(const Engine& e, const StepDigest& d) override {
+  void on_prepare(const Sim& e, const StepDigest& d) override {
     append(e, d);
   }
-  void on_step(const Engine& e, const StepDigest& d) override {
+  void on_step(const Sim& e, const StepDigest& d) override {
     append(e, d);
   }
   const std::vector<TraceEvent>& events() const { return events_; }
   std::int64_t non_delivery_moves() const { return non_delivery_moves_; }
 
  private:
-  void append(const Engine& e, const StepDigest& d) {
+  void append(const Sim& e, const StepDigest& d) {
     for (PacketId p : d.injected_deliveries)
       events_.push_back({TraceEventKind::Deliver, d.step, p, e.packet(p).dest,
                          e.packet(p).dest});
@@ -118,10 +118,10 @@ TEST(LegacyAdapter, MetricsObserverNumbersUnchanged) {
   class Recount final : public StepObserver {
    public:
     explicit Recount(std::vector<std::int64_t>* out) : out_(out) {}
-    void on_prepare(const Engine&, const StepDigest& d) override {
+    void on_prepare(const Sim&, const StepDigest& d) override {
       out_->push_back(d.deliveries);
     }
-    void on_step(const Engine&, const StepDigest& d) override {
+    void on_step(const Sim&, const StepDigest& d) override {
       out_->push_back(d.deliveries);
     }
 
@@ -150,7 +150,7 @@ TEST(StepDigest, CountersAreSelfConsistent) {
   EngineRun run = make_run("dimension-order", 10, true, 2, 17);
   class Check final : public StepObserver {
    public:
-    void on_step(const Engine& e, const StepDigest& d) override {
+    void on_step(const Sim& e, const StepDigest& d) override {
       std::int64_t delivering = 0;
       std::array<std::int64_t, kNumDirs> by_dir{};
       for (const MoveRecord& m : d.moves) {
@@ -186,10 +186,10 @@ TEST(TelemetryCollector, StrideDoublingKeepsSeriesBoundedAndLossless) {
   // any series row; capture them to balance the books below.
   class PrepareDeliveries final : public StepObserver {
    public:
-    void on_prepare(const Engine&, const StepDigest& d) override {
+    void on_prepare(const Sim&, const StepDigest& d) override {
       count = d.deliveries;
     }
-    void on_step(const Engine&, const StepDigest&) override {}
+    void on_step(const Sim&, const StepDigest&) override {}
     std::int64_t count = 0;
   } prepare_deliveries;
   run.engine->add_observer(&prepare_deliveries);

@@ -28,7 +28,7 @@ namespace {
 /// hops that cross a wrap link (coordinate jump of n-1 in one dimension).
 class OfferGroupingCheck final : public StepObserver {
  public:
-  void on_step(const Engine& e, const StepDigest& d) override {
+  void on_step(const Sim& e, const StepDigest& d) override {
     const Mesh& mesh = e.mesh();
     for (const MoveRecord& m : d.moves) {
       ASSERT_EQ(mesh.neighbor(m.from, m.dir), m.to)
