@@ -40,6 +40,9 @@ void register_e11(ScenarioRegistry& registry) {
                                      {"adaptive-alternate", 32},
                                      {"greedy-match", 32},
                                      {"farthest-first", 32}};
+    // --seed overrides the historical base seed 1000; per-run seeds stay
+    // spread the same way so a fixed base reproduces the published table.
+    const std::uint64_t base_seed = ctx.seed_or(1000);
     bool no_deadlock = true;
     for (const Case& c : cases) {
       for (const int n : ns) {
@@ -50,7 +53,7 @@ void register_e11(ScenarioRegistry& registry) {
           spec.queue_capacity = c.k;
           spec.algorithm = c.algorithm;
           return run_workload(spec,
-                              random_permutation(mesh, 1000 + 13 * s));
+                              random_permutation(mesh, base_seed + 13 * s));
         });
         RunningStat steps, p50;
         int max_queue = 0;

@@ -1,0 +1,107 @@
+// E18 — saturation throughput vs queue size k: bisection search for the
+// highest sustainable per-node Bernoulli injection rate, per (algorithm,
+// n, k). Theorem 15's Θ(n²/k + n) routing time for k-bounded queues says
+// aggregate bandwidth scales with k, i.e. the sustainable per-node rate
+// grows ≈ k/n until the bisection-free n term takes over — so saturation
+// is monotone non-decreasing in k at fixed n. Central-queue dimension
+// order additionally shows the deadlock floor: with tiny central queues
+// the network deadlocks at vanishing load (saturation 0), while the §5
+// per-inlink bounded router is deadlock-free from k=1 up.
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+#include "scenarios.hpp"
+#include "traffic/saturation.hpp"
+
+namespace mr::scenarios {
+
+void register_e18(ScenarioRegistry& registry) {
+  ScenarioSpec spec;
+  spec.id = "E18";
+  spec.label = "saturation-vs-k";
+  spec.title = "saturation throughput vs queue size k";
+  spec.paper_ref = "Theorem 15 (Θ(n²/k + n) with k-bounded queues)";
+  spec.body = [](ScenarioReport& ctx) {
+    std::vector<int> ns = {16, 32};
+    const std::vector<int> ks = {1, 2, 4, 8};
+    Step warmup = 128, measure = 512;
+    if (ctx.scale() == Scale::Small) {
+      ns = {16};
+      warmup = 64;
+      measure = 192;
+    }
+    const std::vector<std::string> algorithms = {"dimension-order",
+                                                 "bounded-dimension-order"};
+    const std::uint64_t seed = ctx.seed_or(4200);
+
+    struct Cell {
+      std::string algorithm;
+      int n = 0;
+    };
+    std::vector<Cell> cells;
+    for (const std::string& a : algorithms)
+      for (const int n : ns) cells.push_back({a, n});
+
+    // One bisection per (algorithm, n, k). k values share the cell (and
+    // the traffic seed), so each row of the table is directly comparable;
+    // cells are independent and spread across the worker pool.
+    const auto cell_results =
+        sweep<std::vector<SaturationResult>>(cells.size(), [&](std::size_t c) {
+          std::vector<SaturationResult> per_k;
+          for (const int k : ks) {
+            SaturationSpec search;
+            search.base.width = search.base.height = cells[c].n;
+            search.base.queue_capacity = k;
+            search.base.algorithm = cells[c].algorithm;
+            search.base.traffic.pattern = TrafficPattern::UniformRandom;
+            search.base.traffic.seed = seed;  // same stream for every k
+            search.base.warmup_steps = warmup;
+            search.base.measure_steps = measure;
+            search.resolution = 1.0 / 256.0;
+            per_k.push_back(find_saturation_rate(search));
+          }
+          return per_k;
+        });
+
+    Table table({"algorithm", "n", "k", "saturation rate", "sat*n/k",
+                 "first unsustainable", "probes"});
+    bool monotone = true;
+    std::string detail;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      double prev = -1;
+      for (std::size_t i = 0; i < ks.size(); ++i) {
+        const SaturationResult& r = cell_results[c][i];
+        table.row()
+            .add(cells[c].algorithm)
+            .add(cells[c].n)
+            .add(ks[i])
+            .add(r.saturation_rate, 4)
+            .add(r.saturation_rate * cells[c].n / ks[i], 3)
+            .add(r.first_unsustainable, 4)
+            .add(static_cast<std::int64_t>(r.probes.size()));
+        if (cells[c].algorithm == "dimension-order" &&
+            r.saturation_rate < prev) {
+          monotone = false;
+          detail += cells[c].algorithm + " n=" + std::to_string(cells[c].n) +
+                    ": k=" + std::to_string(ks[i]) + " rate " +
+                    std::to_string(r.saturation_rate) + " < k=" +
+                    std::to_string(ks[i - 1]) + " rate " +
+                    std::to_string(prev) + "; ";
+        }
+        prev = r.saturation_rate;
+      }
+    }
+    ctx.table(table);
+    ctx.note(
+        "saturation rises with k at fixed n (the Theorem 15 bandwidth term "
+        "n²/k in routing time ⇒ ≈ k/n sustainable per node), and "
+        "central-queue dimension order needs a deadlock-avoiding k before "
+        "it sustains anything at all, while the per-inlink bounded router "
+        "already routes at k=1.");
+    ctx.check("saturation-monotone-in-k", monotone, detail);
+  };
+  registry.add(std::move(spec));
+}
+
+}  // namespace mr::scenarios

@@ -18,6 +18,11 @@
 //   meshroute_bench --jobs=N               worker threads for the sweep
 //                                          (results are position-addressed:
 //                                          output is identical for any N)
+//   meshroute_bench --seed=S               base RNG seed for stochastic
+//                                          scenarios (E11, E17, E18);
+//                                          default: each scenario's
+//                                          built-in seed. Echoed in the
+//                                          JSON records.
 //   meshroute_bench --validate=PATH        only validate an existing JSON
 //                                          record (scenario .json or
 //                                          telemetry .jsonl)
@@ -59,8 +64,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--run <id|label>]... [--json=DIR] "
                "[--telemetry=DIR] [--profile] [--smoke] [--jobs=N] "
-               "[--validate=PATH] [--throughput-guard=PATH] [--fuzz=N] "
-               "[--fuzz-seed=S] [--fuzz-case=SPEC]\n",
+               "[--seed=S] [--validate=PATH] [--throughput-guard=PATH] "
+               "[--fuzz=N] [--fuzz-seed=S] [--fuzz-case=SPEC]\n",
                argv0);
   return 2;
 }
@@ -111,6 +116,9 @@ int main(int argc, char** argv) {
       fuzz_case_spec = arg.substr(12);
     } else if (arg == "--smoke") {
       options.scale = Scale::Small;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.substr(7).c_str(), nullptr, 10);
+      if (options.seed == 0) return usage(argv[0]);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       options.jobs = static_cast<std::size_t>(
           std::strtoul(arg.substr(7).c_str(), nullptr, 10));

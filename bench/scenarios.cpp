@@ -19,6 +19,8 @@ void register_all(ScenarioRegistry& registry) {
   register_e14(registry);
   register_e15(registry);
   register_e16(registry);
+  register_e17(registry);
+  register_e18(registry);
 }
 
 ScenarioRegistry& builtin() {

@@ -11,6 +11,7 @@
 #include "routing/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "traffic/source.hpp"
 #include "workload/patterns.hpp"
 
 namespace mr {
@@ -21,6 +22,24 @@ namespace {
 /// legitimate outcome for some algorithm/k combinations) finish quickly.
 /// Both engines get the same limit; stalling identically is not a failure.
 constexpr Step kFuzzStallLimit = 64;
+
+bool has_traffic(const FuzzCase& c) {
+  return c.traffic != "none" && c.tsteps > 0;
+}
+
+/// Expands the case's traffic stream into the explicit demand list both
+/// engines receive. Deterministic in (traffic, rate, tseed, tsteps, n).
+Workload traffic_demands(const FuzzCase& c) {
+  if (!has_traffic(c)) return {};
+  const Mesh mesh = Mesh::square(c.n, c.torus);
+  TrafficSpec spec;
+  MR_REQUIRE_MSG(parse_traffic_pattern(c.traffic, &spec.pattern),
+                 "unknown traffic pattern '" << c.traffic << "'");
+  spec.rate = c.rate;
+  spec.seed = c.tseed;
+  BernoulliSource source(mesh, spec);
+  return materialize_traffic(source, 1, c.tsteps);
+}
 
 bool supports_torus(const std::string& algorithm) {
   for (const AlgorithmInfo& info : algorithm_catalog()) {
@@ -37,7 +56,11 @@ bool supports_torus(const std::string& algorithm) {
 std::string format_fuzz_case(const FuzzCase& c) {
   std::ostringstream os;
   os << "algo=" << c.algorithm << " n=" << c.n << " torus=" << (c.torus ? 1 : 0)
-     << " k=" << c.k << " budget=" << c.budget << " demands=";
+     << " k=" << c.k << " budget=" << c.budget;
+  if (has_traffic(c))
+    os << " traffic=" << c.traffic << " rate=" << c.rate
+       << " tseed=" << c.tseed << " tsteps=" << c.tsteps;
+  os << " demands=";
   for (std::size_t i = 0; i < c.demands.size(); ++i) {
     const Demand& d = c.demands[i];
     if (i > 0) os << ',';
@@ -74,6 +97,14 @@ bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
       c.k = static_cast<int>(std::strtol(value.c_str(), &end, 10));
     } else if (key == "budget") {
       c.budget = std::strtoll(value.c_str(), &end, 10);
+    } else if (key == "traffic") {
+      c.traffic = value;
+    } else if (key == "rate") {
+      c.rate = std::strtod(value.c_str(), &end);
+    } else if (key == "tseed") {
+      c.tseed = std::strtoull(value.c_str(), &end, 10);
+    } else if (key == "tsteps") {
+      c.tsteps = std::strtoll(value.c_str(), &end, 10);
     } else if (key == "demands") {
       saw_demands = true;
       std::istringstream ds(value);
@@ -115,6 +146,17 @@ bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
     if (error) *error = "n must be >= 2, k >= 1, budget >= 1";
     return false;
   }
+  if (c.traffic != "none") {
+    TrafficPattern pattern;
+    if (!parse_traffic_pattern(c.traffic, &pattern)) {
+      if (error) *error = "unknown traffic pattern '" + c.traffic + "'";
+      return false;
+    }
+    if (c.rate < 0.0 || c.rate > 1.0 || c.tsteps < 0) {
+      if (error) *error = "traffic needs rate in [0,1] and tsteps >= 0";
+      return false;
+    }
+  }
   const NodeId nodes = c.n * c.n;
   for (const Demand& d : c.demands) {
     if (d.source < 0 || d.source >= nodes || d.dest < 0 || d.dest >= nodes ||
@@ -141,6 +183,10 @@ std::string run_fuzz_case(const FuzzCase& c) {
     ReferenceEngine ref(mesh, c.k, kFuzzStallLimit, *algo_ref);
 
     for (const Demand& d : c.demands) {
+      opt.add_packet(d.source, d.dest, d.injected_at);
+      ref.add_packet(d.source, d.dest, d.injected_at);
+    }
+    for (const Demand& d : traffic_demands(c)) {
       opt.add_packet(d.source, d.dest, d.injected_at);
       ref.add_packet(d.source, d.dest, d.injected_at);
     }
@@ -234,6 +280,17 @@ std::string run_fuzz_case(const FuzzCase& c) {
 FuzzCase shrink_fuzz_case(const FuzzCase& c) {
   if (run_fuzz_case(c).empty()) return c;
   FuzzCase cur = c;
+  // Flatten an active traffic stream into explicit demands (the expansion
+  // is deterministic, so the flattened case fails identically); ddmin then
+  // shrinks the whole list.
+  if (has_traffic(cur)) {
+    FuzzCase flat = cur;
+    const Workload stream = traffic_demands(flat);
+    flat.demands.insert(flat.demands.end(), stream.begin(), stream.end());
+    flat.traffic = "none";
+    flat.tsteps = 0;
+    if (!run_fuzz_case(flat).empty()) cur = std::move(flat);
+  }
   // ddmin over the demand list: drop chunks while the case still fails,
   // halving the chunk size when no chunk can be dropped.
   std::size_t attempts = 0;
@@ -284,6 +341,19 @@ FuzzCase sample_case(Rng& rng) {
 
   const Mesh mesh = Mesh::square(c.n, c.torus);
   const std::uint64_t wseed = rng.next_u64() | 1;
+  // A quarter of the cases carry an open-loop traffic stream instead of a
+  // batch workload: pattern, rate and window sampled, stream expanded at
+  // run time from tseed (so the spec line stays self-contained).
+  if (rng.next_below(4) == 0) {
+    const std::vector<TrafficPattern>& patterns = all_traffic_patterns();
+    c.traffic =
+        traffic_pattern_name(patterns[rng.next_below(patterns.size())]);
+    constexpr double kRates[] = {0.05, 0.1, 0.2, 0.4};
+    c.rate = kRates[rng.next_below(4)];
+    c.tseed = wseed;
+    c.tsteps = static_cast<Step>(8 + rng.next_below(33));  // 8..40
+    return c;
+  }
   switch (rng.next_below(9)) {
     case 0: c.demands = random_permutation(mesh, wseed); break;
     case 1:
@@ -343,6 +413,9 @@ FuzzReport run_fuzz(std::size_t num_cases, std::uint64_t seed,
     log << "fuzz[" << i << "] algo=" << c.algorithm << " n=" << c.n
         << (c.torus ? " torus" : " mesh") << " k=" << c.k
         << " demands=" << c.demands.size();
+    if (c.traffic != "none")
+      log << " traffic=" << c.traffic << " rate=" << c.rate
+          << " tsteps=" << c.tsteps;
     if (error.empty()) {
       log << " ok\n";
       continue;

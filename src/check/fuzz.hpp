@@ -24,9 +24,20 @@ struct FuzzCase {
   int k = 2;                ///< queue capacity
   Step budget = 4096;       ///< step budget per engine
   Workload demands;         ///< materialized workload (with injection steps)
+
+  /// Optional open-loop traffic workload on top of `demands`: a seeded
+  /// Bernoulli stream (traffic pattern name, per-node rate, steps
+  /// 1..tsteps) expanded deterministically at run time. "none" disables
+  /// it. Shrinking flattens the stream into explicit demands first, so
+  /// ddmin still applies.
+  std::string traffic = "none";
+  double rate = 0.1;
+  std::uint64_t tseed = 1;
+  Step tsteps = 0;
 };
 
 /// Spec-line round trip: "algo=<name> n=<n> torus=<0|1> k=<k> budget=<B>
+/// [traffic=<pattern> rate=<r> tseed=<s> tsteps=<t>]
 /// demands=<src>-<dst>@<step>,...".
 std::string format_fuzz_case(const FuzzCase& c);
 /// Parses a spec line; returns false and sets *error on malformed input.

@@ -1,7 +1,10 @@
 #include "harness/runner.hpp"
 
+#include <optional>
+
 #include "routing/registry.hpp"
 #include "telemetry/export.hpp"
+#include "traffic/pump.hpp"
 
 namespace mr {
 
@@ -20,12 +23,22 @@ RunResult run_workload(const RunSpec& spec, const Workload& workload,
                        const RunHooks& hooks) {
   const Mesh mesh(spec.width, spec.height, spec.torus);
   auto algorithm = make_algorithm(spec.algorithm);
+  const bool open_loop = hooks.traffic != nullptr;
   Engine::Config config;
   config.queue_capacity = spec.queue_capacity;
   config.stall_limit = spec.stall_limit;
+  config.stall_counts_pending_injections = open_loop;
   Engine engine(mesh, config, *algorithm);
   for (const Demand& d : workload)
     engine.add_packet(d.source, d.dest, d.injected_at);
+
+  std::optional<TrafficPump> pump;
+  if (open_loop) {
+    MR_REQUIRE_MSG(spec.traffic_steps >= 1,
+                   "open-loop run needs traffic_steps >= 1");
+    pump.emplace(engine, *hooks.traffic, spec.traffic_steps,
+                 spec.traffic_ahead);
+  }
 
   if (hooks.interceptor != nullptr) engine.set_interceptor(hooks.interceptor);
   MetricsObserver metrics;
@@ -44,14 +57,17 @@ RunResult run_workload(const RunSpec& spec, const Workload& workload,
 
   for (Observer* o : hooks.observers) engine.add_observer(o);
   for (StepObserver* o : hooks.step_observers) engine.add_observer(o);
+  if (pump) pump->prime();
   engine.prepare();
 
-  const Step budget = spec.max_steps > 0
-                          ? spec.max_steps
-                          : default_step_budget(spec.width, spec.height,
-                                                spec.queue_capacity);
+  Step budget = spec.max_steps > 0
+                    ? spec.max_steps
+                    : default_step_budget(spec.width, spec.height,
+                                          spec.queue_capacity);
+  if (pump && spec.max_steps == 0) budget += spec.traffic_steps;
   RunResult result;
-  result.steps = engine.run(budget);
+  result.steps =
+      pump ? run_to_drain(engine, *pump, budget) : engine.run(budget);
   result.all_delivered = engine.all_delivered();
   result.stalled = engine.stalled();
   result.packets = engine.num_packets();

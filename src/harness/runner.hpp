@@ -16,6 +16,8 @@
 
 namespace mr {
 
+class TrafficSource;
+
 /// Opt-in run observability. With `series` or `profile` set the runner
 /// attaches a TelemetryCollector / enables phase profiling itself — callers
 /// never construct observers. Setting `export_dir` additionally writes the
@@ -40,6 +42,14 @@ struct RunSpec {
   Step max_steps = 0;      ///< 0 = auto (generous bound from mesh size)
   Step stall_limit = kDefaultStallLimit;
   TelemetrySpec telemetry;
+
+  /// Open-loop extension (used when RunHooks::traffic is set): the source
+  /// injects for steps 1..traffic_steps through a TrafficPump with a
+  /// traffic_ahead generation window, then the run drains. The engine runs
+  /// with the open-loop stall policy so deadlocks trip the stall limit
+  /// despite the pump's pending window.
+  Step traffic_steps = 0;
+  Step traffic_ahead = 32;
 };
 
 /// Optional extension points a scenario can attach to a run: an adversary
@@ -49,6 +59,9 @@ struct RunHooks {
   StepInterceptor* interceptor = nullptr;
   std::vector<Observer*> observers;
   std::vector<StepObserver*> step_observers;
+  /// Open-loop traffic source pumped on top of the (possibly empty) batch
+  /// workload; see RunSpec::traffic_steps.
+  TrafficSource* traffic = nullptr;
 };
 
 struct RunResult {

@@ -79,6 +79,7 @@ std::string ScenarioResult::to_json() const {
   os << "  \"title\": \"" << json::escape(title) << "\",\n";
   os << "  \"paper_ref\": \"" << json::escape(paper_ref) << "\",\n";
   os << "  \"scale\": \"" << scale_name(scale) << "\",\n";
+  os << "  \"seed\": " << seed << ",\n";
   os << "  \"passed\": " << (passed() ? "true" : "false") << ",\n";
   if (errored) os << "  \"error\": \"" << json::escape(error) << "\",\n";
 
@@ -234,6 +235,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   result.title = spec.title;
   result.paper_ref = spec.paper_ref;
   result.scale = options.scale;
+  result.seed = options.seed;
   ScenarioReport report(options, &result);
   try {
     spec.body(report);

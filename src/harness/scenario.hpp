@@ -61,6 +61,7 @@ struct ScenarioResult {
   std::string title;
   std::string paper_ref;
   Scale scale = Scale::Default;
+  std::uint64_t seed = 0;  ///< --seed override in effect (0 = defaults)
 
   std::vector<ScenarioItem> items;
   std::vector<Table> tables;
@@ -97,6 +98,10 @@ struct ScenarioOptions {
   std::string telemetry_dir;
   /// When true, runs are phase-profiled and each records a profile table.
   bool profile = false;
+  /// Base RNG seed for stochastic scenarios (meshroute_bench --seed).
+  /// 0 = each scenario's built-in default; scenarios read it through
+  /// ScenarioReport::seed_or and the value is echoed in the JSON record.
+  std::uint64_t seed = 0;
 };
 
 /// The write handle a scenario body reports through.
@@ -106,6 +111,11 @@ class ScenarioReport {
       : options_(options), out_(out) {}
 
   Scale scale() const { return options_.scale; }
+  /// The --seed override, or `fallback` (the scenario's historical
+  /// default) when the user did not pass one.
+  std::uint64_t seed_or(std::uint64_t fallback) const {
+    return options_.seed != 0 ? options_.seed : fallback;
+  }
 
   void note(const std::string& text);
   void table(const Table& t);

@@ -11,6 +11,7 @@ Engine::Engine(const Mesh& mesh, Config config, Algorithm& algorithm)
           /*masks_cached=*/true),
       algorithm_(algorithm),
       stall_limit_(config.stall_limit),
+      stall_counts_pending_(config.stall_counts_pending_injections),
       enforce_minimal_(algorithm.minimal()),
       max_stray_(algorithm.max_stray()) {
   MR_REQUIRE_MSG(stall_limit_ >= 0,
@@ -24,6 +25,22 @@ PacketId Engine::add_packet(NodeId source, NodeId dest, Step injected_at) {
   MR_REQUIRE_MSG(!prepared_, "add_packet after prepare()");
   const PacketId id = register_packet(source, dest, injected_at);
   injections_.emplace_back(injected_at, id);
+  return id;
+}
+
+PacketId Engine::pump_packet(NodeId source, NodeId dest, Step injected_at) {
+  MR_REQUIRE_MSG(prepared_, "pump_packet before prepare()");
+  MR_REQUIRE_MSG(injected_at > step_,
+                 "pump_packet must be future-dated: injected_at "
+                     << injected_at << " <= current step " << step_);
+  MR_REQUIRE_MSG(injections_.empty() ||
+                     injected_at >= injections_.back().first,
+                 "pump_packet out of order: injected_at "
+                     << injected_at << " < pending tail "
+                     << injections_.back().first);
+  const PacketId id = register_packet(source, dest, injected_at);
+  injections_.emplace_back(injected_at, id);
+  packet_scheduled_.push_back(0);
   return id;
 }
 
@@ -389,9 +406,11 @@ bool Engine::step_once() {
   // movement and no successful injection is a stall step even while
   // packets wait outside the network for a full queue — those can only
   // enter once something moves. Future-dated injections are exogenous
-  // progress, so they defer the check.
+  // progress, so they defer the check — unless the open-loop policy is on:
+  // a pump keeps such injections pending for the whole run, so deferring
+  // on them would mask any deadlock until the drain phase.
   if (moved_this_step == 0 && injected_this_step_ == 0 &&
-      injection_cursor_ == injections_.size()) {
+      (stall_counts_pending_ || injection_cursor_ == injections_.size())) {
     ++stall_run_;
     if (stall_limit_ > 0 && stall_run_ >= stall_limit_)
       stalled_ = true;

@@ -95,6 +95,14 @@ class Engine : public Sim {
     /// counting those steps is what detects a deadlocked network with a
     /// non-empty external buffer.
     Step stall_limit = kDefaultStallLimit;
+    /// Open-loop stall policy: when true, a step with no movement and no
+    /// successful injection counts toward stall_limit even while
+    /// future-dated injections are pending. Required for open-loop traffic
+    /// runs, where a pump keeps a generation-ahead window of pending
+    /// injections alive for the whole run and the default "no future-dated
+    /// injection is pending" clause would otherwise never let a deadlocked
+    /// network trip the limit. Off by default (batch semantics unchanged).
+    bool stall_counts_pending_injections = false;
   };
 
   Engine(const Mesh& mesh, Config config, Algorithm& algorithm);
@@ -105,6 +113,15 @@ class Engine : public Sim {
   /// packet enters its source queue at the start of that step, waiting in
   /// an external buffer while the queue is full.
   PacketId add_packet(NodeId source, NodeId dest, Step injected_at = 0);
+
+  /// Open-loop injection pump hook: adds a packet AFTER prepare(), to be
+  /// injected at a future step. Requires injected_at > step() and, so the
+  /// injection buffer stays sorted without a re-sort, injected_at no
+  /// earlier than the last still-pending scheduled injection. Pumped
+  /// packets are indistinguishable from packets pre-scheduled with
+  /// add_packet for the same step: per-step behaviour, digests and
+  /// fingerprints are bit-identical either way.
+  PacketId pump_packet(NodeId source, NodeId dest, Step injected_at);
 
   void set_interceptor(StepInterceptor* interceptor) {
     interceptor_ = interceptor;
@@ -161,6 +178,7 @@ class Engine : public Sim {
 
   Algorithm& algorithm_;
   Step stall_limit_;
+  bool stall_counts_pending_;
   bool enforce_minimal_;
   int max_stray_ = -1;  ///< §5 nonminimal containment (when not minimal)
 

@@ -1,0 +1,96 @@
+#include "traffic/pattern.hpp"
+
+#include "core/assert.hpp"
+
+namespace mr {
+
+const char* traffic_pattern_name(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::UniformRandom: return "uniform";
+    case TrafficPattern::Transpose: return "transpose";
+    case TrafficPattern::BitComplement: return "bitcomp";
+    case TrafficPattern::Tornado: return "tornado";
+    case TrafficPattern::Hotspot: return "hotspot";
+  }
+  return "?";
+}
+
+bool parse_traffic_pattern(const std::string& name, TrafficPattern* out) {
+  for (TrafficPattern p : all_traffic_patterns()) {
+    if (name == traffic_pattern_name(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<TrafficPattern>& all_traffic_patterns() {
+  static const std::vector<TrafficPattern> patterns = {
+      TrafficPattern::UniformRandom, TrafficPattern::Transpose,
+      TrafficPattern::BitComplement, TrafficPattern::Tornado,
+      TrafficPattern::Hotspot};
+  return patterns;
+}
+
+NodeId hotspot_sink(const Mesh& mesh, const TrafficSpec& spec) {
+  if (spec.hotspot_sink != kInvalidNode) {
+    MR_REQUIRE(spec.hotspot_sink >= 0 &&
+               spec.hotspot_sink < mesh.num_nodes());
+    return spec.hotspot_sink;
+  }
+  return mesh.id_of(mesh.width() / 2, mesh.height() / 2);
+}
+
+namespace {
+
+/// Uniform over all nodes except `src` (an empty draw is impossible for
+/// meshes with >= 2 nodes, which Mesh already guarantees).
+NodeId uniform_other(const Mesh& mesh, NodeId src, Rng& rng) {
+  const NodeId n = mesh.num_nodes();
+  const NodeId pick =
+      static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
+  return pick >= src ? pick + 1 : pick;
+}
+
+}  // namespace
+
+NodeId traffic_destination(const Mesh& mesh, const TrafficSpec& spec,
+                           NodeId src, Rng& rng) {
+  const Coord s = mesh.coord_of(src);
+  switch (spec.pattern) {
+    case TrafficPattern::UniformRandom:
+      return uniform_other(mesh, src, rng);
+    case TrafficPattern::Transpose: {
+      MR_REQUIRE_MSG(mesh.width() == mesh.height(),
+                     "transpose needs a square mesh");
+      const NodeId dest = mesh.id_of(s.row, s.col);
+      return dest == src ? kInvalidNode : dest;
+    }
+    case TrafficPattern::BitComplement: {
+      const NodeId dest =
+          mesh.id_of(mesh.width() - 1 - s.col, mesh.height() - 1 - s.row);
+      return dest == src ? kInvalidNode : dest;
+    }
+    case TrafficPattern::Tornado: {
+      const std::int32_t dc = (mesh.width() - 1) / 2;
+      const std::int32_t dr = (mesh.height() - 1) / 2;
+      const NodeId dest = mesh.id_of((s.col + dc) % mesh.width(),
+                                     (s.row + dr) % mesh.height());
+      return dest == src ? kInvalidNode : dest;
+    }
+    case TrafficPattern::Hotspot: {
+      const NodeId sink = hotspot_sink(mesh, spec);
+      // The sink's own draw falls through to uniform background traffic,
+      // and a uniform draw that hits the sink stays there: the sink's
+      // arrival share is hotspot_fraction + (1-f)/(n-1) of all packets.
+      if (src != sink && rng.next_double() < spec.hotspot_fraction)
+        return sink;
+      return uniform_other(mesh, src, rng);
+    }
+  }
+  MR_REQUIRE_MSG(false, "unknown traffic pattern");
+  return kInvalidNode;
+}
+
+}  // namespace mr

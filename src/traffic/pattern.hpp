@@ -1,0 +1,56 @@
+// Spatial traffic patterns for open-loop (continuous-injection) workloads:
+// the classic interconnect-simulator set — uniform random, transpose,
+// bit-complement, tornado and hotspot — mapping an injecting node to a
+// destination. Deterministic patterns are pure coordinate maps; the
+// stochastic ones (uniform, hotspot) draw from the caller's Rng, so a
+// fixed seed reproduces the exact stream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "topo/mesh.hpp"
+
+namespace mr {
+
+enum class TrafficPattern : std::uint8_t {
+  UniformRandom,  ///< destination uniform over all other nodes
+  Transpose,      ///< (c, r) -> (r, c); diagonal nodes do not inject
+  BitComplement,  ///< (c, r) -> (W-1-c, H-1-r); a fixed point never injects
+  Tornado,        ///< (c, r) -> (c + floor((W-1)/2) mod W, r + floor((H-1)/2) mod H)
+  Hotspot,        ///< with prob. hotspot_fraction the sink, else uniform
+};
+
+const char* traffic_pattern_name(TrafficPattern p);
+/// Parses a pattern name ("uniform", "transpose", "bitcomp", "tornado",
+/// "hotspot"); returns false on unknown names.
+bool parse_traffic_pattern(const std::string& name, TrafficPattern* out);
+const std::vector<TrafficPattern>& all_traffic_patterns();
+
+/// One open-loop traffic configuration: spatial pattern + per-node
+/// injection rate + stream seed.
+struct TrafficSpec {
+  TrafficPattern pattern = TrafficPattern::UniformRandom;
+  /// Per-node per-step injection probability (offered load), in [0, 1].
+  double rate = 0.1;
+  std::uint64_t seed = 1;
+  /// Hotspot only: probability an injected packet targets the sink.
+  double hotspot_fraction = 0.2;
+  /// Hotspot only: the sink node; kInvalidNode = the mesh center.
+  NodeId hotspot_sink = kInvalidNode;
+};
+
+/// Resolves the hotspot sink of `spec` on `mesh` (the configured node, or
+/// the center when unset).
+NodeId hotspot_sink(const Mesh& mesh, const TrafficSpec& spec);
+
+/// Destination for a packet injected at `src`, or kInvalidNode when the
+/// pattern gives this source nothing to send (transpose diagonal,
+/// bit-complement fixed point, zero tornado shift). Never returns `src`
+/// itself. Only the stochastic patterns consume `rng`.
+NodeId traffic_destination(const Mesh& mesh, const TrafficSpec& spec,
+                           NodeId src, Rng& rng);
+
+}  // namespace mr

@@ -1,0 +1,72 @@
+#include "traffic/pump.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace mr {
+
+TrafficPump::TrafficPump(Engine& engine, TrafficSource& source,
+                         Step inject_steps, Step ahead)
+    : engine_(engine),
+      source_(source),
+      inject_steps_(inject_steps),
+      ahead_(ahead) {
+  MR_REQUIRE_MSG(inject_steps >= 0, "inject_steps must be >= 0");
+  MR_REQUIRE_MSG(ahead >= 1, "generation-ahead window must be >= 1");
+}
+
+void TrafficPump::emit_one(bool pre_prepare) {
+  ++emitted_;
+  buf_.clear();
+  source_.emit(emitted_, buf_);
+  offered_per_step_.push_back(static_cast<std::int32_t>(buf_.size()));
+  offered_ += static_cast<std::int64_t>(buf_.size());
+  for (const Demand& d : buf_) {
+    MR_REQUIRE_MSG(d.injected_at == emitted_,
+                   "source emitted a demand dated " << d.injected_at
+                       << " during step " << emitted_);
+    if (pre_prepare)
+      engine_.add_packet(d.source, d.dest, d.injected_at);
+    else
+      engine_.pump_packet(d.source, d.dest, d.injected_at);
+  }
+}
+
+void TrafficPump::prime() {
+  MR_REQUIRE_MSG(!primed_, "prime() called twice");
+  primed_ = true;
+  const Step target = std::min(ahead_, inject_steps_);
+  while (emitted_ < target) emit_one(/*pre_prepare=*/true);
+}
+
+void TrafficPump::advance() {
+  MR_REQUIRE_MSG(primed_, "advance() before prime()");
+  const Step target = std::min(engine_.step() + ahead_, inject_steps_);
+  while (emitted_ < target) emit_one(/*pre_prepare=*/false);
+  // Idle gap at low rates: everything delivered and nothing pending, but
+  // the stream is not over. Pull the window forward until some step
+  // actually injects, so step_once can advance the clock again.
+  while (engine_.all_delivered() && !exhausted())
+    emit_one(/*pre_prepare=*/false);
+}
+
+std::int64_t TrafficPump::offered_between(Step first, Step last) const {
+  std::int64_t sum = 0;
+  const Step lo = std::max<Step>(first, 1);
+  const Step hi = std::min<Step>(last, emitted_);
+  for (Step t = lo; t <= hi; ++t)
+    sum += offered_per_step_[static_cast<std::size_t>(t - 1)];
+  return sum;
+}
+
+Step run_to_drain(Engine& engine, TrafficPump& pump, Step max_steps) {
+  while (!engine.stalled() && engine.step() < max_steps) {
+    pump.advance();
+    if (engine.all_delivered()) break;  // stream exhausted and drained
+    engine.step_once();
+  }
+  return engine.step();
+}
+
+}  // namespace mr

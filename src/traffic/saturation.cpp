@@ -1,0 +1,75 @@
+#include "traffic/saturation.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace mr {
+namespace {
+
+SaturationProbe probe_rate(const SaturationSpec& spec, double rate) {
+  SteadyStateSpec run = spec.base;
+  run.traffic.rate = rate;
+  SaturationProbe p;
+  p.rate = rate;
+  p.result = run_steady_state(run);
+  p.sustainable = sustained(spec, p.result);
+  return p;
+}
+
+}  // namespace
+
+bool sustained(const SaturationSpec& spec, const SteadyStateResult& r) {
+  if (r.stalled) return false;
+  if (r.measure.steps == 0) return false;
+  // Nothing offered during the measurement window (possible at extremely
+  // low rates on tiny meshes): the load is trivially sustained.
+  if (r.measure.offered == 0) return true;
+  return r.accepted_rate >= spec.sustain_fraction * r.offered_rate;
+}
+
+SaturationResult find_saturation_rate(const SaturationSpec& spec) {
+  MR_REQUIRE_MSG(spec.min_rate > 0 && spec.min_rate <= spec.max_rate &&
+                     spec.max_rate <= 1.0,
+                 "need 0 < min_rate <= max_rate <= 1");
+  MR_REQUIRE_MSG(spec.resolution > 0, "resolution must be > 0");
+
+  SaturationResult out;
+  out.first_unsustainable = spec.max_rate;
+
+  // Bracket by doubling from the floor.
+  double lo = 0;  // highest sustainable seen (0 = none yet)
+  double hi = 0;  // lowest unsustainable seen (0 = none yet)
+  double rate = spec.min_rate;
+  while (true) {
+    SaturationProbe p = probe_rate(spec, rate);
+    out.probes.push_back(p);
+    if (p.sustainable) {
+      lo = rate;
+      if (rate >= spec.max_rate) break;
+      rate = std::min(rate * 2.0, spec.max_rate);
+    } else {
+      hi = rate;
+      break;
+    }
+  }
+
+  // Bisect (lo, hi) when the bracket is proper.
+  if (hi > 0 && lo > 0) {
+    while (hi - lo > spec.resolution) {
+      const double mid = 0.5 * (lo + hi);
+      SaturationProbe p = probe_rate(spec, mid);
+      out.probes.push_back(p);
+      if (p.sustainable)
+        lo = mid;
+      else
+        hi = mid;
+    }
+  }
+
+  out.saturation_rate = lo;
+  out.first_unsustainable = hi > 0 ? hi : spec.max_rate;
+  return out;
+}
+
+}  // namespace mr

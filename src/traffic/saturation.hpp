@@ -1,0 +1,47 @@
+// Saturation-throughput search: the highest per-node injection rate a
+// (mesh, k, algorithm, pattern) combination sustains in steady state.
+//
+// A rate is "sustainable" when the steady-state run neither stalls nor
+// leaves the measurement phase unfinished, and accepted throughput keeps
+// up with offered load (accepted >= sustain_fraction * offered). The
+// search brackets the saturation point by doubling, then bisects to the
+// requested resolution. Each probe re-seeds the traffic source from the
+// same spec seed, so the whole search is deterministic.
+#pragma once
+
+#include <vector>
+
+#include "traffic/steady_state.hpp"
+
+namespace mr {
+
+struct SaturationSpec {
+  /// Template for each probe; base.traffic.rate is overwritten per probe.
+  SteadyStateSpec base;
+  double min_rate = 1.0 / 512.0;  ///< search floor (also first probe)
+  double max_rate = 1.0;          ///< search ceiling
+  double resolution = 1.0 / 256.0;  ///< bisection terminates at this width
+  /// Accepted/offered ratio a sustainable probe must reach.
+  double sustain_fraction = 0.95;
+};
+
+struct SaturationProbe {
+  double rate = 0;
+  bool sustainable = false;
+  SteadyStateResult result;
+};
+
+struct SaturationResult {
+  /// Highest probed rate that was sustainable (0 when even min_rate was
+  /// not) and lowest probed rate that was not (max_rate when all were).
+  double saturation_rate = 0;
+  double first_unsustainable = 0;
+  std::vector<SaturationProbe> probes;  ///< in probe order
+};
+
+/// True when `r` counts as sustaining its offered load under `spec`.
+bool sustained(const SaturationSpec& spec, const SteadyStateResult& r);
+
+SaturationResult find_saturation_rate(const SaturationSpec& spec);
+
+}  // namespace mr

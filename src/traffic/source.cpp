@@ -1,0 +1,59 @@
+#include "traffic/source.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace mr {
+
+BernoulliSource::BernoulliSource(const Mesh& mesh, const TrafficSpec& spec)
+    : mesh_(mesh), spec_(spec), rng_(spec.seed) {
+  MR_REQUIRE_MSG(spec.rate >= 0.0 && spec.rate <= 1.0,
+                 "injection rate must be in [0, 1], got " << spec.rate);
+  MR_REQUIRE_MSG(spec.hotspot_fraction >= 0.0 && spec.hotspot_fraction <= 1.0,
+                 "hotspot fraction must be in [0, 1]");
+}
+
+void BernoulliSource::emit(Step step, std::vector<Demand>& out) {
+  MR_REQUIRE_MSG(step > last_step_,
+                 "emit steps must be strictly increasing: " << step
+                     << " after " << last_step_);
+  last_step_ = step;
+  const NodeId n = mesh_.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    if (rng_.next_double() >= spec_.rate) continue;
+    const NodeId dest = traffic_destination(mesh_, spec_, u, rng_);
+    if (dest == kInvalidNode) continue;  // pattern: this node never sends
+    out.push_back(Demand{u, dest, step});
+    ++offered_;
+  }
+}
+
+ReplaySource::ReplaySource(Workload demands) : demands_(std::move(demands)) {
+  std::stable_sort(demands_.begin(), demands_.end(),
+                   [](const Demand& a, const Demand& b) {
+                     return a.injected_at < b.injected_at;
+                   });
+}
+
+void ReplaySource::emit(Step step, std::vector<Demand>& out) {
+  MR_REQUIRE_MSG(step > last_step_,
+                 "emit steps must be strictly increasing: " << step
+                     << " after " << last_step_);
+  MR_REQUIRE_MSG(cursor_ == demands_.size() ||
+                     demands_[cursor_].injected_at >= step,
+                 "replay skipped demands scheduled before step " << step);
+  last_step_ = step;
+  while (cursor_ < demands_.size() &&
+         demands_[cursor_].injected_at == step)
+    out.push_back(demands_[cursor_++]);
+}
+
+Workload materialize_traffic(TrafficSource& source, Step first, Step last) {
+  MR_REQUIRE(first >= 1 && last >= first - 1);
+  Workload out;
+  for (Step t = first; t <= last; ++t) source.emit(t, out);
+  return out;
+}
+
+}  // namespace mr

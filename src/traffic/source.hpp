@@ -1,0 +1,68 @@
+// Open-loop traffic sources: step-indexed demand generators the injection
+// pump feeds into the engine. A source is an iterator over steps — emit(t)
+// appends every demand injected at step t — so the stream is a pure
+// function of (spec, call sequence): the pump calls emit once per step in
+// ascending order, and replaying the same seed reproduces the exact
+// stream bit for bit.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "traffic/pattern.hpp"
+#include "workload/permutation.hpp"
+
+namespace mr {
+
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+  /// Appends all demands injected at `step` (each with injected_at ==
+  /// step) to `out`. Must be called with strictly increasing steps.
+  virtual void emit(Step step, std::vector<Demand>& out) = 0;
+};
+
+/// Seeded stochastic source: every step, every node independently injects
+/// with probability spec.rate (a Bernoulli open-loop process); the
+/// destination is drawn from the spatial pattern. Nodes are visited in
+/// ascending NodeId order, so the stream is deterministic under a fixed
+/// seed.
+class BernoulliSource : public TrafficSource {
+ public:
+  BernoulliSource(const Mesh& mesh, const TrafficSpec& spec);
+  void emit(Step step, std::vector<Demand>& out) override;
+
+  const TrafficSpec& spec() const { return spec_; }
+  /// Demands emitted so far (offered load counter).
+  std::int64_t offered() const { return offered_; }
+
+ private:
+  const Mesh& mesh_;
+  TrafficSpec spec_;
+  Rng rng_;
+  Step last_step_ = 0;
+  std::int64_t offered_ = 0;
+};
+
+/// Deterministic replay source: re-emits a recorded workload by
+/// injected_at step. Used to rerun a materialized stochastic stream
+/// through a different algorithm/engine, or to drive the pump from a
+/// hand-written schedule.
+class ReplaySource : public TrafficSource {
+ public:
+  /// `demands` need not be sorted; they are stable-sorted by injected_at.
+  explicit ReplaySource(Workload demands);
+  void emit(Step step, std::vector<Demand>& out) override;
+
+ private:
+  Workload demands_;
+  std::size_t cursor_ = 0;
+  Step last_step_ = 0;
+};
+
+/// Materializes steps first..last (inclusive) of a source into one
+/// workload, e.g. to pre-schedule an open-loop stream through
+/// Engine::add_packet or to hand it to the differential fuzzer.
+Workload materialize_traffic(TrafficSource& source, Step first, Step last);
+
+}  // namespace mr

@@ -1,0 +1,91 @@
+// Steady-state measurement protocol for open-loop traffic: warmup →
+// measurement → drain, the standard interconnect-simulator methodology.
+//
+// The source injects for warmup_steps + measure_steps steps; statistics
+// are attributed per phase. Offered load is what the source emitted,
+// injected is what entered the network (a full source queue defers entry),
+// accepted throughput is deliveries per node per step during the
+// measurement phase, and the latency summary covers exactly the packets
+// offered during the measurement phase (wherever they deliver). A
+// windowed-latency stationarity check flags runs whose latency was still
+// drifting — i.e. not yet in steady state — over the measurement phase.
+#pragma once
+
+#include <string>
+
+#include "sim/metrics.hpp"
+#include "traffic/pattern.hpp"
+#include "traffic/source.hpp"
+
+namespace mr {
+
+struct SteadyStateSpec {
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  bool torus = false;
+  int queue_capacity = 1;  ///< k
+  std::string algorithm;   ///< registry name
+  TrafficSpec traffic;
+
+  Step warmup_steps = 256;
+  Step measure_steps = 1024;
+  /// Steps allowed past the injection phase to drain in-flight packets;
+  /// 0 = auto (generous for sub-saturation loads, bounded so saturated
+  /// runs finish). Exhausting it is reported as drained = false.
+  Step drain_budget = 0;
+  Step pump_ahead = 32;  ///< generation-ahead window of the pump
+  /// Consecutive no-progress steps before the run is declared stalled.
+  /// Applied with the open-loop stall policy (pending future injections
+  /// do not defer the check), so it must exceed the longest plausible
+  /// network-wide injection gap at the configured rate.
+  Step stall_limit = 4096;
+
+  int stationarity_windows = 4;          ///< measurement-phase split
+  double stationarity_tolerance = 0.25;  ///< relative drift allowed
+};
+
+/// Per-phase accounting. offered counts source emissions dated inside the
+/// phase; injected counts packets that entered the network (or delivered
+/// at their source) during it; delivered counts deliveries during it.
+struct TrafficPhaseStats {
+  Step steps = 0;
+  std::int64_t offered = 0;
+  std::int64_t injected = 0;
+  std::int64_t delivered = 0;
+};
+
+struct SteadyStateResult {
+  TrafficPhaseStats warmup, measure, drain;
+
+  double offered_rate = 0;   ///< measure offered / (nodes * steps)
+  double accepted_rate = 0;  ///< measure delivered / (nodes * steps)
+  /// Latency quantiles of the packets offered during the measurement
+  /// phase that were delivered by the end of the run.
+  LatencySummary latency;
+  std::size_t measured_packets = 0;  ///< measurement-phase offered
+  std::size_t measured_delivered = 0;
+
+  bool stationary = false;
+  /// |second-half mean latency − first-half mean| / overall mean, over
+  /// stationarity_windows injection-time windows of the measurement phase.
+  double stationarity_drift = 0;
+
+  bool drained = false;  ///< every offered packet delivered
+  bool stalled = false;
+  Step steps = 0;  ///< last executed step
+  int max_queue = 0;
+  std::int64_t total_moves = 0;
+  std::int64_t total_offered = 0;
+  std::int64_t total_delivered = 0;
+  std::int64_t backlog_end = 0;  ///< undelivered packets at run end
+};
+
+/// Runs the protocol with a fresh BernoulliSource built from
+/// spec.traffic.
+SteadyStateResult run_steady_state(const SteadyStateSpec& spec);
+
+/// Same, with a caller-provided source (e.g. a ReplaySource).
+SteadyStateResult run_steady_state(const SteadyStateSpec& spec,
+                                   TrafficSource& source);
+
+}  // namespace mr

@@ -82,6 +82,36 @@ TEST(DynamicInjection, HeavyHotspotWithTinyQueues) {
   EXPECT_LE(e.max_occupancy_seen(), 1);
 }
 
+TEST(DynamicInjection, StallPolicyOnPendingInjections) {
+  // A deadlocked pair (head-on at k = 1 central queues) while a far-future
+  // injection is still scheduled. The batch stall policy defers the check
+  // until the injection buffer drains — an open-loop pump keeps that
+  // buffer non-empty forever, so the run would spin to its step budget.
+  // The opt-in open-loop policy counts those no-progress steps and trips
+  // the stall limit.
+  const Mesh mesh = Mesh::square(8);
+  auto run_deadlock = [&](bool open_loop) {
+    auto algo = make_algorithm("dimension-order");
+    Engine::Config config;
+    config.queue_capacity = 1;
+    config.stall_limit = 32;
+    config.stall_counts_pending_injections = open_loop;
+    Engine e(mesh, config, *algo);
+    e.add_packet(mesh.id_of(2, 2), mesh.id_of(5, 2));
+    e.add_packet(mesh.id_of(3, 2), mesh.id_of(0, 2));
+    e.add_packet(mesh.id_of(0, 0), mesh.id_of(1, 0), 100000);
+    e.prepare();
+    const Step last = e.run(500);
+    return std::pair<bool, Step>(e.stalled(), last);
+  };
+  const auto batch = run_deadlock(false);
+  EXPECT_FALSE(batch.first);       // deferred: pending injection masks it
+  EXPECT_EQ(batch.second, 500);    // ... so the run burns its whole budget
+  const auto open_loop = run_deadlock(true);
+  EXPECT_TRUE(open_loop.first);
+  EXPECT_EQ(open_loop.second, 32);  // trips exactly at the stall limit
+}
+
 TEST(DynamicInjection, TimingIsDestinationIndependent) {
   // §5's requirement: swap the destinations of two same-source waiting
   // packets — their injection steps must not change.
