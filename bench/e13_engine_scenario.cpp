@@ -58,6 +58,40 @@ void register_e13(ScenarioRegistry& registry) {
         "deterministic.");
     ctx.check("no-router-stalled", none_stalled);
     ctx.check("monotone-traffic-all-delivered", all_delivered);
+
+    // Sharded-engine determinism at benchmark scale (DESIGN.md §9): the
+    // same run in sequential and sharded mode must agree on every
+    // deterministic column. The speedup itself is machine-dependent and
+    // only meaningful on a multi-core runner, so it is reported, not
+    // checked.
+    const std::int32_t pn = smoke ? 8 : 120;
+    const std::int64_t budget = smoke ? 0 : 64;
+    const engine_bench::RunStats seq = engine_bench::run_once(
+        "bounded-dimension-order", pn, 1, 1, budget);
+    Table ptable({"mode", "steps", "moves", "delivered", "Kmoves/s"});
+    ptable.row()
+        .add("sequential")
+        .add(seq.steps)
+        .add(seq.moves)
+        .add(std::int64_t(seq.delivered))
+        .add(seq.moves_per_sec / 1e3, 2);
+    bool par_identical = true;
+    for (const int shards : {4, 8}) {
+      const engine_bench::RunStats par = engine_bench::run_once(
+          "bounded-dimension-order", pn, shards, shards, budget);
+      par_identical = par_identical && par.steps == seq.steps &&
+                      par.moves == seq.moves &&
+                      par.delivered == seq.delivered;
+      ptable.row()
+          .add("shards=" + std::to_string(shards) + " threads=" +
+               std::to_string(shards))
+          .add(par.steps)
+          .add(par.moves)
+          .add(std::int64_t(par.delivered))
+          .add(par.moves_per_sec / 1e3, 2);
+    }
+    ctx.table(ptable);
+    ctx.check("sharded-engine-deterministic", par_identical);
   };
   registry.add(std::move(spec));
 }

@@ -24,6 +24,11 @@ Workload workload_for(const Mesh& mesh, bool per_inlink) {
 }
 
 RunStats run_once(const std::string& name, std::int32_t n) {
+  return run_once(name, n, /*shards=*/1, /*threads=*/1, /*max_steps=*/0);
+}
+
+RunStats run_once(const std::string& name, std::int32_t n, int shards,
+                  int threads, std::int64_t max_steps) {
   const Mesh mesh = Mesh::square(n);
   const bool per_inlink =
       make_algorithm(name)->queue_layout() == QueueLayout::PerInlink;
@@ -32,14 +37,18 @@ RunStats run_once(const std::string& name, std::int32_t n) {
   r.router = name;
   r.layout = per_inlink ? "per-inlink" : "central";
   r.n = n;
-  auto algo = make_algorithm(name);
+  r.shards = shards;
+  r.threads = threads;
+  r.max_steps = max_steps;
   Engine::Config config;
   config.queue_capacity = kQueueCapacity;
-  Engine engine(mesh, config, *algo);
+  config.shards = shards;
+  config.threads = threads;
+  Engine engine(mesh, config, [&] { return make_algorithm(name); });
   for (const Demand& d : w) engine.add_packet(d.source, d.dest, d.injected_at);
   engine.prepare();
   const auto t0 = std::chrono::steady_clock::now();
-  r.steps = engine.run(200000);
+  r.steps = engine.run(max_steps > 0 ? max_steps : 200000);
   const auto t1 = std::chrono::steady_clock::now();
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
   r.moves = engine.total_moves();
@@ -67,7 +76,9 @@ bool write_json(const std::string& path, const std::vector<RunStats>& all,
         << ", \"moves_per_sec\": " << r.moves_per_sec
         << ", \"delivered\": " << r.delivered
         << ", \"packets\": " << r.packets << ", \"stalled\": "
-        << (r.stalled ? "true" : "false") << "}"
+        << (r.stalled ? "true" : "false") << ", \"shards\": " << r.shards
+        << ", \"threads\": " << r.threads
+        << ", \"max_steps\": " << r.max_steps << "}"
         << (i + 1 < all.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -123,6 +134,14 @@ bool validate_json(const std::string& path) {
         return complain("results entry \"" + router->string +
                         "\": missing or negative \"" + key + "\"");
     }
+    // Engine-mode keys are optional (older records lack them) but must be
+    // positive when present.
+    for (const char* key : {"shards", "threads"}) {
+      const json::Value* v = entry.find(key);
+      if (v != nullptr && (!v->is_number() || v->number < 1))
+        return complain("results entry \"" + router->string +
+                        "\": non-positive \"" + key + "\"");
+    }
     ++count;
   }
   if (count == 0) return complain("results array is empty");
@@ -168,12 +187,26 @@ int throughput_guard(const std::string& baseline_path) {
         !n->is_number() || rate == nullptr || !rate->is_number() ||
         rate->number <= 0)
       continue;
+    // Reproduce the row's engine mode so the comparison is like-for-like.
+    const json::Value* shards_v = entry.find("shards");
+    const json::Value* threads_v = entry.find("threads");
+    const json::Value* max_steps_v = entry.find("max_steps");
+    const int shards =
+        shards_v != nullptr && shards_v->is_number()
+            ? static_cast<int>(shards_v->number) : 1;
+    const int threads =
+        threads_v != nullptr && threads_v->is_number()
+            ? static_cast<int>(threads_v->number) : 1;
+    const std::int64_t max_steps =
+        max_steps_v != nullptr && max_steps_v->is_number()
+            ? static_cast<std::int64_t>(max_steps_v->number) : 0;
     // Best of 3: guards against a one-off scheduling hiccup being read as
     // a regression.
     RunStats best;
     for (int rep = 0; rep < 3; ++rep) {
       RunStats r = run_once(router->string,
-                            static_cast<std::int32_t>(n->number));
+                            static_cast<std::int32_t>(n->number), shards,
+                            threads, max_steps);
       if (rep == 0 || r.moves_per_sec > best.moves_per_sec) best = r;
     }
     const double floor = rate->number * (1.0 - tol);
@@ -214,6 +247,28 @@ int json_sweep(const std::string& path, bool smoke) {
                   static_cast<long long>(best.moves),
                   best.moves_per_sec / 1e3, best.stalled ? " STALLED" : "");
       all.push_back(best);
+    }
+  }
+  if (!smoke) {
+    // Scaled sharded rows: a 1024×1024 bounded-dimension-order run,
+    // step-budgeted (draining a million-packet permutation would dominate
+    // the sweep), sequential vs sharded. The routing work is bit-identical
+    // across rows — only wall-clock differs — so the moves_per_sec ratio
+    // is a direct parallel-speedup measurement on the host machine.
+    constexpr std::int32_t kBigN = 1024;
+    constexpr std::int64_t kBigBudget = 48;
+    struct Mode {
+      int shards;
+      int threads;
+    };
+    for (const Mode m : {Mode{1, 1}, Mode{4, 4}, Mode{8, 8}}) {
+      RunStats r = run_once("bounded-dimension-order", kBigN, m.shards,
+                            m.threads, kBigBudget);
+      std::printf(
+          "%-24s n=%-4d shards=%d threads=%d steps=%-6lld %8.2f Kmoves/s\n",
+          r.router.c_str(), r.n, r.shards, r.threads,
+          static_cast<long long>(r.steps), r.moves_per_sec / 1e3);
+      all.push_back(r);
     }
   }
   if (!write_json(path, all, smoke)) {

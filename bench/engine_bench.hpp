@@ -27,6 +27,12 @@ struct RunStats {
   std::size_t delivered = 0;
   std::size_t packets = 0;
   bool stalled = false;
+  /// Engine mode for this row (DESIGN.md §9). shards/threads = 1 is the
+  /// sequential engine; max_steps > 0 means the run was step-budgeted
+  /// rather than drained (the n >= 1024 scaled rows).
+  int shards = 1;
+  int threads = 1;
+  std::int64_t max_steps = 0;
 };
 
 /// Central-queue routers get monotone (deadlock-free) traffic so the
@@ -36,6 +42,12 @@ Workload workload_for(const Mesh& mesh, bool per_inlink);
 
 /// One timed engine run of `name` on an n×n mesh.
 RunStats run_once(const std::string& name, std::int32_t n);
+
+/// Same with an explicit engine mode and step budget (0 = the default
+/// drain budget). Sharded runs produce bit-identical routing results;
+/// only the wall clock changes.
+RunStats run_once(const std::string& name, std::int32_t n, int shards,
+                  int threads, std::int64_t max_steps);
 
 /// Writes the BENCH_engine.json record (schema kSchema).
 bool write_json(const std::string& path, const std::vector<RunStats>& all,

@@ -64,7 +64,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--run <id|label>]... [--json=DIR] "
                "[--telemetry=DIR] [--profile] [--smoke] [--jobs=N] "
-               "[--seed=S] [--validate=PATH] [--throughput-guard=PATH] "
+               "[--seed=S] [--engine-shards=S] [--engine-threads=T] "
+               "[--validate=PATH] [--throughput-guard=PATH] "
                "[--fuzz=N] [--fuzz-seed=S] [--fuzz-case=SPEC]\n",
                argv0);
   return 2;
@@ -122,6 +123,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--jobs=", 0) == 0) {
       options.jobs = static_cast<std::size_t>(
           std::strtoul(arg.substr(7).c_str(), nullptr, 10));
+    } else if (arg.rfind("--engine-shards=", 0) == 0) {
+      options.engine_shards =
+          static_cast<int>(std::strtol(arg.substr(16).c_str(), nullptr, 10));
+      if (options.engine_shards < 1) return usage(argv[0]);
+    } else if (arg.rfind("--engine-threads=", 0) == 0) {
+      options.engine_threads =
+          static_cast<int>(std::strtol(arg.substr(17).c_str(), nullptr, 10));
+      if (options.engine_threads < 1) return usage(argv[0]);
     } else if (arg.rfind("--validate=", 0) == 0) {
       const std::string path = arg.substr(11);
       std::string error;

@@ -60,6 +60,8 @@ std::string format_fuzz_case(const FuzzCase& c) {
   if (has_traffic(c))
     os << " traffic=" << c.traffic << " rate=" << c.rate
        << " tseed=" << c.tseed << " tsteps=" << c.tsteps;
+  if (c.shards != 1) os << " shards=" << c.shards;
+  if (c.threads != 1) os << " threads=" << c.threads;
   os << " demands=";
   for (std::size_t i = 0; i < c.demands.size(); ++i) {
     const Demand& d = c.demands[i];
@@ -105,6 +107,10 @@ bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
       c.tseed = std::strtoull(value.c_str(), &end, 10);
     } else if (key == "tsteps") {
       c.tsteps = std::strtoll(value.c_str(), &end, 10);
+    } else if (key == "shards") {
+      c.shards = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+    } else if (key == "threads") {
+      c.threads = static_cast<int>(std::strtol(value.c_str(), &end, 10));
     } else if (key == "demands") {
       saw_demands = true;
       std::istringstream ds(value);
@@ -146,6 +152,10 @@ bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
     if (error) *error = "n must be >= 2, k >= 1, budget >= 1";
     return false;
   }
+  if (c.shards < 1 || c.threads < 1) {
+    if (error) *error = "shards and threads must be >= 1";
+    return false;
+  }
   if (c.traffic != "none") {
     TrafficPattern pattern;
     if (!parse_traffic_pattern(c.traffic, &pattern)) {
@@ -179,7 +189,9 @@ std::string run_fuzz_case(const FuzzCase& c) {
     Engine::Config config;
     config.queue_capacity = c.k;
     config.stall_limit = kFuzzStallLimit;
-    Engine opt(mesh, config, *algo_opt);
+    config.shards = c.shards;
+    config.threads = c.threads;
+    Engine opt(mesh, config, [&] { return make_algorithm(c.algorithm); });
     ReferenceEngine ref(mesh, c.k, kFuzzStallLimit, *algo_ref);
 
     for (const Demand& d : c.demands) {
@@ -338,6 +350,15 @@ FuzzCase sample_case(Rng& rng) {
   constexpr int kChoices[] = {1, 2, 4, 8};
   c.k = kChoices[rng.next_below(4)];
   c.budget = 4096;
+  // A third of the cases run the optimized engine sharded, differentially
+  // checking the boundary-handoff protocol against the sequential
+  // reference (shards beyond the mesh height clamp, so any draw is valid).
+  if (rng.next_below(3) == 0) {
+    constexpr int kShardChoices[] = {2, 3, 4, 8};
+    c.shards = kShardChoices[rng.next_below(4)];
+    constexpr int kThreadChoices[] = {1, 2, 4};
+    c.threads = kThreadChoices[rng.next_below(3)];
+  }
 
   const Mesh mesh = Mesh::square(c.n, c.torus);
   const std::uint64_t wseed = rng.next_u64() | 1;
@@ -416,6 +437,8 @@ FuzzReport run_fuzz(std::size_t num_cases, std::uint64_t seed,
     if (c.traffic != "none")
       log << " traffic=" << c.traffic << " rate=" << c.rate
           << " tsteps=" << c.tsteps;
+    if (c.shards != 1)
+      log << " shards=" << c.shards << " threads=" << c.threads;
     if (error.empty()) {
       log << " ok\n";
       continue;

@@ -34,11 +34,18 @@ struct FuzzCase {
   double rate = 0.1;
   std::uint64_t tseed = 1;
   Step tsteps = 0;
+
+  /// Sharded stepping mode for the optimized engine (DESIGN.md §9). The
+  /// reference engine always runs sequentially, so any shards > 1 case is
+  /// a differential check of the boundary-handoff determinism protocol.
+  int shards = 1;
+  int threads = 1;
 };
 
 /// Spec-line round trip: "algo=<name> n=<n> torus=<0|1> k=<k> budget=<B>
 /// [traffic=<pattern> rate=<r> tseed=<s> tsteps=<t>]
-/// demands=<src>-<dst>@<step>,...".
+/// [shards=<s> threads=<t>] demands=<src>-<dst>@<step>,...".
+/// shards/threads are emitted only when != 1.
 std::string format_fuzz_case(const FuzzCase& c);
 /// Parses a spec line; returns false and sets *error on malformed input.
 bool parse_fuzz_case(const std::string& spec, FuzzCase* out,

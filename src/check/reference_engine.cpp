@@ -26,7 +26,7 @@ PacketId ReferenceEngine::add_packet(NodeId source, NodeId dest,
 int ReferenceEngine::occupancy(NodeId u, QueueTag tag) const {
   MR_REQUIRE(layout_ == QueueLayout::PerInlink);
   int count = 0;
-  for (PacketId p : node_packets_[u])
+  for (PacketId p : node_packets_.at(u))
     if (packets_[p].queue == tag) ++count;
   return count;
 }
@@ -36,14 +36,16 @@ void ReferenceEngine::place_packet(PacketId p, NodeId node, QueueTag tag) {
   pk.location = node;
   pk.queue = tag;
   pk.arrived_at = step_;
-  node_packets_[node].push_back(p);
+  node_packets_.push_back(node, p);
 }
 
 void ReferenceEngine::remove_from_node(PacketId p) {
-  auto& q = node_packets_[packets_[p].location];
+  const NodeId u = packets_[p].location;
+  const std::span<const PacketId> q = node_packets_.at(u);
   const auto it = std::find(q.begin(), q.end(), p);
   MR_REQUIRE(it != q.end());
-  q.erase(it);  // preserves arrival order of the remaining packets
+  // erase_slot preserves arrival order of the remaining packets.
+  node_packets_.erase_slot(u, static_cast<std::int32_t>(it - q.begin()));
 }
 
 void ReferenceEngine::record_occupancy(NodeId u) {
@@ -59,7 +61,7 @@ void ReferenceEngine::record_occupancy(NodeId u) {
 void ReferenceEngine::rebuild_active() {
   active_.clear();
   for (NodeId u = 0; u < mesh_.num_nodes(); ++u)
-    if (!node_packets_[u].empty()) active_.push_back(u);
+    if (!node_packets_.empty(u)) active_.push_back(u);
 }
 
 QueueTag ReferenceEngine::injection_queue_tag(PacketId p) const {
@@ -176,13 +178,13 @@ bool ReferenceEngine::step_once() {
   std::vector<std::uint8_t> held_packet(
       static_cast<std::size_t>(mesh_.num_nodes()), 0);
   for (NodeId u = 0; u < mesh_.num_nodes(); ++u)
-    if (!node_packets_[u].empty()) held_packet[u] = 1;
+    if (!node_packets_.empty(u)) held_packet[u] = 1;
 
   // ----- (a) outqueue policies schedule packets -------------------------
   std::vector<ScheduledMove> moves;
   std::vector<std::uint8_t> scheduled(packets_.size(), 0);
   for (NodeId u = 0; u < mesh_.num_nodes(); ++u) {
-    if (node_packets_[u].empty()) continue;
+    if (node_packets_.empty(u)) continue;
     OutPlan plan;
     algorithm_.plan_out(*this, u, plan);
     validate_out_plan(u, plan, scheduled);

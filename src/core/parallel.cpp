@@ -35,11 +35,16 @@ void parallel_for(std::size_t count,
   }
 
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto worker = [&] {
     for (;;) {
+      // First error cancels the remaining iterations: without this check
+      // the other workers would claim and run every remaining index before
+      // the exception is finally rethrown.
+      if (abort.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
@@ -47,6 +52,7 @@ void parallel_for(std::size_t count,
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
         return;
       }
     }

@@ -17,7 +17,8 @@ std::size_t default_thread_count();
 
 /// Runs fn(i) for i in [0, count) across default_thread_count() threads.
 /// Blocks until all iterations are complete. Exceptions from fn are
-/// captured and the first one is rethrown on the calling thread.
+/// captured and the first one is rethrown on the calling thread; the first
+/// error also cancels iterations that no worker has claimed yet.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
 /// Same, but with an explicit worker count (0 = default_thread_count()).

@@ -48,6 +48,19 @@ double RunningStat::stddev() const { return std::sqrt(variance()); }
 void Histogram::add(std::int64_t value, std::int64_t count) {
   MR_REQUIRE_MSG(value >= 0, "Histogram stores non-negative values");
   MR_REQUIRE(count >= 0);
+  if (count == 0) return;
+  if (value >= kDenseLimit) {
+    if (overflow_count_ == 0) {
+      overflow_min_ = overflow_max_ = value;
+    } else {
+      overflow_min_ = std::min(overflow_min_, value);
+      overflow_max_ = std::max(overflow_max_, value);
+    }
+    overflow_count_ += count;
+    overflow_sum_ += static_cast<double>(value) * static_cast<double>(count);
+    total_ += count;
+    return;
+  }
   const auto idx = static_cast<std::size_t>(value);
   if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
   counts_[idx] += count;
@@ -57,10 +70,11 @@ void Histogram::add(std::int64_t value, std::int64_t count) {
 std::int64_t Histogram::min() const {
   for (std::size_t v = 0; v < counts_.size(); ++v)
     if (counts_[v] > 0) return static_cast<std::int64_t>(v);
-  return 0;
+  return overflow_count_ > 0 ? overflow_min_ : 0;
 }
 
 std::int64_t Histogram::max() const {
+  if (overflow_count_ > 0) return overflow_max_;
   for (std::size_t v = counts_.size(); v-- > 0;)
     if (counts_[v] > 0) return static_cast<std::int64_t>(v);
   return 0;
@@ -68,7 +82,7 @@ std::int64_t Histogram::max() const {
 
 double Histogram::mean() const {
   if (total_ == 0) return 0.0;
-  double sum = 0.0;
+  double sum = overflow_sum_;
   for (std::size_t v = 0; v < counts_.size(); ++v)
     sum += static_cast<double>(v) * static_cast<double>(counts_[v]);
   return sum / static_cast<double>(total_);
@@ -77,13 +91,17 @@ double Histogram::mean() const {
 std::int64_t Histogram::percentile(double q) const {
   if (total_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::int64_t>(
-      std::ceil(q * static_cast<double>(total_)));
+  // Clamp to >= 1: with q near 0 the target would round to 0 samples and
+  // the scan would stop at bucket 0 even when it is empty.
+  const auto target = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total_))));
   std::int64_t seen = 0;
   for (std::size_t v = 0; v < counts_.size(); ++v) {
     seen += counts_[v];
     if (seen >= target) return static_cast<std::int64_t>(v);
   }
+  // Target lies in the overflow bucket; max() is the conservative bound
+  // satisfying the "at least q fraction <= v" contract.
   return max();
 }
 
@@ -96,6 +114,7 @@ std::string Histogram::summary() const {
   std::ostringstream os;
   os << "mean=" << mean() << " p50=" << percentile(0.50)
      << " p99=" << percentile(0.99) << " max=" << max();
+  if (overflow_count_ > 0) os << " overflow=" << overflow_count_;
   return os.str();
 }
 

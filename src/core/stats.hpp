@@ -32,24 +32,46 @@ class RunningStat {
 
 /// Integer-valued histogram with exact counts for small values.
 /// Used for queue occupancies and per-packet latencies.
+///
+/// Memory is bounded: values below kDenseLimit get exact dense counts;
+/// values at or above it are folded into a single overflow bucket that
+/// tracks count / min / max / sum, so one pathological sample (e.g. a
+/// corrupted latency of 10^15) costs O(1) memory instead of O(value).
+/// min/max/mean stay exact with overflow samples; percentiles that land in
+/// the overflow region conservatively report max().
 class Histogram {
  public:
+  /// Dense region size: per-step latencies and occupancies in any realistic
+  /// run sit far below this, so normal histograms stay exact.
+  static constexpr std::int64_t kDenseLimit = std::int64_t{1} << 20;
+
   void add(std::int64_t value, std::int64_t count = 1);
 
   std::int64_t total() const { return total_; }
   std::int64_t min() const;
   std::int64_t max() const;
   double mean() const;
-  /// Smallest v such that at least q fraction of samples are <= v.
+  /// Smallest v such that at least q fraction of samples are <= v. The
+  /// target count is clamped to >= 1, so percentile(0) is the smallest
+  /// recorded value, never an empty bucket below it.
   std::int64_t percentile(double q) const;
-  /// Count of samples equal to v.
+  /// Count of samples equal to v. Values >= kDenseLimit are not
+  /// individually countable (they live in the overflow bucket) and
+  /// report 0; overflow_count() has their aggregate.
   std::int64_t count_at(std::int64_t v) const;
+  /// Number of samples folded into the overflow bucket (>= kDenseLimit).
+  std::int64_t overflow_count() const { return overflow_count_; }
 
   std::string summary() const;  ///< "mean=.. p50=.. p99=.. max=.."
 
  private:
   std::vector<std::int64_t> counts_;  // counts_[v] = multiplicity of value v
   std::int64_t total_ = 0;
+  // Aggregate of samples >= kDenseLimit.
+  std::int64_t overflow_count_ = 0;
+  std::int64_t overflow_min_ = 0;
+  std::int64_t overflow_max_ = 0;
+  double overflow_sum_ = 0.0;
 };
 
 }  // namespace mr

@@ -1,0 +1,87 @@
+#include "core/worker_pool.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace mr {
+
+WorkerPool::WorkerPool(std::size_t thread_count) {
+  const std::size_t extra = thread_count > 1 ? thread_count - 1 : 0;
+  workers_.reserve(extra);
+  for (std::size_t t = 0; t < extra; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::drain(const std::function<void(std::size_t)>& fn,
+                       std::size_t count) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      errors_.emplace_back(i, std::current_exception());
+    }
+  }
+}
+
+void WorkerPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    // Serial pool: no error collection needed, the first throw propagates
+    // directly (and is necessarily the lowest failing index).
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MR_REQUIRE_MSG(job_ == nullptr, "WorkerPool::run is not reentrant");
+    job_ = &fn;
+    job_count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    errors_.clear();
+    workers_running_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain(fn, count);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return workers_running_ == 0; });
+  job_ = nullptr;
+  if (!errors_.empty()) {
+    std::sort(errors_.begin(), errors_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(errors_.front().second);
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const auto* fn = job_;
+    const std::size_t count = job_count_;
+    lock.unlock();
+    drain(*fn, count);
+    lock.lock();
+    if (--workers_running_ == 0) done_cv_.notify_one();
+  }
+}
+
+}  // namespace mr

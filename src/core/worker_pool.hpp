@@ -1,0 +1,72 @@
+// Persistent worker pool for the sharded step engine.
+//
+// parallel_for (parallel.hpp) spawns and joins a fresh set of threads per
+// call, which is fine for coarse sweep-level work but far too expensive for
+// the engine hot path, where a 1000×1000-mesh step dispatches several
+// barrier-separated phases per step. WorkerPool keeps its threads alive
+// across run() calls: each call costs one mutex round-trip and two condvar
+// signals instead of thread creation.
+//
+// Determinism contract: run(count, fn) executes fn(0..count-1) exactly once
+// each, in an unspecified interleaving, and blocks until all are done (a
+// full barrier). Which thread runs which index is never observable to
+// callers that keep their tasks data-disjoint. If tasks throw, every task
+// still runs to completion (or to its own throw) and the exception from the
+// LOWEST task index is rethrown on the calling thread — the same error the
+// serial loop would have produced first — so error behaviour is
+// deterministic regardless of scheduling.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mr {
+
+class WorkerPool {
+ public:
+  /// A pool of `thread_count` total execution lanes: thread_count - 1
+  /// background threads plus the caller of run(), which participates.
+  /// thread_count <= 1 creates no threads; run() degrades to a serial loop.
+  explicit WorkerPool(std::size_t thread_count);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for i in [0, count), claiming indices atomically across the
+  /// pool threads and the calling thread. Returns after ALL indices have
+  /// executed. Rethrows the exception of the lowest failed index, if any.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  /// Claim-and-execute loop shared by workers and the caller.
+  void drain(const std::function<void(std::size_t)>& fn, std::size_t count);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< signals a new generation
+  std::condition_variable done_cv_;  ///< signals workers_running_ == 0
+  std::vector<std::thread> workers_;
+
+  // Job slot, written under mutex_ by run(), read by workers after the
+  // generation bump is observed under the same mutex.
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::uint64_t generation_ = 0;
+  std::size_t workers_running_ = 0;
+  bool stop_ = false;
+
+  std::atomic<std::size_t> next_{0};
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+};
+
+}  // namespace mr

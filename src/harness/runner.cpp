@@ -22,13 +22,18 @@ RunResult run_workload(const RunSpec& spec, const Workload& workload) {
 RunResult run_workload(const RunSpec& spec, const Workload& workload,
                        const RunHooks& hooks) {
   const Mesh mesh(spec.width, spec.height, spec.torus);
-  auto algorithm = make_algorithm(spec.algorithm);
   const bool open_loop = hooks.traffic != nullptr;
   Engine::Config config;
   config.queue_capacity = spec.queue_capacity;
   config.stall_limit = spec.stall_limit;
   config.stall_counts_pending_injections = open_loop;
-  Engine engine(mesh, config, *algorithm);
+  // Phase (b) exchanges are inherently sequential, so an interceptor run
+  // silently falls back to the sequential engine (results are identical
+  // either way; only wall-clock differs).
+  config.shards = hooks.interceptor != nullptr ? 1 : spec.engine_shards;
+  config.threads = hooks.interceptor != nullptr ? 1 : spec.engine_threads;
+  Engine engine(mesh, config,
+                [&] { return make_algorithm(spec.algorithm); });
   for (const Demand& d : workload)
     engine.add_packet(d.source, d.dest, d.injected_at);
 

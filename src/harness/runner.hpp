@@ -43,6 +43,13 @@ struct RunSpec {
   Step stall_limit = kDefaultStallLimit;
   TelemetrySpec telemetry;
 
+  /// Sharded stepping mode (Engine::Config::shards / ::threads; DESIGN.md
+  /// §9). Results are bit-identical to the sequential engine for any
+  /// combination. A run with an interceptor hook falls back to
+  /// shards = 1 (phase (b) is inherently sequential).
+  int engine_shards = 1;
+  int engine_threads = 1;
+
   /// Open-loop extension (used when RunHooks::traffic is set): the source
   /// injects for steps 1..traffic_steps through a TrafficPump with a
   /// traffic_ahead generation window, then the run drains. The engine runs

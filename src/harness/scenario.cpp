@@ -186,6 +186,10 @@ RunResult ScenarioReport::run(const std::string& run_label,
     }
     effective.telemetry.profile = options_.profile;
   }
+  if (effective.engine_shards == 1 && effective.engine_threads == 1) {
+    effective.engine_shards = options_.engine_shards;
+    effective.engine_threads = options_.engine_threads;
+  }
   const RunResult r = run_workload(effective, workload, hooks);
   record(run_label, r);
   if (r.phase_profile) {

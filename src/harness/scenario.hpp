@@ -102,6 +102,12 @@ struct ScenarioOptions {
   /// 0 = each scenario's built-in default; scenarios read it through
   /// ScenarioReport::seed_or and the value is echoed in the JSON record.
   std::uint64_t seed = 0;
+  /// Sharded engine mode applied to every ScenarioReport::run whose spec
+  /// did not set its own (meshroute_bench --engine-shards /
+  /// --engine-threads). Results are bit-identical across any setting;
+  /// only wall-clock changes.
+  int engine_shards = 1;
+  int engine_threads = 1;
 };
 
 /// The write handle a scenario body reports through.

@@ -3,22 +3,108 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <utility>
+
+#include "core/parallel.hpp"
 
 namespace mr {
 
 Engine::Engine(const Mesh& mesh, Config config, Algorithm& algorithm)
     : Sim(mesh, config.queue_capacity, algorithm.queue_layout(),
           /*masks_cached=*/true),
-      algorithm_(algorithm),
+      algorithm_(&algorithm),
       stall_limit_(config.stall_limit),
       stall_counts_pending_(config.stall_counts_pending_injections),
       enforce_minimal_(algorithm.minimal()),
       max_stray_(algorithm.max_stray()) {
+  init_engine(config);
+  // A single shared Algorithm instance may hold per-call scratch, so the
+  // bands must run serially; concurrent planning needs per-band instances.
+  MR_REQUIRE_MSG(!pool_,
+                 "Config::threads > 1 with shards > 1 requires the "
+                 "AlgorithmFactory constructor");
+}
+
+Engine::Engine(const Mesh& mesh, Config config, const AlgorithmFactory& factory)
+    : Engine(mesh, config, factory(), factory) {}
+
+Engine::Engine(const Mesh& mesh, Config config,
+               std::unique_ptr<Algorithm> first,
+               const AlgorithmFactory& factory)
+    : Sim(mesh, config.queue_capacity, first->queue_layout(),
+          /*masks_cached=*/true),
+      algorithm_(first.get()),
+      stall_limit_(config.stall_limit),
+      stall_counts_pending_(config.stall_counts_pending_injections),
+      enforce_minimal_(first->minimal()),
+      max_stray_(first->max_stray()) {
+  owned_algorithms_.push_back(std::move(first));
+  init_engine(config);
+  for (int s = 1; s < num_shards_; ++s) {
+    owned_algorithms_.push_back(factory());
+    Algorithm& a = *owned_algorithms_.back();
+    MR_REQUIRE_MSG(
+        a.queue_layout() == layout_ && a.minimal() == enforce_minimal_ &&
+            a.max_stray() == max_stray_,
+        "AlgorithmFactory must produce identically configured instances");
+    shard_algorithms_[static_cast<std::size_t>(s)] = &a;
+  }
+}
+
+void Engine::init_engine(const Config& config) {
   MR_REQUIRE_MSG(stall_limit_ >= 0,
                  "stall_limit must be >= 0, got " << stall_limit_);
+  MR_REQUIRE_MSG(config.shards >= 1,
+                 "Config::shards must be >= 1, got " << config.shards);
+  MR_REQUIRE_MSG(config.threads >= 0,
+                 "Config::threads must be >= 0, got " << config.threads);
   const auto n = static_cast<std::size_t>(mesh_.num_nodes());
   is_active_.assign(n, 0);
   if (layout_ == QueueLayout::PerInlink) inlink_occ_.assign(n * kNumDirs, 0);
+
+  // Row bands: band s owns rows [s*H/S, (s+1)*H/S), i.e. the contiguous
+  // NodeId range [row_begin*W, row_end*W) under the row-major id layout.
+  num_shards_ = std::min(config.shards, mesh_.height());
+  band_of_row_.assign(static_cast<std::size_t>(mesh_.height()), 0);
+  shards_.clear();
+  shards_.resize(static_cast<std::size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    const auto row_begin = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(s) * mesh_.height() / num_shards_);
+    const auto row_end = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(s + 1) * mesh_.height() / num_shards_);
+    for (std::int32_t r = row_begin; r < row_end; ++r)
+      band_of_row_[static_cast<std::size_t>(r)] = s;
+    shards_[static_cast<std::size_t>(s)].node_begin = row_begin * mesh_.width();
+    shards_[static_cast<std::size_t>(s)].node_end = row_end * mesh_.width();
+  }
+  if (num_shards_ > 1) {
+    std::size_t threads = config.threads == 0
+                              ? default_thread_count()
+                              : static_cast<std::size_t>(config.threads);
+    threads = std::min(threads, static_cast<std::size_t>(num_shards_));
+    if (threads > 1) pool_ = std::make_unique<WorkerPool>(threads);
+  }
+  shard_algorithms_.assign(static_cast<std::size_t>(num_shards_), algorithm_);
+}
+
+void Engine::run_shards(const std::function<void(std::size_t)>& fn) {
+  if (pool_) {
+    pool_->run(static_cast<std::size_t>(num_shards_), fn);
+  } else {
+    for (std::size_t s = 0; s < static_cast<std::size_t>(num_shards_); ++s)
+      fn(s);
+  }
+}
+
+std::span<const NodeId> Engine::active_nodes() const {
+  if (!active_cache_valid_) {
+    active_.clear();
+    for (const Shard& sh : shards_)
+      active_.insert(active_.end(), sh.active.begin(), sh.active.end());
+    active_cache_valid_ = true;
+  }
+  return active_;
 }
 
 PacketId Engine::add_packet(NodeId source, NodeId dest, Step injected_at) {
@@ -49,44 +135,44 @@ QueueTag Engine::arrival_tag(Dir travel_dir) const {
   return static_cast<QueueTag>(dir_index(opposite(travel_dir)));
 }
 
-void Engine::place_packet(PacketId p, NodeId node, QueueTag tag) {
+void Engine::place_packet(PacketId p, NodeId node, QueueTag tag,
+                          std::vector<NodeId>& active_out) {
   Packet& pk = packets_[p];
   pk.location = node;
   pk.queue = tag;
   pk.arrived_at = step_;
   pk.profitable = mesh_.profitable_dirs(node, pk.dest);
-  auto& q = node_packets_[node];
-  pk.slot = static_cast<std::int32_t>(q.size());
-  q.push_back(p);
+  pk.slot = node_packets_.push_back(node, p);
   if (layout_ == QueueLayout::PerInlink) ++inlink_occ_[inlink_index(node, tag)];
   if (!is_active_[node]) {
     is_active_[node] = 1;
-    active_.push_back(node);
+    active_out.push_back(node);
   }
 }
 
-void Engine::record_occupancy(NodeId u) {
+void Engine::record_occupancy(NodeId u, int& peak) {
   // Transmissions within a step are simultaneous in the model, so peak
   // occupancy is only meaningful *between* steps (after phase (d)).
   if (layout_ == QueueLayout::Central) {
-    max_occupancy_seen_ = std::max(max_occupancy_seen_, occupancy(u));
+    peak = std::max(peak, occupancy(u));
     return;
   }
   const std::size_t base = inlink_index(u, 0);
   for (int t = 0; t < kNumDirs; ++t)
-    max_occupancy_seen_ =
-        std::max(max_occupancy_seen_, static_cast<int>(inlink_occ_[base + t]));
+    peak = std::max(peak, static_cast<int>(inlink_occ_[base + t]));
 }
 
 void Engine::remove_from_node(PacketId p) {
   Packet& pk = packets_[p];
-  auto& q = node_packets_[pk.location];
-  const auto slot = static_cast<std::size_t>(pk.slot);
-  MR_REQUIRE(slot < q.size() && q[slot] == p);
-  q.erase(q.begin() + static_cast<std::ptrdiff_t>(slot));
+  const std::int32_t slot = pk.slot;
+  MR_REQUIRE(slot >= 0 && slot < node_packets_.size(pk.location) &&
+             node_packets_.at(pk.location)[static_cast<std::size_t>(slot)] ==
+                 p);
+  node_packets_.erase_slot(pk.location, slot);
   // Erasure preserves arrival order of the remaining packets; reindex the
   // ones that shifted down.
-  for (std::size_t i = slot; i < q.size(); ++i)
+  const std::span<const PacketId> q = node_packets_.at(pk.location);
+  for (std::size_t i = static_cast<std::size_t>(slot); i < q.size(); ++i)
     packets_[q[i]].slot = static_cast<std::int32_t>(i);
   if (layout_ == QueueLayout::PerInlink)
     --inlink_occ_[inlink_index(pk.location, pk.queue)];
@@ -101,6 +187,38 @@ void Engine::merge_active() {
   active_sorted_ = active_.size();
 }
 
+void Engine::inject_packet_list(const std::vector<PacketId>& due,
+                                std::vector<PacketId>& waiting_out,
+                                std::vector<NodeId>& active_out,
+                                std::vector<PacketId>* injected_deliveries_out,
+                                std::int64_t& injected, std::int64_t& delivered,
+                                int& peak) {
+  for (PacketId p : due) {
+    Packet& pk = packets_[p];
+    if (pk.source == pk.dest) {
+      pk.delivered_at = step_;
+      ++delivered;
+      ++injected;
+      if (injected_deliveries_out) injected_deliveries_out->push_back(p);
+      continue;
+    }
+    const QueueTag tag = layout_ == QueueLayout::Central
+                             ? kCentralQueue
+                             : injection_queue_tag(p);
+    const int used = layout_ == QueueLayout::Central
+                         ? occupancy(pk.source)
+                         : occupancy(pk.source, tag);
+    if (used >= queue_capacity_) {
+      waiting_out.push_back(p);  // §5: wait outside the network
+      continue;
+    }
+    place_packet(p, pk.source, tag, active_out);
+    pk.arrival_inlink = kNoInlink;
+    ++injected;
+    record_occupancy(pk.source, peak);
+  }
+}
+
 void Engine::inject_due_packets() {
   // Re-offer packets that were due earlier but found a full queue, then
   // newly due packets, all in deterministic (id) order.
@@ -113,30 +231,11 @@ void Engine::inject_due_packets() {
   }
   if (due_.empty()) return;
   std::sort(due_.begin(), due_.end());
-  for (PacketId p : due_) {
-    Packet& pk = packets_[p];
-    if (pk.source == pk.dest) {
-      pk.delivered_at = step_;
-      ++delivered_count_;
-      ++injected_this_step_;
-      if (!observers_.empty()) injected_deliveries_.push_back(p);
-      continue;
-    }
-    const QueueTag tag = layout_ == QueueLayout::Central
-                             ? kCentralQueue
-                             : injection_queue_tag(p);
-    const int used = layout_ == QueueLayout::Central
-                         ? occupancy(pk.source)
-                         : occupancy(pk.source, tag);
-    if (used >= queue_capacity_) {
-      waiting_injections_.push_back(p);  // §5: wait outside the network
-      continue;
-    }
-    place_packet(p, pk.source, tag);
-    pk.arrival_inlink = kNoInlink;
-    ++injected_this_step_;
-    record_occupancy(pk.source);
-  }
+  std::int64_t delivered = 0;
+  inject_packet_list(due_, waiting_injections_, active_,
+                     observers_.empty() ? nullptr : &injected_deliveries_,
+                     injected_this_step_, delivered, max_occupancy_seen_);
+  delivered_count_ += static_cast<std::size_t>(delivered);
 }
 
 QueueTag Engine::injection_queue_tag(PacketId p) const {
@@ -161,10 +260,13 @@ void Engine::prepare() {
   injected_deliveries_.clear();
   inject_due_packets();
   // §3: the initial state of nodes/packets may depend on the initial
-  // arrangement; the algorithm sets them here.
-  algorithm_.init(*this);
+  // arrangement; the algorithm sets them here. Only instance 0 is init()ed
+  // even in sharded mode: the state it sets lives in the Sim and is shared
+  // by all planning instances.
+  algorithm_->init(*this);
   packet_scheduled_.assign(packets_.size(), 0);
   merge_active();
+  if (num_shards_ > 1) distribute_to_shards();
   if (!observers_.empty()) {
     StepDigest digest;
     digest.step = 0;
@@ -219,6 +321,7 @@ void Engine::validate_out_plan(NodeId u, const OutPlan& plan) {
 bool Engine::step_once() {
   MR_REQUIRE_MSG(prepared_, "step before prepare()");
   if (all_delivered()) return false;
+  if (num_shards_ > 1) return step_parallel();
   ++step_;
 
   // Phase profiling: zero clock reads unless enabled.
@@ -244,9 +347,9 @@ bool Engine::step_once() {
   // ----- (a) outqueue policies schedule packets -------------------------
   moves_.clear();
   for (NodeId u : active_) {
-    if (node_packets_[u].empty()) continue;
+    if (node_packets_.empty(u)) continue;
     out_plan_.clear();
-    algorithm_.plan_out(*this, u, out_plan_);
+    algorithm_->plan_out(*this, u, out_plan_);
     validate_out_plan(u, out_plan_);
     for (Dir d : kAllDirs) {
       const PacketId p = out_plan_.scheduled(d);
@@ -323,7 +426,7 @@ bool Engine::step_once() {
         group_.push_back(dir_offers_[d][head[d]++]);
     }
     in_plan_.reset(group_.size());
-    algorithm_.plan_in(*this, v, std::span<const Offer>(group_), in_plan_);
+    algorithm_->plan_in(*this, v, std::span<const Offer>(group_), in_plan_);
     MR_REQUIRE(in_plan_.accept.size() == group_.size());
     for (std::size_t g = 0; g < group_.size(); ++g)
       if (in_plan_.accept[g]) accepted_.push_back(group_[g]);
@@ -347,7 +450,7 @@ bool Engine::step_once() {
     Packet& pk = packets_[o.packet];
     const NodeId from = pk.location;
     remove_from_node(pk.id);
-    place_packet(pk.id, o.to, arrival_tag(o.dir));
+    place_packet(pk.id, o.to, arrival_tag(o.dir), active_);
     pk.arrival_inlink =
         static_cast<std::uint8_t>(dir_index(opposite(o.dir)));
     ++moved_this_step;
@@ -360,7 +463,7 @@ bool Engine::step_once() {
   // No-overflow requirement of §2: check every node that received.
   for (const Offer& o : accepted_) {
     check_capacity_after_transmit(o.to);
-    record_occupancy(o.to);
+    record_occupancy(o.to, max_occupancy_seen_);
   }
   phase_end(StepPhase::Transmit);
 
@@ -382,7 +485,7 @@ bool Engine::step_once() {
         v = active_[i++];
       else
         v = active_[j++];
-      algorithm_.update_state(*this, v);
+      algorithm_->update_state(*this, v);
     }
     std::inplace_merge(active_.begin(),
                        active_.begin() + static_cast<std::ptrdiff_t>(mid),
@@ -392,7 +495,7 @@ bool Engine::step_once() {
   // Compact the active list (nodes that drained drop out).
   active_.erase(std::remove_if(active_.begin(), active_.end(),
                                [&](NodeId u) {
-                                 if (node_packets_[u].empty()) {
+                                 if (node_packets_.empty(u)) {
                                    is_active_[u] = 0;
                                    return true;
                                  }
@@ -426,6 +529,339 @@ bool Engine::step_once() {
     digest.deliveries =
         static_cast<std::int64_t>(deliveries_.size() +
                                   injected_deliveries_.size());
+    digest.injections = injected_this_step_;
+    for (const MoveRecord& m : digest_moves_)
+      ++digest.moves_by_dir[dir_index(m.dir)];
+    digest.exchanges =
+        static_cast<std::int64_t>(exchange_count_) - exchanges_before_step_;
+    digest.stall_run = stall_run_;
+    for (StepObserver* ob : observers_) ob->on_step(*this, digest);
+  }
+
+  if (profiling_) {
+    ++phase_profile_.steps;
+    phase_profile_.total_seconds +=
+        std::chrono::duration<double>(Clock::now() - step_begin).count();
+  }
+  return true;
+}
+
+void Engine::distribute_to_shards() {
+  // active_ is sorted and bands own contiguous ascending id ranges, so the
+  // global list splits into the per-band lists by range.
+  std::size_t i = 0;
+  for (Shard& sh : shards_) {
+    sh.active.clear();
+    while (i < active_.size() && active_[i] < sh.node_end)
+      sh.active.push_back(active_[i++]);
+    sh.active_sorted = sh.active.size();
+    sh.waiting.clear();
+  }
+  for (PacketId p : waiting_injections_)
+    shards_[static_cast<std::size_t>(shard_of_node(packets_[p].source))]
+        .waiting.push_back(p);
+  waiting_injections_.clear();
+  active_cache_valid_ = true;  // active_ still matches the band lists
+}
+
+// One step of the banded pipeline. Each phase runs band-local work only;
+// cross-band data moves exclusively through single-writer mailboxes that
+// are read after the phase barrier run_shards() provides. Every iteration
+// order below mirrors the sequential path exactly — see DESIGN.md §9 for
+// the order-equivalence argument.
+bool Engine::step_parallel() {
+  ++step_;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point step_begin, phase_begin;
+  if (profiling_) step_begin = phase_begin = Clock::now();
+  const auto phase_end = [&](StepPhase p) {
+    if (!profiling_) return;
+    const Clock::time_point now = Clock::now();
+    phase_profile_.seconds[static_cast<int>(p)] +=
+        std::chrono::duration<double>(now - phase_begin).count();
+    phase_begin = now;
+  };
+
+  const bool observed = !observers_.empty();
+  exchanges_before_step_ = static_cast<std::int64_t>(exchange_count_);
+  const auto self = [this](std::size_t si) { return static_cast<int>(si); };
+
+  // Injection staging (coordinator): the shared cursor hands each newly due
+  // packet to its source band, where it joins the band's waiting list.
+  for (Shard& sh : shards_) {
+    sh.due.clear();
+    sh.due.swap(sh.waiting);
+  }
+  while (injection_cursor_ < injections_.size() &&
+         injections_[injection_cursor_].first <= step_) {
+    const PacketId p = injections_[injection_cursor_].second;
+    shards_[static_cast<std::size_t>(shard_of_node(packets_[p].source))]
+        .due.push_back(p);
+    ++injection_cursor_;
+  }
+
+  // ---- injection + (a) outqueue policies, fused: both touch only nodes
+  // and packets the band owns.
+  run_shards([&](std::size_t si) {
+    Shard& sh = shards_[si];
+    sh.injected = 0;
+    sh.moved = 0;
+    sh.delivered = 0;
+    sh.arrivals = 0;
+    sh.injected_deliveries.clear();
+    std::sort(sh.due.begin(), sh.due.end());
+    inject_packet_list(sh.due, sh.waiting, sh.active,
+                       observed ? &sh.injected_deliveries : nullptr,
+                       sh.injected, sh.delivered, sh.max_occupancy);
+    {  // merge the band active list (mirror of merge_active())
+      const auto mid =
+          sh.active.begin() + static_cast<std::ptrdiff_t>(sh.active_sorted);
+      std::sort(mid, sh.active.end());
+      std::inplace_merge(sh.active.begin(), mid, sh.active.end());
+      sh.active_sorted = sh.active.size();
+    }
+    Algorithm& alg = *shard_algorithms_[si];
+    sh.moves.clear();
+    for (NodeId u : sh.active) {
+      if (node_packets_.empty(u)) continue;
+      sh.out_plan.clear();
+      alg.plan_out(*this, u, sh.out_plan);
+      validate_out_plan(u, sh.out_plan);
+      for (Dir d : kAllDirs) {
+        const PacketId p = sh.out_plan.scheduled(d);
+        if (p == kInvalidPacket) continue;
+        sh.moves.push_back(ScheduledMove{p, u, mesh_.neighbor(u, d), d});
+      }
+    }
+    for (const ScheduledMove& m : sh.moves) packet_scheduled_[m.packet] = 0;
+
+    // Classify: deliveries are sender-side operations wherever the target
+    // node lives; surviving offers go to the own-band direction buckets or,
+    // when the target row lies in another band, to the frontier mailbox
+    // that band will read after the barrier. Only N/S moves can cross a
+    // band edge (bands are whole rows).
+    sh.deliveries.clear();
+    for (auto& bucket : sh.dir_offers) bucket.clear();
+    sh.frontier_up.clear();
+    sh.frontier_down.clear();
+    for (const ScheduledMove& m : sh.moves) {
+      const Packet& pk = packets_[m.packet];
+      if (pk.dest == m.to) {
+        sh.deliveries.push_back(m);
+        continue;
+      }
+      const Offer o{m.packet, m.from, m.to, m.dir, pk.profitable};
+      if (shard_of_node(m.to) == self(si)) {
+        sh.dir_offers[dir_index(m.dir)].push_back(o);
+      } else if (m.dir == Dir::North) {
+        sh.frontier_up.push_back(o);
+      } else {
+        sh.frontier_down.push_back(o);
+      }
+    }
+  });
+  phase_end(StepPhase::PlanOut);
+  phase_end(StepPhase::Interceptor);  // interceptors are sequential-only
+
+  // ---- (c) inqueue policies. Each band assembles its incoming offer
+  // lists: own buckets plus the neighbours' frontier mailboxes. The
+  // concatenation order (frontier-from-below before own for North, own
+  // before frontier-from-above for South) keeps each list ascending in the
+  // receiving node, wrap links excepted.
+  run_shards([&](std::size_t si) {
+    Shard& sh = shards_[si];
+    const std::size_t S = static_cast<std::size_t>(num_shards_);
+    const Shard& below = shards_[(si + S - 1) % S];  // cyclic predecessor
+    const Shard& above = shards_[(si + 1) % S];      // cyclic successor
+    for (auto& list : sh.in_offers) list.clear();
+    auto& north = sh.in_offers[dir_index(Dir::North)];
+    north.insert(north.end(), below.frontier_up.begin(),
+                 below.frontier_up.end());
+    const auto& own_n = sh.dir_offers[dir_index(Dir::North)];
+    north.insert(north.end(), own_n.begin(), own_n.end());
+    auto& south = sh.in_offers[dir_index(Dir::South)];
+    const auto& own_s = sh.dir_offers[dir_index(Dir::South)];
+    south.insert(south.end(), own_s.begin(), own_s.end());
+    south.insert(south.end(), above.frontier_down.begin(),
+                 above.frontier_down.end());
+    for (Dir d : {Dir::East, Dir::West}) {
+      auto& list = sh.in_offers[dir_index(d)];
+      const auto& own = sh.dir_offers[dir_index(d)];
+      list.insert(list.end(), own.begin(), own.end());
+    }
+    if (mesh_.is_torus()) {
+      // Wrap links break the monotone-receiver property (mirrors the
+      // sequential torus sort). Keys are unique per direction: a receiver
+      // has one inlink per direction.
+      for (auto& list : sh.in_offers)
+        std::sort(list.begin(), list.end(),
+                  [](const Offer& a, const Offer& b) { return a.to < b.to; });
+    }
+
+    // 4-way merge, identical to the sequential engine: receivers ascending,
+    // offers within a receiver in direction-index order.
+    sh.accepted.clear();
+    sh.accept_back_prev.clear();
+    sh.accept_back_next.clear();
+    Algorithm& alg = *shard_algorithms_[si];
+    std::array<std::size_t, kNumDirs> head{};
+    for (;;) {
+      NodeId v = kInvalidNode;
+      for (int d = 0; d < kNumDirs; ++d) {
+        if (head[d] < sh.in_offers[d].size()) {
+          const NodeId t = sh.in_offers[d][head[d]].to;
+          if (v == kInvalidNode || t < v) v = t;
+        }
+      }
+      if (v == kInvalidNode) break;
+      sh.group.clear();
+      for (int d = 0; d < kNumDirs; ++d) {
+        if (head[d] < sh.in_offers[d].size() &&
+            sh.in_offers[d][head[d]].to == v)
+          sh.group.push_back(sh.in_offers[d][head[d]++]);
+      }
+      sh.in_plan.reset(sh.group.size());
+      alg.plan_in(*this, v, std::span<const Offer>(sh.group), sh.in_plan);
+      MR_REQUIRE(sh.in_plan.accept.size() == sh.group.size());
+      for (std::size_t g = 0; g < sh.group.size(); ++g) {
+        if (!sh.in_plan.accept[g]) continue;
+        const Offer& o = sh.group[g];
+        sh.accepted.push_back(o);
+        if (shard_of_node(o.from) != self(si)) {
+          // Tell the sender band after the barrier (accept-back mailbox).
+          if (o.dir == Dir::North)
+            sh.accept_back_prev.push_back(o);
+          else
+            sh.accept_back_next.push_back(o);
+        }
+      }
+    }
+  });
+  phase_end(StepPhase::PlanIn);
+
+  // ---- (d) transmission, split at a barrier: removals are sender-band
+  // work, insertions receiver-band work, and a frontier move's Packet
+  // record is written by both — the barrier keeps the writes ordered.
+  run_shards([&](std::size_t si) {
+    Shard& sh = shards_[si];
+    for (const ScheduledMove& m : sh.deliveries) {
+      Packet& pk = packets_[m.packet];
+      remove_from_node(pk.id);
+      pk.location = kInvalidNode;
+      pk.delivered_at = step_;
+      ++sh.delivered;
+      ++sh.moved;
+    }
+    for (const Offer& o : sh.accepted)
+      if (shard_of_node(o.from) == self(si)) remove_from_node(o.packet);
+    const std::size_t S = static_cast<std::size_t>(num_shards_);
+    // Frontier offers this band sent that the neighbours accepted: the
+    // successor's accept_back_prev and the predecessor's accept_back_next
+    // both name senders in this band.
+    for (const Offer& o : shards_[(si + 1) % S].accept_back_prev)
+      remove_from_node(o.packet);
+    for (const Offer& o : shards_[(si + S - 1) % S].accept_back_next)
+      remove_from_node(o.packet);
+  });
+  run_shards([&](std::size_t si) {
+    Shard& sh = shards_[si];
+    for (const Offer& o : sh.accepted) {
+      Packet& pk = packets_[o.packet];
+      place_packet(pk.id, o.to, arrival_tag(o.dir), sh.active);
+      pk.arrival_inlink = static_cast<std::uint8_t>(dir_index(opposite(o.dir)));
+      ++sh.moved;
+      ++sh.arrivals;
+    }
+    // No-overflow requirement of §2: check every node that received.
+    for (const Offer& o : sh.accepted) {
+      check_capacity_after_transmit(o.to);
+      record_occupancy(o.to, sh.max_occupancy);
+    }
+  });
+  phase_end(StepPhase::Transmit);
+
+  // ---- (e) state updates + band active-list compaction -----------------
+  run_shards([&](std::size_t si) {
+    Shard& sh = shards_[si];
+    Algorithm& alg = *shard_algorithms_[si];
+    const std::size_t mid = sh.active_sorted;
+    const std::size_t end = sh.active.size();
+    std::sort(sh.active.begin() + static_cast<std::ptrdiff_t>(mid),
+              sh.active.end());
+    std::size_t i = 0, j = mid;
+    while (i < mid || j < end) {
+      NodeId v;
+      if (j >= end || (i < mid && sh.active[i] < sh.active[j]))
+        v = sh.active[i++];
+      else
+        v = sh.active[j++];
+      alg.update_state(*this, v);
+    }
+    std::inplace_merge(sh.active.begin(),
+                       sh.active.begin() + static_cast<std::ptrdiff_t>(mid),
+                       sh.active.end());
+    sh.active.erase(std::remove_if(sh.active.begin(), sh.active.end(),
+                                   [&](NodeId u) {
+                                     if (node_packets_.empty(u)) {
+                                       is_active_[u] = 0;
+                                       return true;
+                                     }
+                                     return false;
+                                   }),
+                    sh.active.end());
+    sh.active_sorted = sh.active.size();
+  });
+  phase_end(StepPhase::Update);
+
+  // ---- coordinator: fold the band counters, stall check, digest --------
+  std::int64_t moved_this_step = 0;
+  std::int64_t delivered_this_step = 0;
+  std::int64_t arrivals_this_step = 0;
+  injected_this_step_ = 0;
+  for (const Shard& sh : shards_) {
+    moved_this_step += sh.moved;
+    delivered_this_step += sh.delivered;
+    arrivals_this_step += sh.arrivals;
+    injected_this_step_ += sh.injected;
+    max_occupancy_seen_ = std::max(max_occupancy_seen_, sh.max_occupancy);
+  }
+  delivered_count_ += static_cast<std::size_t>(delivered_this_step);
+  total_moves_ += arrivals_this_step;
+  active_cache_valid_ = false;
+
+  if (moved_this_step == 0 && injected_this_step_ == 0 &&
+      (stall_counts_pending_ || injection_cursor_ == injections_.size())) {
+    ++stall_run_;
+    if (stall_limit_ > 0 && stall_run_ >= stall_limit_)
+      stalled_ = true;
+  } else {
+    stall_run_ = 0;
+  }
+
+  if (observed) {
+    // Digest assembly: band concatenation reproduces the sequential order
+    // exactly — deliveries ascend in the sending node, accepted hops in
+    // the receiving node, because bands cover ascending id ranges.
+    digest_moves_.clear();
+    for (const Shard& sh : shards_)
+      for (const ScheduledMove& m : sh.deliveries)
+        digest_moves_.push_back(
+            MoveRecord{m.packet, m.from, m.to, m.dir, /*delivered=*/true});
+    for (const Shard& sh : shards_)
+      for (const Offer& o : sh.accepted)
+        digest_moves_.push_back(
+            MoveRecord{o.packet, o.from, o.to, o.dir, /*delivered=*/false});
+    injected_deliveries_.clear();
+    for (const Shard& sh : shards_)
+      injected_deliveries_.insert(injected_deliveries_.end(),
+                                  sh.injected_deliveries.begin(),
+                                  sh.injected_deliveries.end());
+    std::sort(injected_deliveries_.begin(), injected_deliveries_.end());
+    StepDigest digest;
+    digest.step = step_;
+    digest.moves = digest_moves_;
+    digest.injected_deliveries = injected_deliveries_;
+    digest.deliveries = delivered_this_step;
     digest.injections = injected_this_step_;
     for (const MoveRecord& m : digest_moves_)
       ++digest.moves_by_dir[dir_index(m.dir)];

@@ -16,6 +16,14 @@
 // implements the same observable semantics move for move; the differential
 // fuzzer (check/fuzz.hpp) asserts the two stay bit-identical.
 //
+// Sharded parallel stepping (Config::shards > 1) tiles the mesh into
+// horizontal row bands and steps them concurrently on a persistent worker
+// pool, exchanging frontier offers/acceptances at band boundaries through
+// single-writer mailboxes between barrier-separated phases (DESIGN.md §9).
+// The handoff protocol preserves every sequential iteration order, so
+// fingerprints, digests and counters are bit-identical to shards = 1 for
+// every shards/threads combination.
+//
 // Per-step cost is O(active nodes + moves): queue occupancy is maintained
 // as incremental counters, packets carry their queue-slot index and cached
 // profitable mask, the active-node list stays sorted by merging newly
@@ -33,11 +41,14 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/assert.hpp"
 #include "core/types.hpp"
+#include "core/worker_pool.hpp"
 #include "sim/algorithm.hpp"
 #include "sim/packet.hpp"
 #include "sim/sim.hpp"
@@ -103,9 +114,28 @@ class Engine : public Sim {
     /// injection is pending" clause would otherwise never let a deadlocked
     /// network trip the limit. Off by default (batch semantics unchanged).
     bool stall_counts_pending_injections = false;
+    /// Sharded parallel stepping: the mesh is tiled into this many
+    /// horizontal row bands and each band steps independently between
+    /// deterministic frontier handoffs (see DESIGN.md §9). Clamped to the
+    /// mesh height. Results are bit-identical to shards = 1 for every
+    /// shards/threads combination. Incompatible with a StepInterceptor.
+    int shards = 1;
+    /// Worker threads stepping the bands: 1 runs the bands serially on the
+    /// calling thread, 0 uses default_thread_count(), values above the
+    /// band count are clamped. More than one thread requires the
+    /// AlgorithmFactory constructor (per-band algorithm instances).
+    int threads = 1;
   };
 
+  /// Creates per-band Algorithm instances so bands can plan concurrently
+  /// (Algorithm implementations may keep per-call scratch and are not
+  /// required to be thread-safe across nodes). All instances must be
+  /// identically configured; only the first is init()ed, so algorithm
+  /// state must live in the Sim (true for every in-tree algorithm).
+  using AlgorithmFactory = std::function<std::unique_ptr<Algorithm>()>;
+
   Engine(const Mesh& mesh, Config config, Algorithm& algorithm);
+  Engine(const Mesh& mesh, Config config, const AlgorithmFactory& factory);
 
   // --- setup (before prepare()) ----------------------------------------
   /// Adds a packet. injected_at = 0 places it in its source queue before
@@ -124,7 +154,21 @@ class Engine : public Sim {
   PacketId pump_packet(NodeId source, NodeId dest, Step injected_at);
 
   void set_interceptor(StepInterceptor* interceptor) {
+    // Phase (b) exchanges reclassify deliveries between phases (a) and (c),
+    // which the banded pipeline does not replay; adversary runs are
+    // sequential by construction.
+    MR_REQUIRE_MSG(num_shards_ == 1 || interceptor == nullptr,
+                   "StepInterceptor requires the sequential engine "
+                   "(Config::shards = 1)");
     interceptor_ = interceptor;
+  }
+
+  /// Number of row bands actually in use (config value clamped to the mesh
+  /// height); 1 means classic sequential stepping.
+  int shard_count() const { return num_shards_; }
+  /// Execution lanes stepping the bands (1 = serial).
+  int thread_count() const {
+    return pool_ ? static_cast<int>(pool_->thread_count()) : 1;
   }
 
   /// Enables (or disables) wall-clock profiling of the five step phases.
@@ -149,8 +193,11 @@ class Engine : public Sim {
 
   // --- Sim interface -----------------------------------------------------
   /// Nodes currently holding at least one packet, ascending by NodeId.
-  /// Valid between steps and inside on_prepare_end / on_step_end.
-  std::span<const NodeId> active_nodes() const override { return active_; }
+  /// Valid between steps and inside on_prepare_end / on_step_end. In
+  /// sharded mode the global list is rebuilt lazily by concatenating the
+  /// per-band lists (bands own contiguous ascending NodeId ranges, so the
+  /// concatenation is sorted).
+  std::span<const NodeId> active_nodes() const override;
   /// Occupancy of one inlink queue (PerInlink layout only). O(1): read
   /// from the incrementally maintained counters.
   int occupancy(NodeId u, QueueTag tag) const override {
@@ -161,12 +208,62 @@ class Engine : public Sim {
   void exchange_destinations(PacketId a, PacketId b) override;
 
  private:
+  /// One row band of the sharded pipeline: bands own contiguous NodeId
+  /// ranges (row-major ids), so per-band sorted lists concatenate to
+  /// globally sorted lists — the property the deterministic handoff
+  /// protocol rests on. All vectors are reused across steps.
+  struct Shard {
+    NodeId node_begin = 0;
+    NodeId node_end = 0;  ///< one past the last owned node
+
+    // Band-local mirror of active_/active_sorted_.
+    std::vector<NodeId> active;
+    std::size_t active_sorted = 0;
+
+    // Injection: packets due earlier whose source queue was full, and the
+    // per-step staging list (waiting + newly due, sorted by id).
+    std::vector<PacketId> waiting;
+    std::vector<PacketId> due;
+    std::vector<PacketId> injected_deliveries;
+
+    // Phase (a) output. Offers that stay in the band go to dir_offers;
+    // offers crossing the band edge go to the frontier mailboxes, consumed
+    // by the cyclic successor (frontier_up, travelling north) or
+    // predecessor (frontier_down, travelling south). Single writer per
+    // mailbox, read only after the phase barrier.
+    std::vector<ScheduledMove> moves;
+    std::vector<ScheduledMove> deliveries;
+    std::array<std::vector<Offer>, kNumDirs> dir_offers;
+    std::vector<Offer> frontier_up;
+    std::vector<Offer> frontier_down;
+
+    // Phase (c): assembled per-direction offer lists (own + neighbour
+    // frontiers), accepted offers (receivers in this band), and accept-back
+    // mailboxes telling the sender band which of its frontier offers were
+    // accepted (consumed after the phase barrier by prev/next).
+    std::array<std::vector<Offer>, kNumDirs> in_offers;
+    std::vector<Offer> accepted;
+    std::vector<Offer> accept_back_prev;  ///< senders in the cyclic predecessor
+    std::vector<Offer> accept_back_next;  ///< senders in the cyclic successor
+
+    // Per-band scratch and counters, merged by the coordinator.
+    std::vector<Offer> group;
+    OutPlan out_plan;
+    InPlan in_plan;
+    std::int64_t injected = 0;
+    std::int64_t moved = 0;
+    std::int64_t delivered = 0;
+    std::int64_t arrivals = 0;
+    int max_occupancy = 0;
+  };
+
   void inject_due_packets();
-  void place_packet(PacketId p, NodeId node, QueueTag tag);
+  void place_packet(PacketId p, NodeId node, QueueTag tag,
+                    std::vector<NodeId>& active_out);
   void remove_from_node(PacketId p);
   void validate_out_plan(NodeId u, const OutPlan& plan);
   void check_capacity_after_transmit(NodeId v);
-  void record_occupancy(NodeId u);
+  void record_occupancy(NodeId u, int& peak);
   /// Sorts the appended tail of active_ and merges it into the sorted
   /// prefix, restoring the ascending-NodeId invariant.
   void merge_active();
@@ -176,7 +273,44 @@ class Engine : public Sim {
     return static_cast<std::size_t>(u) * kNumDirs + tag;
   }
 
-  Algorithm& algorithm_;
+  // --- sharded stepping (see DESIGN.md §9) ------------------------------
+  Engine(const Mesh& mesh, Config config, std::unique_ptr<Algorithm> first,
+         const AlgorithmFactory& factory);
+  /// Shared constructor tail: validates the config, sizes the per-node
+  /// state, carves the row bands and creates the worker pool.
+  void init_engine(const Config& config);
+  /// Injects the packets of `due` (already sorted by id) into their source
+  /// queues; the out-parameters let the sequential path and each band
+  /// account into their own state.
+  void inject_packet_list(const std::vector<PacketId>& due,
+                          std::vector<PacketId>& waiting_out,
+                          std::vector<NodeId>& active_out,
+                          std::vector<PacketId>* injected_deliveries_out,
+                          std::int64_t& injected, std::int64_t& delivered,
+                          int& peak);
+  /// Distributes the post-prepare() active/waiting state to the bands.
+  void distribute_to_shards();
+  /// Runs fn(s) for every band, on the pool when one exists. A full
+  /// barrier; exceptions rethrow from the lowest band index.
+  void run_shards(const std::function<void(std::size_t)>& fn);
+  bool step_parallel();
+  int shard_of_node(NodeId u) const {
+    return band_of_row_[static_cast<std::size_t>(u) /
+                        static_cast<std::size_t>(mesh_.width())];
+  }
+
+  Algorithm* algorithm_;  ///< instance 0; planning uses shard_algorithms_
+  std::vector<std::unique_ptr<Algorithm>> owned_algorithms_;
+  /// Planning instance per band (all aliases of algorithm_ when the
+  /// reference constructor was used).
+  std::vector<Algorithm*> shard_algorithms_;
+  int num_shards_ = 1;
+  std::vector<std::int32_t> band_of_row_;
+  std::vector<Shard> shards_;
+  std::unique_ptr<WorkerPool> pool_;
+  /// False when the per-band active lists are ahead of active_; the global
+  /// list is rebuilt on demand in active_nodes().
+  mutable bool active_cache_valid_ = true;
   Step stall_limit_;
   bool stall_counts_pending_;
   bool enforce_minimal_;
@@ -205,8 +339,9 @@ class Engine : public Sim {
   // Nodes currently holding >=1 packet. The first active_sorted_ entries
   // are sorted ascending; place_packet appends newly activated nodes past
   // that prefix and merge_active() restores the invariant. Idle nodes cost
-  // nothing per step.
-  std::vector<NodeId> active_;
+  // nothing per step. Mutable: in sharded mode this is a cache of the
+  // per-band lists, rebuilt lazily inside const active_nodes().
+  mutable std::vector<NodeId> active_;
   std::size_t active_sorted_ = 0;
   std::vector<std::uint8_t> is_active_;
 

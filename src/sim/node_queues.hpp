@@ -1,0 +1,81 @@
+// Flat structure-of-arrays storage for the per-node packet queues.
+//
+// The engines used to keep one std::vector<PacketId> per node — a million
+// separately allocated, pointer-chased vectors on a 1000×1000 mesh. The
+// model bounds every node's occupancy (k for the central layout, k per
+// inlink queue for the per-inlink layout, plus at most one arrival per
+// inlink in the transient window of phase (d) before the §2 capacity check
+// runs), so queues fit in one slab with a fixed per-node stride: slot i of
+// node u lives at slots_[u * stride + i]. One allocation, cache-friendly
+// sequential scans, and — essential for the sharded engine — writes for
+// node u touch only u's stride window, so tiles that own disjoint node
+// ranges never share a queue cache line except at window boundaries.
+//
+// Queue order is arrival order, exactly as with the per-node vectors:
+// push_back appends, erase_slot closes the gap by shifting the tail left
+// (preserving the survivors' relative order).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "core/types.hpp"
+
+namespace mr {
+
+class NodeQueues {
+ public:
+  /// Discards all contents and reshapes to `nodes` nodes of `stride`
+  /// capacity each.
+  void reset(std::size_t nodes, std::int32_t stride) {
+    MR_REQUIRE(stride >= 1);
+    stride_ = stride;
+    slots_.assign(nodes * static_cast<std::size_t>(stride), kInvalidPacket);
+    count_.assign(nodes, 0);
+  }
+
+  std::int32_t stride() const { return stride_; }
+
+  std::int32_t size(NodeId u) const {
+    return count_[static_cast<std::size_t>(u)];
+  }
+  bool empty(NodeId u) const { return size(u) == 0; }
+
+  /// Queued packets of node u in arrival order. The span is invalidated by
+  /// any mutation of node u (other nodes' mutations never move it).
+  std::span<const PacketId> at(NodeId u) const {
+    return {slots_.data() + base(u), static_cast<std::size_t>(size(u))};
+  }
+
+  /// Appends p to node u's queue; returns the slot index it occupies.
+  std::int32_t push_back(NodeId u, PacketId p) {
+    const std::int32_t slot = count_[static_cast<std::size_t>(u)];
+    MR_REQUIRE_MSG(slot < stride_, "node " << u << " queue slab overflow");
+    slots_[base(u) + static_cast<std::size_t>(slot)] = p;
+    ++count_[static_cast<std::size_t>(u)];
+    return slot;
+  }
+
+  /// Removes the packet in `slot` of node u, shifting the tail down one
+  /// position (arrival order of the survivors is preserved).
+  void erase_slot(NodeId u, std::int32_t slot) {
+    const std::int32_t n = size(u);
+    MR_REQUIRE(slot >= 0 && slot < n);
+    PacketId* q = slots_.data() + base(u);
+    for (std::int32_t i = slot + 1; i < n; ++i) q[i - 1] = q[i];
+    q[n - 1] = kInvalidPacket;
+    --count_[static_cast<std::size_t>(u)];
+  }
+
+ private:
+  std::size_t base(NodeId u) const {
+    return static_cast<std::size_t>(u) * static_cast<std::size_t>(stride_);
+  }
+
+  std::vector<PacketId> slots_;
+  std::vector<std::int32_t> count_;
+  std::int32_t stride_ = 0;
+};
+
+}  // namespace mr

@@ -26,7 +26,12 @@ Sim::Sim(const Mesh& mesh, int queue_capacity, QueueLayout layout,
   MR_REQUIRE_MSG(queue_capacity_ >= 1,
                  "queue capacity k must be positive, got " << queue_capacity_);
   const auto n = static_cast<std::size_t>(mesh_.num_nodes());
-  node_packets_.resize(n);
+  // Slab stride: full layout capacity plus one arrival per inlink of
+  // transient headroom (phase (d) inserts before the capacity check runs).
+  const std::int32_t per_node =
+      layout_ == QueueLayout::PerInlink ? queue_capacity_ * kNumDirs
+                                        : queue_capacity_;
+  node_packets_.reset(n, per_node + kNumDirs);
   node_state_.assign(n, 0);
 }
 
@@ -59,7 +64,7 @@ PacketId Sim::register_packet(NodeId source, NodeId dest, Step injected_at) {
 std::uint64_t Sim::fingerprint(bool include_dest) const {
   Fnv f;
   for (NodeId u = 0; u < mesh_.num_nodes(); ++u) {
-    const auto& q = node_packets_[u];
+    const std::span<const PacketId> q = node_packets_.at(u);
     if (q.empty() && node_state_[u] == 0) continue;
     f.mix(static_cast<std::uint64_t>(u));
     f.mix(node_state_[u]);

@@ -32,6 +32,7 @@
 
 #include "core/assert.hpp"
 #include "core/types.hpp"
+#include "sim/node_queues.hpp"
 #include "sim/packet.hpp"
 #include "topo/mesh.hpp"
 
@@ -76,10 +77,10 @@ class Sim {
   const Packet& packet(PacketId p) const { return packets_[p]; }
   /// Packets currently queued at node u, in queue order (arrival order).
   std::span<const PacketId> packets_at(NodeId u) const {
-    return node_packets_[u];
+    return node_packets_.at(u);
   }
   int occupancy(NodeId u) const {
-    return static_cast<int>(node_packets_[u].size());
+    return static_cast<int>(node_packets_.size(u));
   }
   /// Occupancy of one inlink queue (PerInlink layout only).
   virtual int occupancy(NodeId u, QueueTag tag) const = 0;
@@ -142,7 +143,11 @@ class Sim {
   bool masks_cached_;
 
   std::vector<Packet> packets_;
-  std::vector<std::vector<PacketId>> node_packets_;
+  /// Per-node queues in one flat slab (structure-of-arrays; see
+  /// node_queues.hpp). Stride = layout capacity + one arrival per inlink of
+  /// transient headroom for phase (d), whose §2 capacity check runs after
+  /// the transmissions.
+  NodeQueues node_packets_;
   std::vector<std::uint64_t> node_state_;
 
   std::vector<StepObserver*> observers_;

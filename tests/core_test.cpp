@@ -111,6 +111,53 @@ TEST(Histogram, RejectsNegative) {
   EXPECT_THROW(h.add(-1), InvariantViolation);
 }
 
+TEST(Histogram, PercentileZeroReturnsSmallestRecordedValue) {
+  // Regression: with q near 0 the target count rounded to 0, so the scan
+  // returned bucket 0 even when all mass sat at a higher value.
+  Histogram h;
+  h.add(5);
+  EXPECT_EQ(h.percentile(0.0), 5);
+  EXPECT_EQ(h.percentile(0.001), 5);
+  h.add(9, 3);
+  EXPECT_EQ(h.percentile(0.0), 5);
+  EXPECT_EQ(h.percentile(1.0), 9);
+}
+
+TEST(Histogram, PathologicalValueDoesNotAllocateDenseTail) {
+  // Regression: add() used to resize the dense array to value + 1, so a
+  // single corrupted latency could OOM a multi-hour run.
+  Histogram h;
+  const std::int64_t huge = std::int64_t{1} << 40;
+  h.add(huge);
+  h.add(huge + 7);
+  h.add(3, 2);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_EQ(h.overflow_count(), 2);
+  EXPECT_EQ(h.min(), 3);
+  EXPECT_EQ(h.max(), huge + 7);
+  EXPECT_NEAR(h.mean(),
+              (2.0 * 3.0 + static_cast<double>(huge) +
+               static_cast<double>(huge + 7)) /
+                  4.0,
+              1e3);
+  // Percentiles below the overflow mass stay exact; within it they report
+  // the conservative max() bound.
+  EXPECT_EQ(h.percentile(0.5), 3);
+  EXPECT_EQ(h.percentile(1.0), huge + 7);
+  // Clamped samples are not individually countable.
+  EXPECT_EQ(h.count_at(huge), 0);
+  EXPECT_NE(h.summary().find("overflow=2"), std::string::npos);
+}
+
+TEST(Histogram, OverflowOnlyHistogramReportsOverflowBounds) {
+  Histogram h;
+  h.add(Histogram::kDenseLimit, 2);
+  EXPECT_EQ(h.min(), Histogram::kDenseLimit);
+  EXPECT_EQ(h.max(), Histogram::kDenseLimit);
+  EXPECT_EQ(h.percentile(0.0), Histogram::kDenseLimit);
+  EXPECT_EQ(h.total(), 2);
+}
+
 TEST(Table, MarkdownShape) {
   Table t({"a", "bb"});
   t.row().add(1).add("x");

@@ -73,13 +73,18 @@ std::vector<Scenario> scenarios() {
   return s;
 }
 
-/// Fingerprint after prepare() and after each executed step.
-std::vector<std::uint64_t> trace(const Scenario& sc) {
+/// Fingerprint after prepare() and after each executed step. `shards` /
+/// `threads` select the sharded stepping mode (DESIGN.md §9); the goldens
+/// are captured sequentially, so any divergence under a sharded trace is a
+/// determinism bug in the boundary-handoff protocol.
+std::vector<std::uint64_t> trace(const Scenario& sc, int shards = 1,
+                                 int threads = 1) {
   const Mesh mesh = Mesh::square(sc.n, sc.torus);
-  auto algo = make_algorithm(sc.router);
   Engine::Config config;
   config.queue_capacity = sc.k;
-  Engine e(mesh, config, *algo);
+  config.shards = shards;
+  config.threads = threads;
+  Engine e(mesh, config, [&] { return make_algorithm(sc.router); });
   const Workload w = sc.h > 1 ? random_hh(mesh, sc.h, sc.seed)
                               : random_permutation(mesh, sc.seed);
   for (std::size_t i = 0; i < w.size(); ++i) {
@@ -145,6 +150,36 @@ TEST(FingerprintRegression, AllRoutersMatchGoldens) {
     for (std::size_t t = 0; t < got.size(); ++t)
       ASSERT_EQ(got[t], it->second[t])
           << sc.key() << " diverges at step " << t;
+  }
+}
+
+// The sharded engine must reproduce the sequential goldens bit for bit —
+// same files, no parallel variants. A subset of the scenario grid keeps
+// the runtime modest while still covering every router on both
+// topologies (k = 2 rows of the grid).
+TEST(FingerprintRegression, ShardedEngineMatchesSequentialGoldens) {
+  if (std::getenv("MESHROUTE_REGEN_GOLDENS") != nullptr)
+    GTEST_SKIP() << "goldens are always captured sequentially";
+  const auto goldens = load_goldens();
+  ASSERT_FALSE(goldens.empty())
+      << "no goldens at " << MESHROUTE_GOLDEN_FILE
+      << " — run once with MESHROUTE_REGEN_GOLDENS=1";
+  struct Mode {
+    int shards;
+    int threads;
+  };
+  for (const Scenario& sc : scenarios()) {
+    if (sc.k != 2) continue;
+    const auto it = goldens.find(sc.key());
+    ASSERT_NE(it, goldens.end()) << "no golden for " << sc.key();
+    for (const Mode m : {Mode{2, 2}, Mode{5, 4}}) {
+      const std::vector<std::uint64_t> got = trace(sc, m.shards, m.threads);
+      ASSERT_EQ(got.size(), it->second.size()) << sc.key();
+      for (std::size_t t = 0; t < got.size(); ++t)
+        ASSERT_EQ(got[t], it->second[t])
+            << sc.key() << " shards=" << m.shards << " threads=" << m.threads
+            << " diverges at step " << t;
+    }
   }
 }
 

@@ -32,7 +32,7 @@ class FakeSim : public Sim {
   void place(PacketId p, NodeId u, QueueTag tag = kCentralQueue) {
     packets_[p].location = u;
     packets_[p].queue = tag;
-    node_packets_[u].push_back(p);
+    node_packets_.push_back(u, p);
   }
   void set_location(PacketId p, NodeId u) { packets_[p].location = u; }
   void set_dest(PacketId p, NodeId d) { packets_[p].dest = d; }
@@ -45,7 +45,7 @@ class FakeSim : public Sim {
   using Sim::occupancy;
   int occupancy(NodeId u, QueueTag tag) const override {
     int count = 0;
-    for (PacketId p : node_packets_[u])
+    for (PacketId p : node_packets_.at(u))
       if (packets_[p].queue == tag) ++count;
     return count;
   }

@@ -1,5 +1,6 @@
 // core/parallel: exception propagation from workers and the
-// MESHROUTE_THREADS override.
+// MESHROUTE_THREADS override. core/worker_pool: the persistent pool the
+// sharded engine steps on.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "core/parallel.hpp"
+#include "core/worker_pool.hpp"
 
 namespace mr {
 namespace {
@@ -107,6 +109,78 @@ TEST(Parallel, MeshrouteThreadsInvalidFallsBackToAtLeastOne) {
 TEST(Parallel, ZeroCountIsANoOp) {
   std::atomic<int> total{0};
   parallel_for(0, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 0);
+}
+
+TEST(Parallel, FirstErrorCancelsUnclaimedIterations) {
+  // Regression: a worker's exception used to leave the other workers
+  // claiming and running every remaining index before the rethrow.
+  constexpr std::size_t kCount = 100000;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(parallel_for(
+                   kCount,
+                   [&](std::size_t i) {
+                     if (i == 0) throw std::runtime_error("early failure");
+                     executed.fetch_add(1, std::memory_order_relaxed);
+                   },
+                   4),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), kCount / 2)
+      << "abort flag did not cancel the remaining iterations";
+}
+
+TEST(WorkerPoolTest, RunsEveryIndexExactlyOnceAcrossReuse) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  for (int rep = 0; rep < 3; ++rep) {
+    constexpr std::size_t kCount = 997;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.run(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(WorkerPoolTest, SerialPoolRunsInline) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  int total = 0;  // no atomics needed: everything runs on this thread
+  pool.run(10, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total, 10);
+}
+
+TEST(WorkerPoolTest, LowestFailedIndexIsRethrown) {
+  WorkerPool pool(4);
+  try {
+    pool.run(64, [](std::size_t i) {
+      if (i % 2 == 1) throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 1");
+  }
+}
+
+TEST(WorkerPoolTest, AllTasksCompleteDespiteErrorsAndPoolStaysUsable) {
+  // Unlike parallel_for (which cancels), the pool runs every task: the
+  // engine's barrier phases need all bands stepped or none observable.
+  WorkerPool pool(3);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.run(50,
+                        [&](std::size_t i) {
+                          executed.fetch_add(1);
+                          if (i == 7) throw std::runtime_error("x");
+                        }),
+               std::runtime_error);
+  EXPECT_EQ(executed.load(), 50);
+  std::atomic<int> total{0};
+  pool.run(20, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 20);
+}
+
+TEST(WorkerPoolTest, ZeroCountIsANoOp) {
+  WorkerPool pool(2);
+  std::atomic<int> total{0};
+  pool.run(0, [&](std::size_t) { total.fetch_add(1); });
   EXPECT_EQ(total.load(), 0);
 }
 
