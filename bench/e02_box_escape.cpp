@@ -13,6 +13,7 @@
 #include "routing/registry.hpp"
 #include "scenarios.hpp"
 #include "sim/engine.hpp"
+#include "topo/mesh.hpp"
 
 namespace mr::scenarios {
 namespace {

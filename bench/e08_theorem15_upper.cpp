@@ -9,6 +9,7 @@
 #include "harness/runner.hpp"
 #include "lower_bound/dim_order_construction.hpp"
 #include "scenarios.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr::scenarios {

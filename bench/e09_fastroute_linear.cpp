@@ -12,6 +12,7 @@
 #include "harness/runner.hpp"
 #include "scenarios.hpp"
 #include "sim/engine.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr::scenarios {

@@ -11,6 +11,7 @@
 #include "fastroute/fastroute.hpp"
 #include "scenarios.hpp"
 #include "sim/engine.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr::scenarios {

@@ -8,6 +8,7 @@
 #include "harness/runner.hpp"
 #include "harness/sweep.hpp"
 #include "scenarios.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr::scenarios {

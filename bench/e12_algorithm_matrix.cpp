@@ -6,6 +6,7 @@
 #include "lower_bound/factory.hpp"
 #include "routing/registry.hpp"
 #include "scenarios.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr::scenarios {

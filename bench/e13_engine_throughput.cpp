@@ -19,6 +19,7 @@
 #include "engine_bench.hpp"
 #include "routing/registry.hpp"
 #include "sim/engine.hpp"
+#include "topo/mesh.hpp"
 
 namespace {
 

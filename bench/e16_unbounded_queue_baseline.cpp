@@ -6,6 +6,7 @@
 // (E09).
 #include "harness/runner.hpp"
 #include "scenarios.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr::scenarios {

@@ -11,6 +11,7 @@
 
 #include "harness/sweep.hpp"
 #include "scenarios.hpp"
+#include "topo/mesh.hpp"
 #include "traffic/steady_state.hpp"
 
 namespace mr::scenarios {

@@ -10,6 +10,7 @@
 #include "harness/json_min.hpp"
 #include "routing/registry.hpp"
 #include "sim/engine.hpp"
+#include "topo/mesh.hpp"
 
 namespace mr::engine_bench {
 

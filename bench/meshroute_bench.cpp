@@ -23,6 +23,10 @@
 //                                          default: each scenario's
 //                                          built-in seed. Echoed in the
 //                                          JSON records.
+//   meshroute_bench --topology=NAME        registry topology (mesh, torus,
+//                                          cmesh-N) applied to every
+//                                          scenario run that does not pick
+//                                          its own network; see --list
 //   meshroute_bench --validate=PATH        only validate an existing JSON
 //                                          record (scenario .json or
 //                                          telemetry .jsonl)
@@ -57,6 +61,7 @@
 #include "routing/registry.hpp"
 #include "scenarios.hpp"
 #include "telemetry/export.hpp"
+#include "topo/registry.hpp"
 
 namespace {
 
@@ -65,7 +70,8 @@ int usage(const char* argv0) {
                "usage: %s [--list] [--run <id|label>]... [--json=DIR] "
                "[--telemetry=DIR] [--profile] [--smoke] [--jobs=N] "
                "[--seed=S] [--engine-shards=S] [--engine-threads=T] "
-               "[--validate=PATH] [--throughput-guard=PATH] "
+               "[--topology=NAME] [--validate=PATH] "
+               "[--throughput-guard=PATH] "
                "[--fuzz=N] [--fuzz-seed=S] [--fuzz-case=SPEC]\n",
                argv0);
   return 2;
@@ -131,6 +137,14 @@ int main(int argc, char** argv) {
       options.engine_threads =
           static_cast<int>(std::strtol(arg.substr(17).c_str(), nullptr, 10));
       if (options.engine_threads < 1) return usage(argv[0]);
+    } else if (arg.rfind("--topology=", 0) == 0) {
+      options.topology = arg.substr(11);
+      if (!known_topology(options.topology)) {
+        std::fprintf(stderr,
+                     "error: unknown topology '%s' (try --list)\n",
+                     options.topology.c_str());
+        return 2;
+      }
     } else if (arg.rfind("--validate=", 0) == 0) {
       const std::string path = arg.substr(11);
       std::string error;
@@ -194,6 +208,10 @@ int main(int argc, char** argv) {
                   info.layout == QueueLayout::PerInlink ? "per-inlink"
                                                         : "central",
                   info.description.c_str());
+    std::printf("\ntopologies:\n");
+    for (const TopologyInfo& info : topology_catalog())
+      std::printf("  %-24s [%-10s] %s\n", info.name.c_str(),
+                  info.wraps ? "wrapping" : "flat", info.description.c_str());
     return 0;
   }
 
@@ -228,6 +246,15 @@ int main(int argc, char** argv) {
                   c.detail.c_str());
     }
     ok = ok && r.passed();
+    std::size_t fallbacks = 0;
+    for (const ScenarioRunRecord& rec : r.runs)
+      if (rec.run.engine_mode == "sequential-fallback") ++fallbacks;
+    if (fallbacks > 0)
+      std::fprintf(stderr,
+                   "notice: %s: %zu run(s) used the sequential engine despite "
+                   "--engine-shards/--engine-threads (step interceptors are "
+                   "sequential-only)\n",
+                   r.id.c_str(), fallbacks);
     for (const ScenarioRunRecord& rec : r.runs) {
       if (rec.run.telemetry_path.empty()) continue;
       std::string error;

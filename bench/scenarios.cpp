@@ -21,6 +21,7 @@ void register_all(ScenarioRegistry& registry) {
   register_e16(registry);
   register_e17(registry);
   register_e18(registry);
+  register_e19(registry);
 }
 
 ScenarioRegistry& builtin() {

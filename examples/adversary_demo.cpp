@@ -11,6 +11,7 @@
 #include "core/table.hpp"
 #include "harness/runner.hpp"
 #include "lower_bound/main_construction.hpp"
+#include "topo/mesh.hpp"
 #include "workload/patterns.hpp"
 #include "workload/permutation.hpp"
 

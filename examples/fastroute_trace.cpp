@@ -9,6 +9,7 @@
 #include "core/table.hpp"
 #include "fastroute/fastroute.hpp"
 #include "sim/engine.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 int main(int argc, char** argv) {

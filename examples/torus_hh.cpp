@@ -9,6 +9,7 @@
 
 #include "core/table.hpp"
 #include "harness/runner.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 int main(int argc, char** argv) {

@@ -9,8 +9,10 @@
 #include "check/reference_engine.hpp"
 #include "core/rng.hpp"
 #include "routing/registry.hpp"
+#include "topo/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "topo/mesh.hpp"
 #include "traffic/source.hpp"
 #include "workload/patterns.hpp"
 
@@ -27,17 +29,25 @@ bool has_traffic(const FuzzCase& c) {
   return c.traffic != "none" && c.tsteps > 0;
 }
 
+/// The network a case routes on: the named registry topology, or the
+/// legacy mesh/torus selection when c.topo is empty.
+std::unique_ptr<Topology> fuzz_topology(const FuzzCase& c) {
+  if (c.topo.empty())
+    return std::make_unique<Mesh>(Mesh::square(c.n, c.torus));
+  return make_topology(c.topo, c.n, c.n);
+}
+
 /// Expands the case's traffic stream into the explicit demand list both
 /// engines receive. Deterministic in (traffic, rate, tseed, tsteps, n).
 Workload traffic_demands(const FuzzCase& c) {
   if (!has_traffic(c)) return {};
-  const Mesh mesh = Mesh::square(c.n, c.torus);
+  const std::unique_ptr<Topology> topo = fuzz_topology(c);
   TrafficSpec spec;
   MR_REQUIRE_MSG(parse_traffic_pattern(c.traffic, &spec.pattern),
                  "unknown traffic pattern '" << c.traffic << "'");
   spec.rate = c.rate;
   spec.seed = c.tseed;
-  BernoulliSource source(mesh, spec);
+  BernoulliSource source(*topo, spec);
   return materialize_traffic(source, 1, c.tsteps);
 }
 
@@ -57,6 +67,7 @@ std::string format_fuzz_case(const FuzzCase& c) {
   std::ostringstream os;
   os << "algo=" << c.algorithm << " n=" << c.n << " torus=" << (c.torus ? 1 : 0)
      << " k=" << c.k << " budget=" << c.budget;
+  if (!c.topo.empty()) os << " topo=" << c.topo;
   if (has_traffic(c))
     os << " traffic=" << c.traffic << " rate=" << c.rate
        << " tseed=" << c.tseed << " tsteps=" << c.tsteps;
@@ -95,6 +106,8 @@ bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
       c.n = static_cast<std::int32_t>(std::strtol(value.c_str(), &end, 10));
     } else if (key == "torus") {
       c.torus = value == "1" || value == "true";
+    } else if (key == "topo") {
+      c.topo = value;
     } else if (key == "k") {
       c.k = static_cast<int>(std::strtol(value.c_str(), &end, 10));
     } else if (key == "budget") {
@@ -156,6 +169,10 @@ bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
     if (error) *error = "shards and threads must be >= 1";
     return false;
   }
+  if (!c.topo.empty() && !known_topology(c.topo)) {
+    if (error) *error = "unknown topology '" + c.topo + "'";
+    return false;
+  }
   if (c.traffic != "none") {
     TrafficPattern pattern;
     if (!parse_traffic_pattern(c.traffic, &pattern)) {
@@ -182,7 +199,7 @@ bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
 std::string run_fuzz_case(const FuzzCase& c) {
   std::ostringstream err;
   try {
-    const Mesh mesh = Mesh::square(c.n, c.torus);
+    const std::unique_ptr<Topology> topo = fuzz_topology(c);
     auto algo_opt = make_algorithm(c.algorithm);
     auto algo_ref = make_algorithm(c.algorithm);
 
@@ -191,8 +208,8 @@ std::string run_fuzz_case(const FuzzCase& c) {
     config.stall_limit = kFuzzStallLimit;
     config.shards = c.shards;
     config.threads = c.threads;
-    Engine opt(mesh, config, [&] { return make_algorithm(c.algorithm); });
-    ReferenceEngine ref(mesh, c.k, kFuzzStallLimit, *algo_ref);
+    Engine opt(*topo, config, [&] { return make_algorithm(c.algorithm); });
+    ReferenceEngine ref(*topo, c.k, kFuzzStallLimit, *algo_ref);
 
     for (const Demand& d : c.demands) {
       opt.add_packet(d.source, d.dest, d.injected_at);
@@ -275,7 +292,7 @@ std::string run_fuzz_case(const FuzzCase& c) {
 
     // Offline pass: the recorded trace must replay cleanly too.
     const std::string trace_error =
-        run_trace_oracles(trace.events(), mesh, opt.all_packets(), c.k,
+        run_trace_oracles(trace.events(), *topo, opt.all_packets(), c.k,
                           algo_opt->queue_layout());
     if (!trace_error.empty()) {
       err << "trace replay: " << trace_error;
@@ -347,6 +364,12 @@ FuzzCase sample_case(Rng& rng) {
   c.algorithm = names[rng.next_below(names.size())];
   c.n = static_cast<std::int32_t>(4 + rng.next_below(7));  // 4..10
   c.torus = supports_torus(c.algorithm) && rng.next_below(3) == 0;
+  // A quarter of the non-torus cases route on a concentrated mesh: same
+  // router grid, but the traffic layer draws per terminal, so source==dest
+  // demands and shared-router injection contention get differential
+  // coverage too.
+  if (!c.torus && rng.next_below(4) == 0)
+    c.topo = rng.next_below(2) == 0 ? "cmesh-2" : "cmesh-4";
   constexpr int kChoices[] = {1, 2, 4, 8};
   c.k = kChoices[rng.next_below(4)];
   c.budget = 4096;
@@ -431,9 +454,9 @@ FuzzReport run_fuzz(std::size_t num_cases, std::uint64_t seed,
     const FuzzCase c = sample_case(rng);
     const std::string error = run_fuzz_case(c);
     ++report.cases_run;
-    log << "fuzz[" << i << "] algo=" << c.algorithm << " n=" << c.n
-        << (c.torus ? " torus" : " mesh") << " k=" << c.k
-        << " demands=" << c.demands.size();
+    log << "fuzz[" << i << "] algo=" << c.algorithm << " n=" << c.n << " "
+        << (!c.topo.empty() ? c.topo : c.torus ? "torus" : "mesh")
+        << " k=" << c.k << " demands=" << c.demands.size();
     if (c.traffic != "none")
       log << " traffic=" << c.traffic << " rate=" << c.rate
           << " tsteps=" << c.tsteps;

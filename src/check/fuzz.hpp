@@ -19,8 +19,12 @@ namespace mr {
 /// One fully specified differential-fuzz configuration.
 struct FuzzCase {
   std::string algorithm;
-  std::int32_t n = 6;       ///< square side
+  std::int32_t n = 6;       ///< square side (router grid)
   bool torus = false;
+  /// Registry topology name ("mesh", "torus", "cmesh-2", ...). Empty keeps
+  /// the legacy mesh/torus selection via `torus`. Demands and traffic
+  /// always address the n×n router grid.
+  std::string topo;
   int k = 2;                ///< queue capacity
   Step budget = 4096;       ///< step budget per engine
   Workload demands;         ///< materialized workload (with injection steps)
@@ -43,9 +47,9 @@ struct FuzzCase {
 };
 
 /// Spec-line round trip: "algo=<name> n=<n> torus=<0|1> k=<k> budget=<B>
-/// [traffic=<pattern> rate=<r> tseed=<s> tsteps=<t>]
+/// [topo=<name>] [traffic=<pattern> rate=<r> tseed=<s> tsteps=<t>]
 /// [shards=<s> threads=<t>] demands=<src>-<dst>@<step>,...".
-/// shards/threads are emitted only when != 1.
+/// topo is emitted only when set; shards/threads only when != 1.
 std::string format_fuzz_case(const FuzzCase& c);
 /// Parses a spec line; returns false and sets *error on malformed input.
 bool parse_fuzz_case(const std::string& spec, FuzzCase* out,

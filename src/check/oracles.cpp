@@ -106,7 +106,7 @@ void LinkCapacityOracle::on_step(const Sim& e, const StepDigest& d) {
 }
 
 void ProfitableMoveOracle::on_step(const Sim& e, const StepDigest& d) {
-  const Mesh& mesh = e.mesh();
+  const Topology& mesh = e.mesh();
   for (const MoveRecord& m : d.moves) {
     // Destinations are stable from phase (b) on, so the post-step
     // destination is the one the packet carried when it was transmitted.
@@ -283,7 +283,7 @@ void DigestHasher::mix(const StepDigest& d) {
 }
 
 std::string run_trace_oracles(const std::vector<TraceEvent>& events,
-                              const Mesh& mesh,
+                              const Topology& mesh,
                               const std::vector<Packet>& packets,
                               int queue_capacity, QueueLayout layout) {
   std::ostringstream err;

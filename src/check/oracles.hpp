@@ -24,7 +24,7 @@
 #include "sim/algorithm.hpp"
 #include "sim/sim.hpp"
 #include "sim/trace.hpp"
-#include "topo/mesh.hpp"
+#include "topo/topology.hpp"
 
 namespace mr {
 
@@ -152,7 +152,7 @@ class DigestHasher : public StepObserver {
 /// string when every check passes, else a description of the first
 /// violation.
 std::string run_trace_oracles(const std::vector<TraceEvent>& events,
-                              const Mesh& mesh,
+                              const Topology& mesh,
                               const std::vector<Packet>& packets,
                               int queue_capacity, QueueLayout layout);
 

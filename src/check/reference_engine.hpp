@@ -13,7 +13,7 @@
 //   (d) transmit → (e) update_state → stall detection → observer digest.
 //
 // The two engines share only the Sim base (state layout + fingerprint),
-// Packet, Algorithm and Mesh. Their observable behaviour — fingerprints,
+// Packet, Algorithm and Topology. Their observable behaviour — fingerprints,
 // step digests, counters, stall decisions — must be bit-identical on every
 // input; the differential fuzzer (check/fuzz.hpp) asserts exactly that.
 #pragma once
@@ -22,7 +22,7 @@
 
 #include "sim/algorithm.hpp"
 #include "sim/sim.hpp"
-#include "topo/mesh.hpp"
+#include "topo/topology.hpp"
 
 namespace mr {
 
@@ -30,7 +30,7 @@ class ReferenceEngine : public Sim {
  public:
   /// Same parameters as Engine::Config, taken flat so check/ stays
   /// independent of the optimized engine's header.
-  ReferenceEngine(const Mesh& mesh, int queue_capacity, Step stall_limit,
+  ReferenceEngine(const Topology& topo, int queue_capacity, Step stall_limit,
                   Algorithm& algorithm);
 
   /// See Engine::add_packet.

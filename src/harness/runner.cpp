@@ -4,6 +4,8 @@
 
 #include "routing/registry.hpp"
 #include "telemetry/export.hpp"
+#include "topo/mesh.hpp"
+#include "topo/registry.hpp"
 #include "traffic/pump.hpp"
 
 namespace mr {
@@ -21,18 +23,29 @@ RunResult run_workload(const RunSpec& spec, const Workload& workload) {
 
 RunResult run_workload(const RunSpec& spec, const Workload& workload,
                        const RunHooks& hooks) {
-  const Mesh mesh(spec.width, spec.height, spec.torus);
+  std::unique_ptr<Topology> topo;
+  if (spec.topology.empty()) {
+    topo = std::make_unique<Mesh>(spec.width, spec.height, spec.torus);
+  } else {
+    TopoSpec ts = parse_topology_spec(spec.topology);
+    ts.width = spec.width;
+    ts.height = spec.height;
+    topo = make_topology(ts);
+  }
   const bool open_loop = hooks.traffic != nullptr;
   Engine::Config config;
   config.queue_capacity = spec.queue_capacity;
   config.stall_limit = spec.stall_limit;
   config.stall_counts_pending_injections = open_loop;
   // Phase (b) exchanges are inherently sequential, so an interceptor run
-  // silently falls back to the sequential engine (results are identical
-  // either way; only wall-clock differs).
+  // falls back to the sequential engine (results are identical either way;
+  // only wall-clock differs). The fallback is surfaced through
+  // RunResult::engine_mode rather than silently dropped.
+  const bool wanted_sharded = spec.engine_shards > 1 || spec.engine_threads > 1;
+  const bool fallback = hooks.interceptor != nullptr && wanted_sharded;
   config.shards = hooks.interceptor != nullptr ? 1 : spec.engine_shards;
   config.threads = hooks.interceptor != nullptr ? 1 : spec.engine_threads;
-  Engine engine(mesh, config,
+  Engine engine(*topo, config,
                 [&] { return make_algorithm(spec.algorithm); });
   for (const Demand& d : workload)
     engine.add_packet(d.source, d.dest, d.injected_at);
@@ -80,6 +93,9 @@ RunResult run_workload(const RunSpec& spec, const Workload& workload,
   result.max_queue = engine.max_occupancy_seen();
   result.total_moves = engine.total_moves();
   result.latency = metrics.latency_summary();
+  result.engine_mode = engine.shard_count() > 1 ? "sharded"
+                       : fallback              ? "sequential-fallback"
+                                               : "sequential";
   if (telemetry.profile) result.phase_profile = engine.phase_profile();
 
   if (collector && !telemetry.export_dir.empty()) {
@@ -88,7 +104,7 @@ RunResult run_workload(const RunSpec& spec, const Workload& workload,
     info.algorithm = spec.algorithm;
     info.width = spec.width;
     info.height = spec.height;
-    info.torus = spec.torus;
+    info.torus = topo->is_torus();
     info.queue_capacity = spec.queue_capacity;
     info.layout = engine.queue_layout();
     info.steps = result.steps;

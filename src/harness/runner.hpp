@@ -34,9 +34,13 @@ struct TelemetrySpec {
 };
 
 struct RunSpec {
-  std::int32_t width = 0;
-  std::int32_t height = 0;
+  std::int32_t width = 0;   ///< router columns
+  std::int32_t height = 0;  ///< router rows
   bool torus = false;
+  /// Registry topology name ("mesh", "torus", "cmesh-4", ...; see
+  /// src/topo/registry.hpp). Empty keeps the legacy mesh/torus selection
+  /// via the `torus` flag. width/height always describe the router grid.
+  std::string topology;
   int queue_capacity = 1;  ///< k
   std::string algorithm;   ///< registry name
   Step max_steps = 0;      ///< 0 = auto (generous bound from mesh size)
@@ -84,6 +88,10 @@ struct RunResult {
   std::optional<PhaseProfile> phase_profile;
   /// JSONL path when RunSpec::telemetry exported artefacts, else empty.
   std::string telemetry_path;
+  /// How the engine actually stepped: "sequential", "sharded", or
+  /// "sequential-fallback" (sharding was requested but the run carries an
+  /// interceptor, whose phase (b) is inherently sequential).
+  std::string engine_mode = "sequential";
 };
 
 /// Runs the workload to completion (or to max_steps / stall).

@@ -108,7 +108,8 @@ std::string ScenarioResult::to_json() const {
        << ", \"latency_p50\": " << r.latency.p50
        << ", \"latency_p95\": " << r.latency.p95
        << ", \"latency_p99\": " << r.latency.p99
-       << ", \"latency_max\": " << r.latency.max;
+       << ", \"latency_max\": " << r.latency.max
+       << ", \"engine_mode\": \"" << json::escape(r.engine_mode) << "\"";
     if (!r.telemetry_path.empty())
       os << ", \"telemetry\": \"" << json::escape(r.telemetry_path) << "\"";
     os << "}";
@@ -189,6 +190,10 @@ RunResult ScenarioReport::run(const std::string& run_label,
   if (effective.engine_shards == 1 && effective.engine_threads == 1) {
     effective.engine_shards = options_.engine_shards;
     effective.engine_threads = options_.engine_threads;
+  }
+  if (effective.topology.empty() && !effective.torus &&
+      !options_.topology.empty()) {
+    effective.topology = options_.topology;
   }
   const RunResult r = run_workload(effective, workload, hooks);
   record(run_label, r);
@@ -338,6 +343,10 @@ bool validate_scenario_json(const std::string& path, std::string* error) {
         return fail("runs[" + std::to_string(i) + "] missing or negative \"" +
                     key + "\"");
     }
+    // Optional (older records predate it), but shape-checked when present.
+    const json::Value* mode = r.find("engine_mode");
+    if (mode != nullptr && (!mode->is_string() || mode->string.empty()))
+      return fail("runs[" + std::to_string(i) + "] malformed \"engine_mode\"");
   }
 
   const json::Value* tables = doc->find("tables");

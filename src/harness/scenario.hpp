@@ -108,6 +108,11 @@ struct ScenarioOptions {
   /// only wall-clock changes.
   int engine_shards = 1;
   int engine_threads = 1;
+  /// Registry topology applied to every ScenarioReport::run whose spec did
+  /// not set its own topology or torus flag (meshroute_bench --topology=).
+  /// Scenarios that construct topology-specific workloads keep their own
+  /// network. Empty = no override.
+  std::string topology;
 };
 
 /// The write handle a scenario body reports through.

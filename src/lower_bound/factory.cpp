@@ -7,13 +7,15 @@
 namespace mr {
 
 std::vector<std::string> adversarial_family_names() {
-  return {"main", "dim-order"};
+  return {"main", "dim-order", "torus"};
 }
 
 AdversarialInstance adversarial_instance(const std::string& family,
                                          std::int32_t n, int k,
                                          const std::string& algorithm) {
   AdversarialInstance out;
+  out.width = n;
+  out.height = n;
   if (family == "main") {
     const MainLbParams par = main_lb_params(n, k);
     if (!par.valid) return out;
@@ -38,11 +40,31 @@ AdversarialInstance adversarial_instance(const std::string& family,
     out.exchanges = run.exchanges;
     return out;
   }
+  if (family == "torus") {
+    // §5c: the mesh construction occupies the m×m quadrant (columns and
+    // rows [0, m)) of a 2m×2m torus. Every quadrant-internal shortest path
+    // avoids the wrap links, so the adversary's argument — and the
+    // certified step count — carries over unchanged.
+    out.topology = "torus";
+    if (n % 2 != 0) return out;
+    const std::int32_t m = n / 2;
+    const MainLbParams par = main_lb_params(m, k);
+    if (!par.valid) return out;
+    MainConstruction construction(Mesh::square(n, /*torus=*/true), par);
+    auto run = construction.run_construction(algorithm, k);
+    out.valid = true;
+    out.permutation = std::move(run.constructed);
+    out.certified_steps = par.certified_steps;
+    out.classes = par.classes;
+    out.exchanges = run.exchanges;
+    return out;
+  }
   MR_REQUIRE_MSG(false, "unknown adversarial family '" << family << "'");
   return out;
 }
 
-Workload retarget(const Workload& w, const Mesh& from, const Mesh& to) {
+Workload retarget(const Workload& w, const Topology& from,
+                  const Topology& to) {
   MR_REQUIRE(to.width() >= from.width() && to.height() >= from.height());
   Workload out;
   out.reserve(w.size());

@@ -20,24 +20,34 @@ struct AdversarialInstance {
   Step certified_steps = 0;  ///< the ⌊l⌋·dn lower-bound certificate
   std::int64_t classes = 0;
   std::size_t exchanges = 0;
+  /// The network the permutation addresses (registry name + router grid),
+  /// ready to copy into a RunSpec. The torus family certifies its bound on
+  /// a 2m×2m torus; the mesh families on the n×n mesh.
+  std::string topology = "mesh";
+  std::int32_t width = 0;
+  std::int32_t height = 0;
 };
 
 /// Known family names, in stable order: "main" (Theorem 14, §3–§4, vs a DX
-/// minimal adaptive router) and "dim-order" (§5, vs a dimension-order
-/// router).
+/// minimal adaptive router), "dim-order" (§5, vs a dimension-order
+/// router), and "torus" (§5c: the main construction embedded in the m×m
+/// quadrant of a 2m×2m torus — wrap links offer no shortcut to
+/// quadrant-confined traffic, so the Ω(n²/k²) certificate transfers).
 std::vector<std::string> adversarial_family_names();
 
-/// Builds the family's construction for an n×n mesh with queue size k and
-/// runs it against `algorithm` (which must belong to the family's router
-/// class) to extract the adversarial permutation. Returns .valid = false
-/// when (n, k) is below the construction's size floor. Throws
-/// InvariantViolation for unknown family names.
+/// Builds the family's construction for queue size k and runs it against
+/// `algorithm` (which must belong to the family's router class) to extract
+/// the adversarial permutation. For the mesh families n is the mesh side;
+/// for "torus" n is the torus side (must be even; the construction runs on
+/// the n/2 quadrant). Returns .valid = false when (n, k) is below the
+/// construction's size floor. Throws InvariantViolation for unknown family
+/// names.
 AdversarialInstance adversarial_instance(const std::string& family,
                                          std::int32_t n, int k,
                                          const std::string& algorithm);
 
-/// Re-targets a workload built on mesh `from` onto the congruent top-left
-/// corner of the (at least as large) mesh `to`.
-Workload retarget(const Workload& w, const Mesh& from, const Mesh& to);
+/// Re-targets a workload built on grid `from` onto the congruent top-left
+/// corner of the (at least as large) grid `to`.
+Workload retarget(const Workload& w, const Topology& from, const Topology& to);
 
 }  // namespace mr

@@ -8,14 +8,14 @@
 namespace mr {
 
 void FarthestFirstRouter::plan_out(Sim& e, NodeId u, OutPlan& plan) {
-  const Mesh& mesh = e.mesh();
+  const Topology& mesh = e.mesh();
   // Per outlink, remember the best (farthest-in-that-dimension) candidate.
   std::array<std::int32_t, kNumDirs> best_dist{-1, -1, -1, -1};
   for (PacketId p : e.packets_at(u)) {
     const Packet& pk = e.packet(p);
     Dir d;
     if (!dimension_order_dir(e.profitable_mask(p), d)) continue;
-    const Mesh::Delta delta = mesh.delta(u, pk.dest);
+    const Delta delta = mesh.delta(u, pk.dest);
     const std::int32_t dist =
         (d == Dir::East || d == Dir::West) ? std::abs(delta.east)
                                            : std::abs(delta.north);

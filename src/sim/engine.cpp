@@ -9,8 +9,8 @@
 
 namespace mr {
 
-Engine::Engine(const Mesh& mesh, Config config, Algorithm& algorithm)
-    : Sim(mesh, config.queue_capacity, algorithm.queue_layout(),
+Engine::Engine(const Topology& topo, Config config, Algorithm& algorithm)
+    : Sim(topo, config.queue_capacity, algorithm.queue_layout(),
           /*masks_cached=*/true),
       algorithm_(&algorithm),
       stall_limit_(config.stall_limit),
@@ -25,13 +25,13 @@ Engine::Engine(const Mesh& mesh, Config config, Algorithm& algorithm)
                  "AlgorithmFactory constructor");
 }
 
-Engine::Engine(const Mesh& mesh, Config config, const AlgorithmFactory& factory)
-    : Engine(mesh, config, factory(), factory) {}
+Engine::Engine(const Topology& topo, Config config, const AlgorithmFactory& factory)
+    : Engine(topo, config, factory(), factory) {}
 
-Engine::Engine(const Mesh& mesh, Config config,
+Engine::Engine(const Topology& topo, Config config,
                std::unique_ptr<Algorithm> first,
                const AlgorithmFactory& factory)
-    : Sim(mesh, config.queue_capacity, first->queue_layout(),
+    : Sim(topo, config.queue_capacity, first->queue_layout(),
           /*masks_cached=*/true),
       algorithm_(first.get()),
       stall_limit_(config.stall_limit),
@@ -58,25 +58,36 @@ void Engine::init_engine(const Config& config) {
                  "Config::shards must be >= 1, got " << config.shards);
   MR_REQUIRE_MSG(config.threads >= 0,
                  "Config::threads must be >= 0, got " << config.threads);
-  const auto n = static_cast<std::size_t>(mesh_.num_nodes());
+  const auto n = static_cast<std::size_t>(num_nodes_);
   is_active_.assign(n, 0);
   if (layout_ == QueueLayout::PerInlink) inlink_occ_.assign(n * kNumDirs, 0);
 
+  // Devirtualise the topology for the step loops: one flat neighbour
+  // lookup per (node, direction), filled from the virtual kernel here and
+  // never consulted again.
+  neighbor_tab_.assign(n * kNumDirs, kInvalidNode);
+  for (NodeId u = 0; u < num_nodes_; ++u)
+    for (int di = 0; di < kNumDirs; ++di) {
+      const Dir d = static_cast<Dir>(di);
+      neighbor_tab_[static_cast<std::size_t>(u) * kNumDirs +
+                    static_cast<std::size_t>(di)] = topo_->neighbor(u, d);
+    }
+
   // Row bands: band s owns rows [s*H/S, (s+1)*H/S), i.e. the contiguous
   // NodeId range [row_begin*W, row_end*W) under the row-major id layout.
-  num_shards_ = std::min(config.shards, mesh_.height());
-  band_of_row_.assign(static_cast<std::size_t>(mesh_.height()), 0);
+  num_shards_ = std::min(config.shards, topo_height_);
+  band_of_row_.assign(static_cast<std::size_t>(topo_height_), 0);
   shards_.clear();
   shards_.resize(static_cast<std::size_t>(num_shards_));
   for (int s = 0; s < num_shards_; ++s) {
     const auto row_begin = static_cast<std::int32_t>(
-        static_cast<std::int64_t>(s) * mesh_.height() / num_shards_);
+        static_cast<std::int64_t>(s) * topo_height_ / num_shards_);
     const auto row_end = static_cast<std::int32_t>(
-        static_cast<std::int64_t>(s + 1) * mesh_.height() / num_shards_);
+        static_cast<std::int64_t>(s + 1) * topo_height_ / num_shards_);
     for (std::int32_t r = row_begin; r < row_end; ++r)
       band_of_row_[static_cast<std::size_t>(r)] = s;
-    shards_[static_cast<std::size_t>(s)].node_begin = row_begin * mesh_.width();
-    shards_[static_cast<std::size_t>(s)].node_end = row_end * mesh_.width();
+    shards_[static_cast<std::size_t>(s)].node_begin = row_begin * topo_width_;
+    shards_[static_cast<std::size_t>(s)].node_end = row_end * topo_width_;
   }
   if (num_shards_ > 1) {
     std::size_t threads = config.threads == 0
@@ -141,7 +152,7 @@ void Engine::place_packet(PacketId p, NodeId node, QueueTag tag,
   pk.location = node;
   pk.queue = tag;
   pk.arrived_at = step_;
-  pk.profitable = mesh_.profitable_dirs(node, pk.dest);
+  pk.profitable = topo_->profitable_dirs(node, pk.dest);
   pk.slot = node_packets_.push_back(node, p);
   if (layout_ == QueueLayout::PerInlink) ++inlink_occ_[inlink_index(node, tag)];
   if (!is_active_[node]) {
@@ -245,7 +256,7 @@ QueueTag Engine::injection_queue_tag(PacketId p) const {
   // routers see row packets in E/W queues. Uses only profitable directions,
   // hence destination-exchangeable-safe.
   const Packet& pk = packets_[p];
-  const DirMask m = mesh_.profitable_dirs(pk.source, pk.dest);
+  const DirMask m = topo_->profitable_dirs(pk.source, pk.dest);
   for (Dir d : {Dir::East, Dir::West, Dir::North, Dir::South})
     if (mask_has(m, d)) return static_cast<QueueTag>(dir_index(opposite(d)));
   return static_cast<QueueTag>(dir_index(Dir::South));
@@ -290,7 +301,7 @@ void Engine::validate_out_plan(NodeId u, const OutPlan& plan) {
     MR_REQUIRE_MSG(!packet_scheduled_[p],
                    "packet " << p << " scheduled on two outlinks");
     packet_scheduled_[p] = 1;
-    MR_REQUIRE_MSG(mesh_.neighbor(u, d) != kInvalidNode,
+    MR_REQUIRE_MSG(neighbor_of(u, d) != kInvalidNode,
                    "node " << u << " scheduled packet off the mesh edge");
     if (enforce_minimal_) {
       // pk.profitable caches profitable_dirs(pk.location, pk.dest) and
@@ -303,9 +314,9 @@ void Engine::validate_out_plan(NodeId u, const OutPlan& plan) {
     } else if (max_stray_ >= 0) {
       // §5 nonminimal extension: a packet may never move more than δ nodes
       // beyond the rectangle of its shortest source→destination paths.
-      const Coord target = mesh_.coord_of(mesh_.neighbor(u, d));
-      const Coord s = mesh_.coord_of(pk.source);
-      const Coord t = mesh_.coord_of(pk.dest);
+      const Coord target = topo_->coord_of(neighbor_of(u, d));
+      const Coord s = topo_->coord_of(pk.source);
+      const Coord t = topo_->coord_of(pk.dest);
       const bool inside =
           target.col >= std::min(s.col, t.col) - max_stray_ &&
           target.col <= std::max(s.col, t.col) + max_stray_ &&
@@ -354,7 +365,7 @@ bool Engine::step_once() {
     for (Dir d : kAllDirs) {
       const PacketId p = out_plan_.scheduled(d);
       if (p == kInvalidPacket) continue;
-      moves_.push_back(ScheduledMove{p, u, mesh_.neighbor(u, d), d});
+      moves_.push_back(ScheduledMove{p, u, neighbor_of(u, d), d});
     }
   }
   // Clear the double-schedule flags set by validate_out_plan: exactly the
@@ -398,7 +409,7 @@ bool Engine::step_once() {
   // moves_ is produced in ascending sender order, and for a fixed travel
   // direction the neighbor map is monotone in the sender, so every bucket
   // is already sorted by receiving node — except across torus wrap links.
-  if (mesh_.is_torus()) {
+  if (wraps_) {
     for (auto& bucket : dir_offers_)
       std::sort(bucket.begin(), bucket.end(),
                 [](const Offer& a, const Offer& b) { return a.to < b.to; });
@@ -630,7 +641,7 @@ bool Engine::step_parallel() {
       for (Dir d : kAllDirs) {
         const PacketId p = sh.out_plan.scheduled(d);
         if (p == kInvalidPacket) continue;
-        sh.moves.push_back(ScheduledMove{p, u, mesh_.neighbor(u, d), d});
+        sh.moves.push_back(ScheduledMove{p, u, neighbor_of(u, d), d});
       }
     }
     for (const ScheduledMove& m : sh.moves) packet_scheduled_[m.packet] = 0;
@@ -689,7 +700,7 @@ bool Engine::step_parallel() {
       const auto& own = sh.dir_offers[dir_index(d)];
       list.insert(list.end(), own.begin(), own.end());
     }
-    if (mesh_.is_torus()) {
+    if (wraps_) {
       // Wrap links break the monotone-receiver property (mirrors the
       // sequential torus sort). Keys are unique per direction: a receiver
       // has one inlink per direction.
@@ -911,7 +922,7 @@ void Engine::exchange_destinations(PacketId a, PacketId b) {
   for (PacketId p : {a, b}) {
     Packet& pk = packets_[p];
     if (pk.location != kInvalidNode)
-      pk.profitable = mesh_.profitable_dirs(pk.location, pk.dest);
+      pk.profitable = topo_->profitable_dirs(pk.location, pk.dest);
   }
   ++exchange_count_;
 }

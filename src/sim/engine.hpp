@@ -52,7 +52,7 @@
 #include "sim/algorithm.hpp"
 #include "sim/packet.hpp"
 #include "sim/sim.hpp"
-#include "topo/mesh.hpp"
+#include "topo/topology.hpp"
 
 namespace mr {
 
@@ -134,8 +134,8 @@ class Engine : public Sim {
   /// state must live in the Sim (true for every in-tree algorithm).
   using AlgorithmFactory = std::function<std::unique_ptr<Algorithm>()>;
 
-  Engine(const Mesh& mesh, Config config, Algorithm& algorithm);
-  Engine(const Mesh& mesh, Config config, const AlgorithmFactory& factory);
+  Engine(const Topology& topo, Config config, Algorithm& algorithm);
+  Engine(const Topology& topo, Config config, const AlgorithmFactory& factory);
 
   // --- setup (before prepare()) ----------------------------------------
   /// Adds a packet. injected_at = 0 places it in its source queue before
@@ -272,9 +272,16 @@ class Engine : public Sim {
   std::size_t inlink_index(NodeId u, QueueTag tag) const {
     return static_cast<std::size_t>(u) * kNumDirs + tag;
   }
+  /// Devirtualised neighbour lookup for the plan/validate inner loops:
+  /// one flat table built from the topology at construction, indexed by
+  /// (node, direction). kInvalidNode marks a missing link.
+  NodeId neighbor_of(NodeId u, Dir d) const {
+    return neighbor_tab_[static_cast<std::size_t>(u) * kNumDirs +
+                         static_cast<std::size_t>(dir_index(d))];
+  }
 
   // --- sharded stepping (see DESIGN.md §9) ------------------------------
-  Engine(const Mesh& mesh, Config config, std::unique_ptr<Algorithm> first,
+  Engine(const Topology& topo, Config config, std::unique_ptr<Algorithm> first,
          const AlgorithmFactory& factory);
   /// Shared constructor tail: validates the config, sizes the per-node
   /// state, carves the row bands and creates the worker pool.
@@ -296,7 +303,7 @@ class Engine : public Sim {
   bool step_parallel();
   int shard_of_node(NodeId u) const {
     return band_of_row_[static_cast<std::size_t>(u) /
-                        static_cast<std::size_t>(mesh_.width())];
+                        static_cast<std::size_t>(topo_width_)];
   }
 
   Algorithm* algorithm_;  ///< instance 0; planning uses shard_algorithms_
@@ -319,6 +326,11 @@ class Engine : public Sim {
   /// PerInlink layout only: occupancy counter per (node, inlink queue),
   /// updated in place_packet/remove_from_node.
   std::vector<std::int32_t> inlink_occ_;
+
+  /// Flat (node × direction) neighbour table; see neighbor_of(). Built
+  /// once in init_engine so the step loops never call the virtual
+  /// Topology::neighbor.
+  std::vector<NodeId> neighbor_tab_;
 
   // injection buffer: (step, packet) sorted ascending; cursor advances.
   std::vector<std::pair<Step, PacketId>> injections_;

@@ -17,15 +17,19 @@ struct Fnv {
 };
 }  // namespace
 
-Sim::Sim(const Mesh& mesh, int queue_capacity, QueueLayout layout,
+Sim::Sim(const Topology& topo, int queue_capacity, QueueLayout layout,
          bool masks_cached)
-    : mesh_(mesh),
+    : topo_(topo.clone()),
+      num_nodes_(topo.num_nodes()),
+      topo_width_(topo.width()),
+      topo_height_(topo.height()),
+      wraps_(topo.is_torus()),
       queue_capacity_(queue_capacity),
       layout_(layout),
       masks_cached_(masks_cached) {
   MR_REQUIRE_MSG(queue_capacity_ >= 1,
                  "queue capacity k must be positive, got " << queue_capacity_);
-  const auto n = static_cast<std::size_t>(mesh_.num_nodes());
+  const auto n = static_cast<std::size_t>(num_nodes_);
   // Slab stride: full layout capacity plus one arrival per inlink of
   // transient headroom (phase (d) inserts before the capacity check runs).
   const std::int32_t per_node =
@@ -49,8 +53,8 @@ void Sim::add_observer(Observer* observer) {
 }
 
 PacketId Sim::register_packet(NodeId source, NodeId dest, Step injected_at) {
-  MR_REQUIRE(source >= 0 && source < mesh_.num_nodes());
-  MR_REQUIRE(dest >= 0 && dest < mesh_.num_nodes());
+  MR_REQUIRE(source >= 0 && source < num_nodes_);
+  MR_REQUIRE(dest >= 0 && dest < num_nodes_);
   MR_REQUIRE(injected_at >= 0);
   Packet pk;
   pk.id = static_cast<PacketId>(packets_.size());
@@ -63,7 +67,7 @@ PacketId Sim::register_packet(NodeId source, NodeId dest, Step injected_at) {
 
 std::uint64_t Sim::fingerprint(bool include_dest) const {
   Fnv f;
-  for (NodeId u = 0; u < mesh_.num_nodes(); ++u) {
+  for (NodeId u = 0; u < num_nodes_; ++u) {
     const std::span<const PacketId> q = node_packets_.at(u);
     if (q.empty() && node_state_[u] == 0) continue;
     f.mix(static_cast<std::uint64_t>(u));

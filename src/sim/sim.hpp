@@ -34,7 +34,7 @@
 #include "core/types.hpp"
 #include "sim/node_queues.hpp"
 #include "sim/packet.hpp"
-#include "topo/mesh.hpp"
+#include "topo/topology.hpp"
 
 namespace mr {
 
@@ -44,7 +44,7 @@ class LegacyObserverAdapter;
 
 class Sim {
  public:
-  Sim(const Mesh& mesh, int queue_capacity, QueueLayout layout,
+  Sim(const Topology& topo, int queue_capacity, QueueLayout layout,
       bool masks_cached);
   virtual ~Sim();
 
@@ -52,7 +52,11 @@ class Sim {
   Sim& operator=(const Sim&) = delete;
 
   // --- configuration -----------------------------------------------------
-  const Mesh& mesh() const { return mesh_; }
+  /// The network being routed on. Historically this was the concrete Mesh;
+  /// the accessor keeps its name so call sites read naturally, but any
+  /// registered Topology may be behind it.
+  const Topology& mesh() const { return *topo_; }
+  const Topology& topology() const { return *topo_; }
   int queue_capacity() const { return queue_capacity_; }
   QueueLayout queue_layout() const { return layout_; }
 
@@ -98,7 +102,7 @@ class Sim {
   DirMask profitable_mask(PacketId p) const {
     const Packet& pk = packets_[p];
     if (masks_cached_) return pk.profitable;
-    return mesh_.profitable_dirs(pk.location, pk.dest);
+    return topo_->profitable_dirs(pk.location, pk.dest);
   }
 
   std::uint64_t node_state(NodeId u) const { return node_state_[u]; }
@@ -135,7 +139,15 @@ class Sim {
   /// Validates and appends a new packet record (shared add_packet core).
   PacketId register_packet(NodeId source, NodeId dest, Step injected_at);
 
-  Mesh mesh_;
+  /// Owned clone of the construction-time topology (Sim is non-copyable,
+  /// so a unique_ptr suffices). Hot paths read the cached scalars below
+  /// instead of chasing this pointer.
+  std::unique_ptr<const Topology> topo_;
+  /// Cached grid scalars (== topo_->num_nodes()/width()/height()/is_torus()).
+  NodeId num_nodes_;
+  std::int32_t topo_width_;
+  std::int32_t topo_height_;
+  bool wraps_;
   int queue_capacity_;
   QueueLayout layout_;
   /// True when the implementation maintains Packet::profitable; false

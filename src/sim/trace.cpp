@@ -53,7 +53,7 @@ void TraceRecorder::write_jsonl(std::ostream& os) const {
 }
 
 bool TraceRecorder::all_moves_minimal(
-    const Mesh& mesh, const std::vector<Packet>& packets) const {
+    const Topology& mesh, const std::vector<Packet>& packets) const {
   for (const TraceEvent& ev : events_) {
     if (ev.kind != TraceEventKind::Move) continue;
     const NodeId dest = packets[static_cast<std::size_t>(ev.packet)].dest;

@@ -11,7 +11,7 @@
 
 #include "sim/algorithm.hpp"
 #include "sim/packet.hpp"
-#include "topo/mesh.hpp"
+#include "topo/topology.hpp"
 
 namespace mr {
 
@@ -53,7 +53,7 @@ class TraceRecorder : public Observer {
 
   /// True iff every recorded move reduces the L1 distance to the packet's
   /// final destination — replays the minimality invariant offline.
-  bool all_moves_minimal(const Mesh& mesh,
+  bool all_moves_minimal(const Topology& mesh,
                          const std::vector<Packet>& packets) const;
 
   /// True iff no directed link carries two packets in the same step.

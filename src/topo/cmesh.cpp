@@ -1,0 +1,41 @@
+#include "topo/cmesh.hpp"
+
+#include <sstream>
+
+namespace mr {
+
+CMesh::CMesh(std::int32_t width, std::int32_t height,
+             std::int32_t concentration)
+    : Topology(width, height, /*wraps=*/false), concentration_(concentration) {
+  MR_REQUIRE_MSG(concentration >= 1,
+                 "cmesh concentration must be positive, got " << concentration);
+}
+
+std::string CMesh::name() const {
+  std::ostringstream os;
+  os << "cmesh-" << concentration_;
+  return os.str();
+}
+
+NodeId CMesh::neighbor(NodeId id, Dir d) const {
+  Coord c = coord_of(id);
+  switch (d) {
+    case Dir::North: c.row += 1; break;
+    case Dir::South: c.row -= 1; break;
+    case Dir::East: c.col += 1; break;
+    case Dir::West: c.col -= 1; break;
+  }
+  if (!contains(c)) return kInvalidNode;
+  return id_of(c);
+}
+
+mr::Delta CMesh::delta(NodeId from, NodeId to) const {
+  const Coord a = coord_of(from);
+  const Coord b = coord_of(to);
+  mr::Delta d;
+  d.east = b.col - a.col;
+  d.north = b.row - a.row;
+  return d;
+}
+
+}  // namespace mr

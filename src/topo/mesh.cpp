@@ -1,15 +1,6 @@
 #include "topo/mesh.hpp"
 
-#include <cstdlib>
-
 namespace mr {
-
-Mesh::Mesh(std::int32_t width, std::int32_t height, bool torus)
-    : width_(width), height_(height), torus_(torus) {
-  MR_REQUIRE_MSG(width >= 1 && height >= 1,
-                 "mesh dimensions must be positive, got " << width << "x"
-                                                          << height);
-}
 
 NodeId Mesh::neighbor(NodeId id, Dir d) const {
   Coord c = coord_of(id);
@@ -19,20 +10,20 @@ NodeId Mesh::neighbor(NodeId id, Dir d) const {
     case Dir::East: c.col += 1; break;
     case Dir::West: c.col -= 1; break;
   }
-  if (torus_) {
-    c.col = (c.col + width_) % width_;
-    c.row = (c.row + height_) % height_;
+  if (is_torus()) {
+    c.col = (c.col + width()) % width();
+    c.row = (c.row + height()) % height();
     return id_of(c);
   }
   if (!contains(c)) return kInvalidNode;
   return id_of(c);
 }
 
-Mesh::Delta Mesh::delta(NodeId from, NodeId to) const {
+mr::Delta Mesh::delta(NodeId from, NodeId to) const {
   const Coord a = coord_of(from);
   const Coord b = coord_of(to);
-  Delta d;
-  if (!torus_) {
+  mr::Delta d;
+  if (!is_torus()) {
     d.east = b.col - a.col;
     d.north = b.row - a.row;
     return d;
@@ -48,31 +39,9 @@ Mesh::Delta Mesh::delta(NodeId from, NodeId to) const {
     tie = (fwd == bwd);
     return fwd <= bwd ? fwd : -bwd;
   };
-  d.east = wrap_delta(a.col, b.col, width_, d.east_tie);
-  d.north = wrap_delta(a.row, b.row, height_, d.north_tie);
+  d.east = wrap_delta(a.col, b.col, width(), d.east_tie);
+  d.north = wrap_delta(a.row, b.row, height(), d.north_tie);
   return d;
-}
-
-std::int32_t Mesh::distance(NodeId from, NodeId to) const {
-  const Delta d = delta(from, to);
-  return std::abs(d.east) + std::abs(d.north);
-}
-
-DirMask Mesh::profitable_dirs(NodeId from, NodeId to) const {
-  const Delta d = delta(from, to);
-  DirMask m = 0;
-  if (d.east > 0 || (d.east != 0 && d.east_tie)) m |= dir_bit(Dir::East);
-  if (d.east < 0 || (d.east != 0 && d.east_tie)) m |= dir_bit(Dir::West);
-  if (d.north > 0 || (d.north != 0 && d.north_tie)) m |= dir_bit(Dir::North);
-  if (d.north < 0 || (d.north != 0 && d.north_tie)) m |= dir_bit(Dir::South);
-  return m;
-}
-
-std::vector<NodeId> Mesh::all_nodes() const {
-  std::vector<NodeId> v;
-  v.reserve(static_cast<std::size_t>(num_nodes()));
-  for (NodeId id = 0; id < num_nodes(); ++id) v.push_back(id);
-  return v;
 }
 
 }  // namespace mr

@@ -7,81 +7,38 @@
 // torus).
 #pragma once
 
-#include <vector>
-
-#include "core/assert.hpp"
-#include "core/types.hpp"
+#include "topo/topology.hpp"
 
 namespace mr {
 
-class Mesh {
+class Mesh final : public Topology {
  public:
   /// An n×m mesh (width = columns, height = rows). `torus` adds wrap links.
-  Mesh(std::int32_t width, std::int32_t height, bool torus = false);
+  Mesh(std::int32_t width, std::int32_t height, bool torus = false)
+      : Topology(width, height, torus) {}
 
   /// Square n×n mesh.
   static Mesh square(std::int32_t n, bool torus = false) {
     return Mesh(n, n, torus);
   }
 
-  std::int32_t width() const { return width_; }
-  std::int32_t height() const { return height_; }
-  bool is_torus() const { return torus_; }
-  std::int32_t num_nodes() const { return width_ * height_; }
+  /// Legacy alias for mr::Delta (pre-Topology call sites).
+  using Delta = mr::Delta;
 
-  bool contains(Coord c) const {
-    return c.col >= 0 && c.col < width_ && c.row >= 0 && c.row < height_;
-  }
+  std::string name() const override { return is_torus() ? "torus" : "mesh"; }
 
-  NodeId id_of(Coord c) const {
-    MR_REQUIRE(contains(c));
-    return c.row * width_ + c.col;
-  }
-  NodeId id_of(std::int32_t col, std::int32_t row) const {
-    return id_of(Coord{col, row});
-  }
-
-  Coord coord_of(NodeId id) const {
-    MR_REQUIRE(id >= 0 && id < num_nodes());
-    return Coord{id % width_, id / width_};
+  std::unique_ptr<Topology> clone() const override {
+    return std::make_unique<Mesh>(*this);
   }
 
   /// Neighbour in direction d, or kInvalidNode if off the mesh edge.
-  NodeId neighbor(NodeId id, Dir d) const;
+  NodeId neighbor(NodeId id, Dir d) const override;
 
-  /// Signed displacement needed in each dimension to reach `to` from `from`
-  /// along a shortest path: (east_delta, north_delta). On the torus the
-  /// smaller wrap is chosen; an exact tie reports the positive direction
-  /// but both_profitable() captures the ambiguity.
-  struct Delta {
-    std::int32_t east = 0;   ///< >0 move east, <0 move west
-    std::int32_t north = 0;  ///< >0 move north, <0 move south
-    bool east_tie = false;   ///< torus: both E and W are shortest
-    bool north_tie = false;  ///< torus: both N and S are shortest
-  };
-  Delta delta(NodeId from, NodeId to) const;
-
-  /// L1 (shortest-path) distance.
-  std::int32_t distance(NodeId from, NodeId to) const;
-
-  /// Profitable outlinks of a packet at `from` destined for `to`: the
-  /// directions that strictly reduce distance (paper §2). Empty iff
-  /// from == to.
-  DirMask profitable_dirs(NodeId from, NodeId to) const;
-
-  /// True if moving from `from` in direction d strictly reduces the
-  /// distance to `to`.
-  bool is_profitable(NodeId from, Dir d, NodeId to) const {
-    return mask_has(profitable_dirs(from, to), d);
-  }
-
-  /// All node ids, row-major (south row first).
-  std::vector<NodeId> all_nodes() const;
-
- private:
-  std::int32_t width_;
-  std::int32_t height_;
-  bool torus_;
+  /// Shortest-path displacement. On the torus the smaller wrap is chosen;
+  /// an exact tie (even dimension, displacement exactly dim/2) reports the
+  /// positive direction with the corresponding `*_tie` flag set, and
+  /// profitable_dirs() then contains both directions of that dimension.
+  mr::Delta delta(NodeId from, NodeId to) const override;
 };
 
 }  // namespace mr

@@ -1,0 +1,63 @@
+// Factory and catalog for the built-in topologies, mirroring the
+// Algorithm registry in src/routing/registry.hpp. Used by the harness
+// (`RunSpec::topology`), `meshroute_bench --topology=/--list`, and the
+// differential fuzzer (`topo=` spec key).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace mr {
+
+/// Typed construction parameters. Only the fields a topology consumes
+/// matter to it (concentration is currently cmesh-only).
+struct TopoParams {
+  std::int32_t concentration = 4;  ///< terminals per router (cmesh)
+};
+
+/// A fully specified topology: catalog name + router-grid dimensions +
+/// typed parameters. The string spellings ("cmesh-4") parse into this.
+struct TopoSpec {
+  std::string name = "mesh";
+  std::int32_t width = 0;   ///< router columns
+  std::int32_t height = 0;  ///< router rows
+  TopoParams params;
+};
+
+/// One catalog entry, surfaced by `meshroute_bench --list`.
+struct TopologyInfo {
+  std::string name;         ///< default registry spelling, e.g. "cmesh-4"
+  std::string description;  ///< one line
+  bool wraps = false;       ///< has wrap-around links (torus)
+  std::int32_t concentration = 1;  ///< terminals per router
+};
+
+/// All registered topologies, in a stable order.
+const std::vector<TopologyInfo>& topology_catalog();
+
+/// Creates a fresh instance from a typed spec. Throws InvariantViolation
+/// for unknown names, non-positive dimensions, or out-of-range
+/// parameters. Known names: "mesh", "torus", "cmesh" (parameterised by
+/// params.concentration).
+std::unique_ptr<Topology> make_topology(const TopoSpec& spec);
+
+/// String convenience wrapper: parses "cmesh-N" into a TopoSpec with
+/// concentration = N; every other name passes through unchanged.
+std::unique_ptr<Topology> make_topology(const std::string& name,
+                                        std::int32_t width,
+                                        std::int32_t height);
+
+/// Parses a registry spelling into a typed spec (no instantiation, no
+/// validation beyond the numeric suffix shape). Dimensions are left 0.
+TopoSpec parse_topology_spec(const std::string& name);
+
+/// True if `name` parses to a registered topology family.
+bool known_topology(const std::string& name);
+
+/// Names of all registered topologies, in catalog order.
+std::vector<std::string> topology_names();
+
+}  // namespace mr

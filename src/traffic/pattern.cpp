@@ -33,60 +33,71 @@ const std::vector<TrafficPattern>& all_traffic_patterns() {
   return patterns;
 }
 
-NodeId hotspot_sink(const Mesh& mesh, const TrafficSpec& spec) {
+NodeId hotspot_sink(const Topology& topo, const TrafficSpec& spec) {
   if (spec.hotspot_sink != kInvalidNode) {
     MR_REQUIRE(spec.hotspot_sink >= 0 &&
-               spec.hotspot_sink < mesh.num_nodes());
+               spec.hotspot_sink < topo.num_terminals());
     return spec.hotspot_sink;
   }
-  return mesh.id_of(mesh.width() / 2, mesh.height() / 2);
+  return topo.terminal_of(topo.id_of(topo.width() / 2, topo.height() / 2), 0);
 }
 
 namespace {
 
-/// Uniform over all nodes except `src` (an empty draw is impossible for
-/// meshes with >= 2 nodes, which Mesh already guarantees).
-NodeId uniform_other(const Mesh& mesh, NodeId src, Rng& rng) {
-  const NodeId n = mesh.num_nodes();
+/// Uniform over all terminals except `src` (an empty draw is impossible
+/// for networks with >= 2 terminals, which Topology already guarantees).
+NodeId uniform_other(const Topology& topo, NodeId src, Rng& rng) {
+  const NodeId n = topo.num_terminals();
   const NodeId pick =
       static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
   return pick >= src ? pick + 1 : pick;
 }
 
+/// Terminal slot of `t` on its router. Terminal ids of one router are
+/// contiguous (slot 0 first) for every in-tree topology.
+std::int32_t slot_of(const Topology& topo, NodeId t, NodeId router) {
+  return t - topo.terminal_of(router, 0);
+}
+
 }  // namespace
 
-NodeId traffic_destination(const Mesh& mesh, const TrafficSpec& spec,
+NodeId traffic_destination(const Topology& topo, const TrafficSpec& spec,
                            NodeId src, Rng& rng) {
-  const Coord s = mesh.coord_of(src);
+  const NodeId src_router = topo.terminal_router(src);
+  const std::int32_t slot = slot_of(topo, src, src_router);
+  const Coord s = topo.coord_of(src_router);
   switch (spec.pattern) {
     case TrafficPattern::UniformRandom:
-      return uniform_other(mesh, src, rng);
+      return uniform_other(topo, src, rng);
     case TrafficPattern::Transpose: {
-      MR_REQUIRE_MSG(mesh.width() == mesh.height(),
+      MR_REQUIRE_MSG(topo.width() == topo.height(),
                      "transpose needs a square mesh");
-      const NodeId dest = mesh.id_of(s.row, s.col);
+      const NodeId dest = topo.terminal_of(topo.id_of(s.row, s.col), slot);
       return dest == src ? kInvalidNode : dest;
     }
     case TrafficPattern::BitComplement: {
-      const NodeId dest =
-          mesh.id_of(mesh.width() - 1 - s.col, mesh.height() - 1 - s.row);
+      const NodeId dest = topo.terminal_of(
+          topo.id_of(topo.width() - 1 - s.col, topo.height() - 1 - s.row),
+          topo.concentration() - 1 - slot);
       return dest == src ? kInvalidNode : dest;
     }
     case TrafficPattern::Tornado: {
-      const std::int32_t dc = (mesh.width() - 1) / 2;
-      const std::int32_t dr = (mesh.height() - 1) / 2;
-      const NodeId dest = mesh.id_of((s.col + dc) % mesh.width(),
-                                     (s.row + dr) % mesh.height());
+      const std::int32_t dc = (topo.width() - 1) / 2;
+      const std::int32_t dr = (topo.height() - 1) / 2;
+      const NodeId dest =
+          topo.terminal_of(topo.id_of((s.col + dc) % topo.width(),
+                                      (s.row + dr) % topo.height()),
+                           slot);
       return dest == src ? kInvalidNode : dest;
     }
     case TrafficPattern::Hotspot: {
-      const NodeId sink = hotspot_sink(mesh, spec);
+      const NodeId sink = hotspot_sink(topo, spec);
       // The sink's own draw falls through to uniform background traffic,
       // and a uniform draw that hits the sink stays there: the sink's
       // arrival share is hotspot_fraction + (1-f)/(n-1) of all packets.
       if (src != sink && rng.next_double() < spec.hotspot_fraction)
         return sink;
-      return uniform_other(mesh, src, rng);
+      return uniform_other(topo, src, rng);
     }
   }
   MR_REQUIRE_MSG(false, "unknown traffic pattern");

@@ -1,9 +1,17 @@
 // Spatial traffic patterns for open-loop (continuous-injection) workloads:
 // the classic interconnect-simulator set — uniform random, transpose,
-// bit-complement, tornado and hotspot — mapping an injecting node to a
-// destination. Deterministic patterns are pure coordinate maps; the
-// stochastic ones (uniform, hotspot) draw from the caller's Rng, so a
+// bit-complement, tornado and hotspot — mapping an injecting terminal to a
+// destination terminal. Deterministic patterns are pure coordinate maps;
+// the stochastic ones (uniform, hotspot) draw from the caller's Rng, so a
 // fixed seed reproduces the exact stream.
+//
+// Patterns operate in TERMINAL space (Topology's injection/ejection
+// endpoints). On unconcentrated topologies terminals coincide with
+// routers, so the maps reduce exactly to the classic per-node forms. On a
+// concentrated mesh the deterministic maps act on the router coordinate
+// and carry the terminal slot along (transpose/tornado preserve the slot,
+// bit-complement mirrors it), matching booksim2's cmesh convention that
+// the pattern permutes terminals, not routers.
 #pragma once
 
 #include <string>
@@ -11,13 +19,13 @@
 
 #include "core/rng.hpp"
 #include "core/types.hpp"
-#include "topo/mesh.hpp"
+#include "topo/topology.hpp"
 
 namespace mr {
 
 enum class TrafficPattern : std::uint8_t {
-  UniformRandom,  ///< destination uniform over all other nodes
-  Transpose,      ///< (c, r) -> (r, c); diagonal nodes do not inject
+  UniformRandom,  ///< destination uniform over all other terminals
+  Transpose,      ///< (c, r) -> (r, c); diagonal terminals do not inject
   BitComplement,  ///< (c, r) -> (W-1-c, H-1-r); a fixed point never injects
   Tornado,        ///< (c, r) -> (c + floor((W-1)/2) mod W, r + floor((H-1)/2) mod H)
   Hotspot,        ///< with prob. hotspot_fraction the sink, else uniform
@@ -29,28 +37,31 @@ const char* traffic_pattern_name(TrafficPattern p);
 bool parse_traffic_pattern(const std::string& name, TrafficPattern* out);
 const std::vector<TrafficPattern>& all_traffic_patterns();
 
-/// One open-loop traffic configuration: spatial pattern + per-node
+/// One open-loop traffic configuration: spatial pattern + per-terminal
 /// injection rate + stream seed.
 struct TrafficSpec {
   TrafficPattern pattern = TrafficPattern::UniformRandom;
-  /// Per-node per-step injection probability (offered load), in [0, 1].
+  /// Per-terminal per-step injection probability (offered load), in [0, 1].
   double rate = 0.1;
   std::uint64_t seed = 1;
   /// Hotspot only: probability an injected packet targets the sink.
   double hotspot_fraction = 0.2;
-  /// Hotspot only: the sink node; kInvalidNode = the mesh center.
+  /// Hotspot only: the sink terminal; kInvalidNode = slot 0 of the center
+  /// router.
   NodeId hotspot_sink = kInvalidNode;
 };
 
-/// Resolves the hotspot sink of `spec` on `mesh` (the configured node, or
-/// the center when unset).
-NodeId hotspot_sink(const Mesh& mesh, const TrafficSpec& spec);
+/// Resolves the hotspot sink terminal of `spec` on `topo` (the configured
+/// terminal, or slot 0 of the center router when unset).
+NodeId hotspot_sink(const Topology& topo, const TrafficSpec& spec);
 
-/// Destination for a packet injected at `src`, or kInvalidNode when the
-/// pattern gives this source nothing to send (transpose diagonal,
-/// bit-complement fixed point, zero tornado shift). Never returns `src`
-/// itself. Only the stochastic patterns consume `rng`.
-NodeId traffic_destination(const Mesh& mesh, const TrafficSpec& spec,
+/// Destination terminal for a packet injected at terminal `src`, or
+/// kInvalidNode when the pattern gives this source nothing to send
+/// (transpose diagonal, bit-complement fixed point, zero tornado shift).
+/// Never returns `src` itself, but may return a sibling terminal on the
+/// same router (the demand is then delivered at injection). Only the
+/// stochastic patterns consume `rng`.
+NodeId traffic_destination(const Topology& topo, const TrafficSpec& spec,
                            NodeId src, Rng& rng);
 
 }  // namespace mr

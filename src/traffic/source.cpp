@@ -6,8 +6,8 @@
 
 namespace mr {
 
-BernoulliSource::BernoulliSource(const Mesh& mesh, const TrafficSpec& spec)
-    : mesh_(mesh), spec_(spec), rng_(spec.seed) {
+BernoulliSource::BernoulliSource(const Topology& topo, const TrafficSpec& spec)
+    : topo_(topo), spec_(spec), rng_(spec.seed) {
   MR_REQUIRE_MSG(spec.rate >= 0.0 && spec.rate <= 1.0,
                  "injection rate must be in [0, 1], got " << spec.rate);
   MR_REQUIRE_MSG(spec.hotspot_fraction >= 0.0 && spec.hotspot_fraction <= 1.0,
@@ -19,12 +19,13 @@ void BernoulliSource::emit(Step step, std::vector<Demand>& out) {
                  "emit steps must be strictly increasing: " << step
                      << " after " << last_step_);
   last_step_ = step;
-  const NodeId n = mesh_.num_nodes();
-  for (NodeId u = 0; u < n; ++u) {
+  const NodeId n = topo_.num_terminals();
+  for (NodeId t = 0; t < n; ++t) {
     if (rng_.next_double() >= spec_.rate) continue;
-    const NodeId dest = traffic_destination(mesh_, spec_, u, rng_);
-    if (dest == kInvalidNode) continue;  // pattern: this node never sends
-    out.push_back(Demand{u, dest, step});
+    const NodeId dest = traffic_destination(topo_, spec_, t, rng_);
+    if (dest == kInvalidNode) continue;  // pattern: this terminal never sends
+    out.push_back(Demand{topo_.terminal_router(t), topo_.terminal_router(dest),
+                         step});
     ++offered_;
   }
 }

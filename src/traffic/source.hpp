@@ -22,14 +22,16 @@ class TrafficSource {
   virtual void emit(Step step, std::vector<Demand>& out) = 0;
 };
 
-/// Seeded stochastic source: every step, every node independently injects
-/// with probability spec.rate (a Bernoulli open-loop process); the
-/// destination is drawn from the spatial pattern. Nodes are visited in
-/// ascending NodeId order, so the stream is deterministic under a fixed
-/// seed.
+/// Seeded stochastic source: every step, every terminal independently
+/// injects with probability spec.rate (a Bernoulli open-loop process); the
+/// destination is drawn from the spatial pattern. Terminals are visited in
+/// ascending id order, so the stream is deterministic under a fixed seed.
+/// Demands carry ROUTER ids (terminals map through
+/// Topology::terminal_router before injection); a pair of terminals on one
+/// router yields a source == dest demand, delivered at injection.
 class BernoulliSource : public TrafficSource {
  public:
-  BernoulliSource(const Mesh& mesh, const TrafficSpec& spec);
+  BernoulliSource(const Topology& topo, const TrafficSpec& spec);
   void emit(Step step, std::vector<Demand>& out) override;
 
   const TrafficSpec& spec() const { return spec_; }
@@ -37,7 +39,7 @@ class BernoulliSource : public TrafficSource {
   std::int64_t offered() const { return offered_; }
 
  private:
-  const Mesh& mesh_;
+  const Topology& topo_;
   TrafficSpec spec_;
   Rng rng_;
   Step last_step_ = 0;

@@ -8,7 +8,9 @@
 #include "core/assert.hpp"
 #include "core/stats.hpp"
 #include "routing/registry.hpp"
+#include "topo/registry.hpp"
 #include "sim/engine.hpp"
+#include "topo/mesh.hpp"
 #include "traffic/pump.hpp"
 
 namespace mr {
@@ -61,6 +63,12 @@ LatencySummary summarize(const Histogram& h) {
 
 }  // namespace
 
+std::unique_ptr<Topology> steady_state_topology(const SteadyStateSpec& spec) {
+  if (spec.topology.empty())
+    return std::make_unique<Mesh>(spec.width, spec.height, spec.torus);
+  return make_topology(spec.topology, spec.width, spec.height);
+}
+
 SteadyStateResult run_steady_state(const SteadyStateSpec& spec,
                                    TrafficSource& source) {
   MR_REQUIRE_MSG(spec.width >= 1 && spec.height >= 1,
@@ -70,15 +78,15 @@ SteadyStateResult run_steady_state(const SteadyStateSpec& spec,
   MR_REQUIRE_MSG(spec.stationarity_windows >= 2,
                  "stationarity needs >= 2 windows");
 
-  const Mesh mesh(spec.width, spec.height, spec.torus);
-  const auto nodes = static_cast<std::int64_t>(mesh.num_nodes());
+  const std::unique_ptr<Topology> topo = steady_state_topology(spec);
+  const auto nodes = static_cast<std::int64_t>(topo->num_terminals());
   std::unique_ptr<Algorithm> algorithm = make_algorithm(spec.algorithm);
 
   Engine::Config config;
   config.queue_capacity = spec.queue_capacity;
   config.stall_limit = spec.stall_limit;
   config.stall_counts_pending_injections = true;
-  Engine engine(mesh, config, *algorithm);
+  Engine engine(*topo, config, *algorithm);
 
   const Step warmup_end = spec.warmup_steps;
   const Step inject_end = spec.warmup_steps + spec.measure_steps;
@@ -175,8 +183,8 @@ SteadyStateResult run_steady_state(const SteadyStateSpec& spec,
 }
 
 SteadyStateResult run_steady_state(const SteadyStateSpec& spec) {
-  const Mesh mesh(spec.width, spec.height, spec.torus);
-  BernoulliSource source(mesh, spec.traffic);
+  const std::unique_ptr<Topology> topo = steady_state_topology(spec);
+  BernoulliSource source(*topo, spec.traffic);
   return run_steady_state(spec, source);
 }
 

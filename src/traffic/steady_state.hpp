@@ -11,6 +11,7 @@
 // drifting — i.e. not yet in steady state — over the measurement phase.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "sim/metrics.hpp"
@@ -20,9 +21,14 @@
 namespace mr {
 
 struct SteadyStateSpec {
-  std::int32_t width = 0;
-  std::int32_t height = 0;
+  std::int32_t width = 0;   ///< router columns
+  std::int32_t height = 0;  ///< router rows
   bool torus = false;
+  /// Registry topology name ("mesh", "torus", "cmesh-4", ...). Empty keeps
+  /// the legacy mesh/torus selection via the `torus` flag. Rates are per
+  /// TERMINAL: on a concentrated topology offered/accepted_rate divide by
+  /// num_terminals(), not routers.
+  std::string topology;
   int queue_capacity = 1;  ///< k
   std::string algorithm;   ///< registry name
   TrafficSpec traffic;
@@ -57,8 +63,8 @@ struct TrafficPhaseStats {
 struct SteadyStateResult {
   TrafficPhaseStats warmup, measure, drain;
 
-  double offered_rate = 0;   ///< measure offered / (nodes * steps)
-  double accepted_rate = 0;  ///< measure delivered / (nodes * steps)
+  double offered_rate = 0;   ///< measure offered / (terminals * steps)
+  double accepted_rate = 0;  ///< measure delivered / (terminals * steps)
   /// Latency quantiles of the packets offered during the measurement
   /// phase that were delivered by the end of the run.
   LatencySummary latency;
@@ -79,6 +85,11 @@ struct SteadyStateResult {
   std::int64_t total_delivered = 0;
   std::int64_t backlog_end = 0;  ///< undelivered packets at run end
 };
+
+/// Builds the network a steady-state spec routes on: the named registry
+/// topology, or the legacy mesh/torus selection when spec.topology is
+/// empty.
+std::unique_ptr<Topology> steady_state_topology(const SteadyStateSpec& spec);
 
 /// Runs the protocol with a fresh BernoulliSource built from
 /// spec.traffic.

@@ -6,7 +6,7 @@
 
 namespace mr {
 
-Workload row_to_column(const Mesh& mesh, std::int32_t row,
+Workload row_to_column(const Topology& mesh, std::int32_t row,
                        std::int32_t col) {
   MR_REQUIRE(row >= 0 && row < mesh.height());
   MR_REQUIRE(col >= 0 && col < mesh.width());
@@ -17,7 +17,7 @@ Workload row_to_column(const Mesh& mesh, std::int32_t row,
   return w;
 }
 
-Workload corner_flood(const Mesh& mesh, std::int32_t w, std::int32_t h) {
+Workload corner_flood(const Topology& mesh, std::int32_t w, std::int32_t h) {
   MR_REQUIRE(w >= 1 && w <= mesh.width() && h >= 1 && h <= mesh.height());
   Workload out;
   for (std::int32_t c = 0; c < w; ++c) {
@@ -30,7 +30,7 @@ Workload corner_flood(const Mesh& mesh, std::int32_t w, std::int32_t h) {
   return out;
 }
 
-Workload northeast_only(const Mesh& mesh, const Workload& w) {
+Workload northeast_only(const Topology& mesh, const Workload& w) {
   Workload out;
   for (const Demand& d : w) {
     const Coord s = mesh.coord_of(d.source);
@@ -40,7 +40,7 @@ Workload northeast_only(const Mesh& mesh, const Workload& w) {
   return out;
 }
 
-Workload half_transpose(const Mesh& mesh) {
+Workload half_transpose(const Topology& mesh) {
   Workload out;
   for (const Demand& d : transpose(mesh)) {
     const Coord s = mesh.coord_of(d.source);
@@ -49,7 +49,7 @@ Workload half_transpose(const Mesh& mesh) {
   return out;
 }
 
-Workload hotspot(const Mesh& mesh, NodeId sink, std::int32_t count) {
+Workload hotspot(const Topology& mesh, NodeId sink, std::int32_t count) {
   MR_REQUIRE(sink >= 0 && sink < mesh.num_nodes());
   MR_REQUIRE(count >= 1 && count < mesh.num_nodes());
   // Sources: the `count` nodes farthest from the sink, ties broken by id,
@@ -64,7 +64,7 @@ Workload hotspot(const Mesh& mesh, NodeId sink, std::int32_t count) {
   return out;
 }
 
-Workload diagonal_shift(const Mesh& mesh, std::int32_t s) {
+Workload diagonal_shift(const Topology& mesh, std::int32_t s) {
   return rotation(mesh, s, s);
 }
 

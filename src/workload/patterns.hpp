@@ -10,29 +10,29 @@ namespace mr {
 /// Every node of row `row` sends to a distinct row of column `col` — all
 /// packets turn at one node; under greedy dimension-order routing its
 /// queue grows as Θ(n) (the E16 worst case).
-Workload row_to_column(const Mesh& mesh, std::int32_t row, std::int32_t col);
+Workload row_to_column(const Topology& mesh, std::int32_t row, std::int32_t col);
 
 /// All nodes of the w×h corner block at (0,0) send into the mirrored
 /// block at the opposite corner (bit of everything: shared rows, shared
 /// columns, long hauls).
-Workload corner_flood(const Mesh& mesh, std::int32_t w, std::int32_t h);
+Workload corner_flood(const Topology& mesh, std::int32_t w, std::int32_t h);
 
 /// Keeps only demands whose destination lies weakly northeast of the
 /// source. Monotone traffic has acyclic blocking chains, hence is
 /// deadlock-free even for k = 1 central queues.
-Workload northeast_only(const Mesh& mesh, const Workload& w);
+Workload northeast_only(const Topology& mesh, const Workload& w);
 
 /// Transpose restricted to sources strictly below the diagonal — pure SE
 /// traffic, monotone, deadlock-free.
-Workload half_transpose(const Mesh& mesh);
+Workload half_transpose(const Topology& mesh);
 
 /// `count` packets, all destined for the single node `sink` (an h-h style
 /// hotspot with h = count at the sink). Sources are the nodes closest to
 /// the opposite corner, one packet each.
-Workload hotspot(const Mesh& mesh, NodeId sink, std::int32_t count);
+Workload hotspot(const Topology& mesh, NodeId sink, std::int32_t count);
 
 /// Diagonal shift: (c, r) → ((c+s) mod n, (r+s) mod n); a full permutation
 /// with uniform distance s in each dimension.
-Workload diagonal_shift(const Mesh& mesh, std::int32_t s);
+Workload diagonal_shift(const Topology& mesh, std::int32_t s);
 
 }  // namespace mr

@@ -6,7 +6,7 @@
 
 namespace mr {
 
-Workload random_permutation(const Mesh& mesh, std::uint64_t seed) {
+Workload random_permutation(const Topology& mesh, std::uint64_t seed) {
   Rng rng(seed);
   std::vector<NodeId> dests = mesh.all_nodes();
   shuffle(dests, rng);
@@ -17,7 +17,7 @@ Workload random_permutation(const Mesh& mesh, std::uint64_t seed) {
   return w;
 }
 
-Workload random_partial_permutation(const Mesh& mesh, double fraction,
+Workload random_partial_permutation(const Topology& mesh, double fraction,
                                     std::uint64_t seed) {
   MR_REQUIRE(fraction >= 0.0 && fraction <= 1.0);
   Rng rng(seed);
@@ -36,7 +36,7 @@ Workload random_partial_permutation(const Mesh& mesh, double fraction,
   return w;
 }
 
-Workload transpose(const Mesh& mesh) {
+Workload transpose(const Topology& mesh) {
   MR_REQUIRE(mesh.width() == mesh.height());
   Workload w;
   w.reserve(static_cast<std::size_t>(mesh.num_nodes()));
@@ -56,7 +56,7 @@ std::int32_t reverse_bits(std::int32_t v, int bits) {
 }
 }  // namespace
 
-Workload bit_reversal(const Mesh& mesh) {
+Workload bit_reversal(const Topology& mesh) {
   MR_REQUIRE(mesh.width() == mesh.height());
   const std::int32_t n = mesh.width();
   MR_REQUIRE_MSG((n & (n - 1)) == 0, "bit_reversal needs power-of-two side");
@@ -73,7 +73,7 @@ Workload bit_reversal(const Mesh& mesh) {
   return w;
 }
 
-Workload rotation(const Mesh& mesh, std::int32_t dc, std::int32_t dr) {
+Workload rotation(const Topology& mesh, std::int32_t dc, std::int32_t dr) {
   Workload w;
   w.reserve(static_cast<std::size_t>(mesh.num_nodes()));
   for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
@@ -85,7 +85,7 @@ Workload rotation(const Mesh& mesh, std::int32_t dc, std::int32_t dr) {
   return w;
 }
 
-Workload mirror(const Mesh& mesh) {
+Workload mirror(const Topology& mesh) {
   Workload w;
   w.reserve(static_cast<std::size_t>(mesh.num_nodes()));
   for (NodeId src = 0; src < mesh.num_nodes(); ++src) {
@@ -95,7 +95,7 @@ Workload mirror(const Mesh& mesh) {
   return w;
 }
 
-Workload random_hh(const Mesh& mesh, int h, std::uint64_t seed) {
+Workload random_hh(const Topology& mesh, int h, std::uint64_t seed) {
   MR_REQUIRE(h >= 1);
   Workload w;
   w.reserve(static_cast<std::size_t>(mesh.num_nodes()) *
@@ -107,7 +107,7 @@ Workload random_hh(const Mesh& mesh, int h, std::uint64_t seed) {
   return w;
 }
 
-bool is_hh(const Mesh& mesh, const Workload& w, int h) {
+bool is_hh(const Topology& mesh, const Workload& w, int h) {
   std::vector<int> sends(static_cast<std::size_t>(mesh.num_nodes()), 0);
   std::vector<int> receives(static_cast<std::size_t>(mesh.num_nodes()), 0);
   for (const Demand& d : w) {

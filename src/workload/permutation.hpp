@@ -7,7 +7,7 @@
 
 #include "core/rng.hpp"
 #include "core/types.hpp"
-#include "topo/mesh.hpp"
+#include "topo/topology.hpp"
 
 namespace mr {
 
@@ -24,34 +24,34 @@ struct Demand {
 using Workload = std::vector<Demand>;
 
 /// Uniformly random full permutation (every node sends and receives one).
-Workload random_permutation(const Mesh& mesh, std::uint64_t seed);
+Workload random_permutation(const Topology& mesh, std::uint64_t seed);
 
 /// Random partial permutation with the given fraction of nodes sending.
-Workload random_partial_permutation(const Mesh& mesh, double fraction,
+Workload random_partial_permutation(const Topology& mesh, double fraction,
                                     std::uint64_t seed);
 
 /// Transpose: (c, r) -> (r, c). Requires a square mesh.
-Workload transpose(const Mesh& mesh);
+Workload transpose(const Topology& mesh);
 
 /// Bit-reversal on coordinates (square mesh with power-of-two side).
-Workload bit_reversal(const Mesh& mesh);
+Workload bit_reversal(const Topology& mesh);
 
 /// Rotation by (dc, dr) with wrap-around.
-Workload rotation(const Mesh& mesh, std::int32_t dc, std::int32_t dr);
+Workload rotation(const Topology& mesh, std::int32_t dc, std::int32_t dr);
 
 /// Every node of the west half sends to the mirrored node of the east half
 /// and vice versa — heavy bisection load.
-Workload mirror(const Mesh& mesh);
+Workload mirror(const Topology& mesh);
 
 /// Random h-h problem: every node sends exactly h packets and receives
 /// exactly h packets (destinations form h random permutations).
-Workload random_hh(const Mesh& mesh, int h, std::uint64_t seed);
+Workload random_hh(const Topology& mesh, int h, std::uint64_t seed);
 
 /// True iff no node sends more than h packets or receives more than h.
-bool is_hh(const Mesh& mesh, const Workload& w, int h);
+bool is_hh(const Topology& mesh, const Workload& w, int h);
 
 /// True iff the workload is a partial permutation (h = 1).
-inline bool is_partial_permutation(const Mesh& mesh, const Workload& w) {
+inline bool is_partial_permutation(const Topology& mesh, const Workload& w) {
   return is_hh(mesh, w, 1);
 }
 

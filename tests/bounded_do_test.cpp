@@ -7,6 +7,7 @@
 #include "harness/runner.hpp"
 #include "routing/registry.hpp"
 #include "sim/engine.hpp"
+#include "topo/mesh.hpp"
 #include "workload/patterns.hpp"
 #include "workload/permutation.hpp"
 

@@ -12,6 +12,7 @@
 #include "routing/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr {

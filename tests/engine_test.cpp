@@ -4,6 +4,7 @@
 #include "routing/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
+#include "topo/mesh.hpp"
 
 namespace mr {
 namespace {

@@ -9,6 +9,7 @@
 
 #include "lower_bound/main_construction.hpp"
 #include "routing/registry.hpp"
+#include "topo/mesh.hpp"
 
 namespace mr {
 namespace {

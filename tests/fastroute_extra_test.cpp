@@ -6,6 +6,7 @@
 #include "fastroute/bounds.hpp"
 #include "fastroute/fastroute.hpp"
 #include "sim/engine.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr {

@@ -9,6 +9,7 @@
 #include "fastroute/fastroute.hpp"
 #include "fastroute/tiling.hpp"
 #include "sim/engine.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr {

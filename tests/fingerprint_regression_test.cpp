@@ -20,6 +20,7 @@
 
 #include "routing/registry.hpp"
 #include "sim/engine.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 #ifndef MESHROUTE_GOLDEN_FILE

@@ -5,6 +5,7 @@
 
 #include "harness/runner.hpp"
 #include "harness/sweep.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr {
@@ -74,6 +75,93 @@ TEST(Runner, RepeatedRunsIdentical) {
   EXPECT_EQ(a.total_moves, b.total_moves);
   EXPECT_EQ(a.max_queue, b.max_queue);
   EXPECT_EQ(a.latency.p50, b.latency.p50);
+}
+
+TEST(Runner, EngineModeSequentialAndSharded) {
+  const Mesh mesh = Mesh::square(8);
+  RunSpec spec;
+  spec.width = spec.height = 8;
+  spec.queue_capacity = 2;
+  spec.algorithm = "bounded-dimension-order";
+  const Workload w = random_permutation(mesh, 3);
+
+  const RunResult seq = run_workload(spec, w);
+  EXPECT_EQ(seq.engine_mode, "sequential");
+
+  spec.engine_shards = 2;
+  const RunResult sharded = run_workload(spec, w);
+  EXPECT_EQ(sharded.engine_mode, "sharded");
+  EXPECT_EQ(sharded.steps, seq.steps);
+  EXPECT_EQ(sharded.total_moves, seq.total_moves);
+}
+
+TEST(Runner, InterceptorForcesSequentialFallback) {
+  // Sharding + a step interceptor cannot coexist (phase (b) is inherently
+  // sequential); the runner must fall back AND say so in the result.
+  class NoopInterceptor final : public StepInterceptor {
+   public:
+    void after_schedule(Sim&, std::span<const ScheduledMove>) override {}
+  };
+  const Mesh mesh = Mesh::square(8);
+  RunSpec spec;
+  spec.width = spec.height = 8;
+  spec.queue_capacity = 2;
+  spec.algorithm = "bounded-dimension-order";
+  spec.engine_shards = 2;
+  spec.engine_threads = 2;
+  const Workload w = random_permutation(mesh, 3);
+  NoopInterceptor noop;
+  RunHooks hooks;
+  hooks.interceptor = &noop;
+  const RunResult r = run_workload(spec, w, hooks);
+  EXPECT_EQ(r.engine_mode, "sequential-fallback");
+  EXPECT_TRUE(r.all_delivered);
+  // Without the sharding request the same run is plain "sequential".
+  spec.engine_shards = spec.engine_threads = 1;
+  const RunResult plain = run_workload(spec, w, hooks);
+  EXPECT_EQ(plain.engine_mode, "sequential");
+  EXPECT_EQ(plain.steps, r.steps);
+}
+
+TEST(Runner, TopologyNameMatchesLegacyTorusFlag) {
+  const Mesh torus = Mesh::square(8, /*torus=*/true);
+  const Workload w = random_permutation(torus, 11);
+  RunSpec legacy;
+  legacy.width = legacy.height = 8;
+  legacy.torus = true;
+  legacy.queue_capacity = 2;
+  legacy.algorithm = "dimension-order";
+  RunSpec named = legacy;
+  named.torus = false;
+  named.topology = "torus";
+  const RunResult a = run_workload(legacy, w);
+  const RunResult b = run_workload(named, w);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.total_moves, b.total_moves);
+  EXPECT_EQ(a.max_queue, b.max_queue);
+}
+
+TEST(Runner, CmeshRunsEndToEnd) {
+  // Router-space demands on the registry cmesh: the engine routes the
+  // 4×4 router grid exactly like a plain 4×4 mesh.
+  RunSpec spec;
+  spec.width = spec.height = 4;
+  spec.topology = "cmesh-4";
+  spec.queue_capacity = 2;
+  spec.algorithm = "bounded-dimension-order";
+  const Mesh grid = Mesh::square(4);
+  const Workload w = random_permutation(grid, 5);
+  const RunResult r = run_workload(spec, w);
+  EXPECT_TRUE(r.all_delivered);
+  EXPECT_EQ(r.packets, w.size());
+}
+
+TEST(Runner, UnknownTopologyThrows) {
+  RunSpec spec;
+  spec.width = spec.height = 4;
+  spec.topology = "hypercube";
+  spec.algorithm = "dimension-order";
+  EXPECT_THROW(run_workload(spec, {}), InvariantViolation);
 }
 
 TEST(Sweep, ResultsArePositionAddressed) {

@@ -5,9 +5,11 @@
 // undelivered packet at step ⌊l⌋·dn.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "lower_bound/dim_order_construction.hpp"
+#include "lower_bound/factory.hpp"
 #include "lower_bound/farthest_first_construction.hpp"
 #include "lower_bound/main_construction.hpp"
 #include "routing/registry.hpp"
@@ -158,6 +160,58 @@ TEST(MainConstruction, TorusEmbedding) {
   EXPECT_TRUE(result.stepwise_match);
   EXPECT_TRUE(result.final_match);
   EXPECT_GE(result.undelivered_at_certified, 1u);
+}
+
+// --- adversarial-instance factory ----------------------------------------
+
+TEST(AdversarialFactory, FamilyNamesIncludeTorus) {
+  const std::vector<std::string> names = adversarial_family_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "main"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "dim-order"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "torus"), names.end());
+}
+
+TEST(AdversarialFactory, UnknownFamilyThrows) {
+  EXPECT_THROW(adversarial_instance("hypercube", 8, 1, "dimension-order"),
+               InvariantViolation);
+}
+
+TEST(AdversarialFactory, TorusFamilyRejectsOddAndTinySides) {
+  // Odd side: no m×m quadrant of a 2m×2m torus exists.
+  EXPECT_FALSE(adversarial_instance("torus", 121, 1, "dimension-order").valid);
+  // Even but below the quadrant construction's size floor.
+  EXPECT_FALSE(adversarial_instance("torus", 8, 1, "dimension-order").valid);
+}
+
+TEST(AdversarialFactory, TorusFamilyBuildsQuadrantInstance) {
+  const AdversarialInstance inst =
+      adversarial_instance("torus", 120, 1, "dimension-order");
+  ASSERT_TRUE(inst.valid);
+  EXPECT_EQ(inst.topology, "torus");
+  EXPECT_EQ(inst.width, 120);
+  EXPECT_EQ(inst.height, 120);
+  EXPECT_GT(inst.certified_steps, 0);
+  EXPECT_FALSE(inst.permutation.empty());
+  // §5c: the constructed traffic is confined to the m×m quadrant, where
+  // wrap links offer no shortcut.
+  const Mesh torus = Mesh::square(120, /*torus=*/true);
+  for (const Demand& d : inst.permutation) {
+    const Coord s = torus.coord_of(d.source);
+    const Coord t = torus.coord_of(d.dest);
+    EXPECT_LT(s.col, 60);
+    EXPECT_LT(s.row, 60);
+    EXPECT_LT(t.col, 60);
+    EXPECT_LT(t.row, 60);
+  }
+}
+
+TEST(AdversarialFactory, MeshFamiliesReportMeshTopology) {
+  const AdversarialInstance inst =
+      adversarial_instance("main", 60, 1, "dimension-order");
+  ASSERT_TRUE(inst.valid);
+  EXPECT_EQ(inst.topology, "mesh");
+  EXPECT_EQ(inst.width, 60);
+  EXPECT_EQ(inst.height, 60);
 }
 
 TEST(MainConstruction, HhVariant) {

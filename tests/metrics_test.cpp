@@ -3,6 +3,7 @@
 #include "routing/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr {

@@ -15,6 +15,7 @@
 #include "check/oracles.hpp"
 #include "routing/registry.hpp"
 #include "sim/engine.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/runner.hpp"
+#include "topo/mesh.hpp"
 #include "workload/patterns.hpp"
 
 namespace mr {

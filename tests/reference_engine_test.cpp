@@ -159,6 +159,42 @@ TEST(FuzzCase, SpecRoundTrips) {
   }
 }
 
+TEST(FuzzCase, TopoKeyRoundTrips) {
+  FuzzCase c;
+  c.algorithm = "bounded-dimension-order";
+  c.n = 4;
+  c.topo = "cmesh-2";
+  c.k = 2;
+  c.budget = 256;
+  c.demands = {{0, 15, 0}};
+  const std::string spec = format_fuzz_case(c);
+  EXPECT_NE(spec.find("topo=cmesh-2"), std::string::npos);
+
+  FuzzCase parsed;
+  std::string error;
+  ASSERT_TRUE(parse_fuzz_case(spec, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.topo, "cmesh-2");
+  // The legacy spelling (no topo key) still parses to an empty topo.
+  ASSERT_TRUE(parse_fuzz_case(
+      "algo=dimension-order n=4 torus=0 k=1 budget=64 demands=0-15", &parsed,
+      &error))
+      << error;
+  EXPECT_TRUE(parsed.topo.empty());
+}
+
+TEST(FuzzCase, RunFuzzCaseOnRegistryTopologies) {
+  for (const char* topo : {"mesh", "torus", "cmesh-2", "cmesh-4"}) {
+    FuzzCase c;
+    c.algorithm = "bounded-dimension-order";
+    c.n = 4;
+    c.topo = topo;
+    c.k = 2;
+    c.budget = 256;
+    c.demands = {{0, 15, 0}, {15, 0, 0}, {3, 12, 1}};
+    EXPECT_EQ(run_fuzz_case(c), "") << topo;
+  }
+}
+
 TEST(FuzzCase, ParseRejectsMalformedSpecs) {
   FuzzCase out;
   std::string error;
@@ -172,6 +208,10 @@ TEST(FuzzCase, ParseRejectsMalformedSpecs) {
   EXPECT_FALSE(parse_fuzz_case(
       "algo=dimension-order n=4 torus=0 k=1 budget=64 demands=0-99", &out,
       &error));
+  EXPECT_FALSE(parse_fuzz_case(
+      "algo=dimension-order n=4 torus=0 topo=hypercube k=1 budget=64 "
+      "demands=0-1",
+      &out, &error));
   EXPECT_FALSE(error.empty());
 }
 

@@ -19,6 +19,7 @@
 #include "routing/dimension_order.hpp"
 #include "routing/registry.hpp"
 #include "sim/engine.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr {

@@ -12,6 +12,7 @@
 #include "harness/json_min.hpp"
 #include "harness/scenario.hpp"
 #include "scenarios.hpp"
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr {
@@ -144,8 +145,12 @@ TEST(Scenario, JsonBackendValidatesAgainstSchema) {
   EXPECT_EQ(doc->find("schema")->string, kScenarioJsonSchema);
   EXPECT_EQ(doc->find("id")->string, "T01");
   EXPECT_TRUE(doc->find("passed")->boolean);
-  EXPECT_EQ(doc->find("runs")->array.size(), 1u);
+  ASSERT_EQ(doc->find("runs")->array.size(), 1u);
   EXPECT_EQ(doc->find("tables")->array.size(), 1u);
+  // Every run record declares how the engine actually stepped.
+  const json::Value* mode = doc->find("runs")->array[0].find("engine_mode");
+  ASSERT_NE(mode, nullptr);
+  EXPECT_EQ(mode->string, "sequential");
 }
 
 TEST(Scenario, ValidationRejectsCorruptDocuments) {

@@ -93,5 +93,70 @@ TEST(Mesh, RejectsBadDimensions) {
   EXPECT_THROW(Mesh(5, -1), InvariantViolation);
 }
 
+// Exhaustive wrap-tie contract on an even-dimension torus: a displacement
+// of exactly dim/2 ties (both ways equally short), the tie flag is set,
+// the reported offset is the POSITIVE direction, and both opposite
+// directions are profitable. Everything else must not tie.
+void check_wrap_ties(const Mesh& t) {
+  const std::int32_t w = t.width(), h = t.height();
+  for (NodeId a = 0; a < t.num_nodes(); ++a) {
+    for (NodeId b = 0; b < t.num_nodes(); ++b) {
+      const Coord ca = t.coord_of(a), cb = t.coord_of(b);
+      const std::int32_t fwd_col = ((cb.col - ca.col) % w + w) % w;
+      const std::int32_t fwd_row = ((cb.row - ca.row) % h + h) % h;
+      const bool col_tie = w % 2 == 0 && fwd_col == w / 2;
+      const bool row_tie = h % 2 == 0 && fwd_row == h / 2;
+      const Mesh::Delta d = t.delta(a, b);
+      EXPECT_EQ(d.east_tie, col_tie) << a << "->" << b;
+      EXPECT_EQ(d.north_tie, row_tie) << a << "->" << b;
+      const DirMask mask = t.profitable_dirs(a, b);
+      if (col_tie) {
+        EXPECT_EQ(d.east, w / 2) << "tie must report the positive offset";
+        EXPECT_TRUE(mask_has(mask, Dir::East));
+        EXPECT_TRUE(mask_has(mask, Dir::West));
+      }
+      if (row_tie) {
+        EXPECT_EQ(d.north, h / 2) << "tie must report the positive offset";
+        EXPECT_TRUE(mask_has(mask, Dir::North));
+        EXPECT_TRUE(mask_has(mask, Dir::South));
+      }
+      // Tie or not, the offset magnitude is the wrap distance component.
+      EXPECT_EQ(std::abs(d.east), fwd_col <= w - fwd_col ? fwd_col
+                                                         : w - fwd_col);
+      EXPECT_EQ(std::abs(d.north), fwd_row <= h - fwd_row ? fwd_row
+                                                          : h - fwd_row);
+    }
+  }
+}
+
+TEST(Mesh, TorusWrapTiesExhaustiveSquare) {
+  check_wrap_ties(Mesh::square(8, /*torus=*/true));
+}
+
+TEST(Mesh, TorusWrapTiesExhaustiveNonSquare) {
+  check_wrap_ties(Mesh(6, 10, /*torus=*/true));
+  check_wrap_ties(Mesh(10, 4, /*torus=*/true));
+}
+
+TEST(Mesh, OddTorusNeverTies) {
+  const Mesh t(5, 7, /*torus=*/true);
+  for (NodeId a = 0; a < t.num_nodes(); ++a)
+    for (NodeId b = 0; b < t.num_nodes(); ++b) {
+      const Mesh::Delta d = t.delta(a, b);
+      EXPECT_FALSE(d.east_tie);
+      EXPECT_FALSE(d.north_tie);
+    }
+}
+
+TEST(Mesh, FlatMeshNeverTies) {
+  const Mesh m = Mesh::square(8);
+  for (NodeId a = 0; a < m.num_nodes(); ++a)
+    for (NodeId b = 0; b < m.num_nodes(); ++b) {
+      const Mesh::Delta d = m.delta(a, b);
+      EXPECT_FALSE(d.east_tie);
+      EXPECT_FALSE(d.north_tie);
+    }
+}
+
 }  // namespace
 }  // namespace mr

@@ -29,7 +29,7 @@ namespace {
 class OfferGroupingCheck final : public StepObserver {
  public:
   void on_step(const Sim& e, const StepDigest& d) override {
-    const Mesh& mesh = e.mesh();
+    const Topology& mesh = e.mesh();
     for (const MoveRecord& m : d.moves) {
       ASSERT_EQ(mesh.neighbor(m.from, m.dir), m.to)
           << "step " << d.step << ": packet " << m.packet << " moved "

@@ -6,6 +6,7 @@
 #include "routing/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "topo/mesh.hpp"
 #include "workload/patterns.hpp"
 #include "workload/permutation.hpp"
 

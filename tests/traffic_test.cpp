@@ -7,6 +7,7 @@
 
 #include "routing/registry.hpp"
 #include "sim/engine.hpp"
+#include "topo/mesh.hpp"
 #include "traffic/pattern.hpp"
 #include "traffic/pump.hpp"
 #include "traffic/saturation.hpp"

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "topo/mesh.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr {
