@@ -63,6 +63,11 @@ void register_e17(ScenarioRegistry& registry) {
             run.traffic.seed = seed + 17 * pi;  // same stream along a curve
             run.warmup_steps = warmup;
             run.measure_steps = measure;
+            // Keyed per (pattern, rate) so --resume restores each sweep
+            // point independently.
+            run.checkpoint = ctx.checkpoint(
+                std::string("ss_") + traffic_pattern_name(pattern) + "_r" +
+                std::to_string(rates[i]));
             return run_steady_state(run);
           });
       double first_ratio = -1, last_ratio = -1;

@@ -7,7 +7,7 @@
 #include <optional>
 #include <sstream>
 
-#include "harness/json_min.hpp"
+#include "core/json_min.hpp"
 #include "routing/registry.hpp"
 #include "sim/engine.hpp"
 #include "topo/mesh.hpp"

@@ -23,6 +23,16 @@
 //                                          default: each scenario's
 //                                          built-in seed. Echoed in the
 //                                          JSON records.
+//   meshroute_bench --resume=DIR           durable-run store: scenario runs
+//                                          write periodic checkpoints under
+//                                          DIR and, on a re-run after a
+//                                          crash, resume from the latest
+//                                          checkpoint (or skip runs whose
+//                                          .done.json record exists),
+//                                          bit-identically to an
+//                                          uninterrupted run
+//   meshroute_bench --checkpoint-every=N   checkpoint cadence in steps for
+//                                          --resume stores (default 256)
 //   meshroute_bench --topology=NAME        registry topology (mesh, torus,
 //                                          cmesh-N) applied to every
 //                                          scenario run that does not pick
@@ -70,8 +80,8 @@ int usage(const char* argv0) {
                "usage: %s [--list] [--run <id|label>]... [--json=DIR] "
                "[--telemetry=DIR] [--profile] [--smoke] [--jobs=N] "
                "[--seed=S] [--engine-shards=S] [--engine-threads=T] "
-               "[--topology=NAME] [--validate=PATH] "
-               "[--throughput-guard=PATH] "
+               "[--topology=NAME] [--resume=DIR] [--checkpoint-every=N] "
+               "[--validate=PATH] [--throughput-guard=PATH] "
                "[--fuzz=N] [--fuzz-seed=S] [--fuzz-case=SPEC]\n",
                argv0);
   return 2;
@@ -137,6 +147,13 @@ int main(int argc, char** argv) {
       options.engine_threads =
           static_cast<int>(std::strtol(arg.substr(17).c_str(), nullptr, 10));
       if (options.engine_threads < 1) return usage(argv[0]);
+    } else if (arg.rfind("--resume=", 0) == 0) {
+      options.checkpoint_dir = arg.substr(9);
+      if (options.checkpoint_dir.empty()) return usage(argv[0]);
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      options.checkpoint_every =
+          static_cast<mr::Step>(std::strtol(arg.substr(19).c_str(), nullptr, 10));
+      if (options.checkpoint_every < 1) return usage(argv[0]);
     } else if (arg.rfind("--topology=", 0) == 0) {
       options.topology = arg.substr(11);
       if (!known_topology(options.topology)) {
@@ -248,7 +265,7 @@ int main(int argc, char** argv) {
     ok = ok && r.passed();
     std::size_t fallbacks = 0;
     for (const ScenarioRunRecord& rec : r.runs)
-      if (rec.run.engine_mode == "sequential-fallback") ++fallbacks;
+      if (rec.run.engine_mode == EngineMode::SequentialFallback) ++fallbacks;
     if (fallbacks > 0)
       std::fprintf(stderr,
                    "notice: %s: %zu run(s) used the sequential engine despite "

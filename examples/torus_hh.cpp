@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   for (int hh = 1; hh <= h; ++hh) {
     RunSpec spec;
     spec.width = spec.height = n;
-    spec.torus = true;
+    spec.topology = "torus";
     spec.queue_capacity = k;
     spec.algorithm = "bounded-dimension-order";
     const RunResult r = run_workload(spec, random_hh(torus, hh, seed));

@@ -29,12 +29,9 @@ bool has_traffic(const FuzzCase& c) {
   return c.traffic != "none" && c.tsteps > 0;
 }
 
-/// The network a case routes on: the named registry topology, or the
-/// legacy mesh/torus selection when c.topo is empty.
+/// The network a case routes on: the named registry topology ("" = mesh).
 std::unique_ptr<Topology> fuzz_topology(const FuzzCase& c) {
-  if (c.topo.empty())
-    return std::make_unique<Mesh>(Mesh::square(c.n, c.torus));
-  return make_topology(c.topo, c.n, c.n);
+  return make_topology(c.topo.empty() ? "mesh" : c.topo, c.n, c.n);
 }
 
 /// Expands the case's traffic stream into the explicit demand list both
@@ -51,6 +48,8 @@ Workload traffic_demands(const FuzzCase& c) {
   return materialize_traffic(source, 1, c.tsteps);
 }
 
+}  // namespace
+
 bool supports_torus(const std::string& algorithm) {
   for (const AlgorithmInfo& info : algorithm_catalog()) {
     if (info.name != algorithm) continue;
@@ -61,13 +60,12 @@ bool supports_torus(const std::string& algorithm) {
   return false;
 }
 
-}  // namespace
-
 std::string format_fuzz_case(const FuzzCase& c) {
   std::ostringstream os;
-  os << "algo=" << c.algorithm << " n=" << c.n << " torus=" << (c.torus ? 1 : 0)
-     << " k=" << c.k << " budget=" << c.budget;
+  os << "algo=" << c.algorithm << " n=" << c.n << " k=" << c.k
+     << " budget=" << c.budget;
   if (!c.topo.empty()) os << " topo=" << c.topo;
+  if (c.ckpt >= 0) os << " ckpt=" << c.ckpt;
   if (has_traffic(c))
     os << " traffic=" << c.traffic << " rate=" << c.rate
        << " tseed=" << c.tseed << " tsteps=" << c.tsteps;
@@ -87,7 +85,7 @@ bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
                      std::string* error) {
   FuzzCase c;
   c.demands.clear();
-  bool saw_algo = false, saw_demands = false;
+  bool saw_algo = false, saw_demands = false, legacy_torus = false;
   std::istringstream is(spec);
   std::string token;
   while (is >> token) {
@@ -105,13 +103,16 @@ bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
     } else if (key == "n") {
       c.n = static_cast<std::int32_t>(std::strtol(value.c_str(), &end, 10));
     } else if (key == "torus") {
-      c.torus = value == "1" || value == "true";
+      // Legacy shim from pre-registry spec lines; normalised into topo.
+      legacy_torus = value == "1" || value == "true";
     } else if (key == "topo") {
       c.topo = value;
     } else if (key == "k") {
       c.k = static_cast<int>(std::strtol(value.c_str(), &end, 10));
     } else if (key == "budget") {
       c.budget = std::strtoll(value.c_str(), &end, 10);
+    } else if (key == "ckpt") {
+      c.ckpt = std::strtoll(value.c_str(), &end, 10);
     } else if (key == "traffic") {
       c.traffic = value;
     } else if (key == "rate") {
@@ -161,6 +162,7 @@ bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
     if (error) *error = "spec needs at least algo= and demands=";
     return false;
   }
+  if (legacy_torus && c.topo.empty()) c.topo = "torus";
   if (c.n < 2 || c.k < 1 || c.budget < 1) {
     if (error) *error = "n must be >= 2, k >= 1, budget >= 1";
     return false;
@@ -254,6 +256,11 @@ std::string run_fuzz_case(const FuzzCase& c) {
     }
 
     for (Step t = 0; t < c.budget; ++t) {
+      // Mid-run snapshot round trip: serialize → parse → restore must be
+      // the identity on the optimized engine, or the lock-step comparison
+      // below diverges immediately.
+      if (c.ckpt >= 0 && opt.step() == c.ckpt)
+        opt.restore(parse_snapshot(serialize_snapshot(opt.snapshot())));
       const bool more_opt = opt.step_once();
       const bool more_ref = ref.step_once();
       if (more_opt != more_ref) {
@@ -363,16 +370,20 @@ FuzzCase sample_case(Rng& rng) {
   const std::vector<std::string> names = algorithm_names();
   c.algorithm = names[rng.next_below(names.size())];
   c.n = static_cast<std::int32_t>(4 + rng.next_below(7));  // 4..10
-  c.torus = supports_torus(c.algorithm) && rng.next_below(3) == 0;
+  if (supports_torus(c.algorithm) && rng.next_below(3) == 0) c.topo = "torus";
   // A quarter of the non-torus cases route on a concentrated mesh: same
   // router grid, but the traffic layer draws per terminal, so source==dest
   // demands and shared-router injection contention get differential
   // coverage too.
-  if (!c.torus && rng.next_below(4) == 0)
+  if (c.topo.empty() && rng.next_below(4) == 0)
     c.topo = rng.next_below(2) == 0 ? "cmesh-2" : "cmesh-4";
   constexpr int kChoices[] = {1, 2, 4, 8};
   c.k = kChoices[rng.next_below(4)];
   c.budget = 4096;
+  // A quarter of the cases exercise the snapshot round trip mid-run; early
+  // steps are where queues fill and the waiting/due machinery is busiest.
+  if (rng.next_below(4) == 0)
+    c.ckpt = static_cast<Step>(1 + rng.next_below(16));
   // A third of the cases run the optimized engine sharded, differentially
   // checking the boundary-handoff protocol against the sequential
   // reference (shards beyond the mesh height clamp, so any draw is valid).
@@ -383,7 +394,7 @@ FuzzCase sample_case(Rng& rng) {
     c.threads = kThreadChoices[rng.next_below(3)];
   }
 
-  const Mesh mesh = Mesh::square(c.n, c.torus);
+  const Mesh mesh = Mesh::square(c.n, c.topo == "torus");
   const std::uint64_t wseed = rng.next_u64() | 1;
   // A quarter of the cases carry an open-loop traffic stream instead of a
   // batch workload: pattern, rate and window sampled, stream expanded at
@@ -455,8 +466,9 @@ FuzzReport run_fuzz(std::size_t num_cases, std::uint64_t seed,
     const std::string error = run_fuzz_case(c);
     ++report.cases_run;
     log << "fuzz[" << i << "] algo=" << c.algorithm << " n=" << c.n << " "
-        << (!c.topo.empty() ? c.topo : c.torus ? "torus" : "mesh")
-        << " k=" << c.k << " demands=" << c.demands.size();
+        << (!c.topo.empty() ? c.topo : "mesh") << " k=" << c.k
+        << " demands=" << c.demands.size();
+    if (c.ckpt >= 0) log << " ckpt=" << c.ckpt;
     if (c.traffic != "none")
       log << " traffic=" << c.traffic << " rate=" << c.rate
           << " tsteps=" << c.tsteps;

@@ -20,13 +20,17 @@ namespace mr {
 struct FuzzCase {
   std::string algorithm;
   std::int32_t n = 6;       ///< square side (router grid)
-  bool torus = false;
-  /// Registry topology name ("mesh", "torus", "cmesh-2", ...). Empty keeps
-  /// the legacy mesh/torus selection via `torus`. Demands and traffic
-  /// always address the n×n router grid.
+  /// Registry topology name ("mesh", "torus", "cmesh-2", ...). Empty means
+  /// "mesh"; the legacy `torus=1` spec key parses into topo = "torus".
+  /// Demands and traffic always address the n×n router grid.
   std::string topo;
   int k = 2;                ///< queue capacity
   Step budget = 4096;       ///< step budget per engine
+  /// Snapshot round-trip point: at step `ckpt` the optimized engine is
+  /// serialized (sim/snapshot.hpp wire format), re-parsed and restored in
+  /// place, and the differential run continues — any state the snapshot
+  /// drops diverges from the reference on the very next step. -1 disables.
+  Step ckpt = -1;
   Workload demands;         ///< materialized workload (with injection steps)
 
   /// Optional open-loop traffic workload on top of `demands`: a seeded
@@ -46,10 +50,15 @@ struct FuzzCase {
   int threads = 1;
 };
 
-/// Spec-line round trip: "algo=<name> n=<n> torus=<0|1> k=<k> budget=<B>
-/// [topo=<name>] [traffic=<pattern> rate=<r> tseed=<s> tsteps=<t>]
-/// [shards=<s> threads=<t>] demands=<src>-<dst>@<step>,...".
-/// topo is emitted only when set; shards/threads only when != 1.
+/// True iff `algorithm` is defined across torus wrap links (the fuzzer and
+/// the snapshot property tests gate their torus coverage on this).
+bool supports_torus(const std::string& algorithm);
+
+/// Spec-line round trip: "algo=<name> n=<n> k=<k> budget=<B>
+/// [topo=<name>] [ckpt=<step>] [traffic=<pattern> rate=<r> tseed=<s>
+/// tsteps=<t>] [shards=<s> threads=<t>] demands=<src>-<dst>@<step>,...".
+/// topo is emitted only when set; ckpt only when >= 0; shards/threads only
+/// when != 1. The legacy "torus=1" key parses as topo=torus.
 std::string format_fuzz_case(const FuzzCase& c);
 /// Parses a spec line; returns false and sets *error on malformed input.
 bool parse_fuzz_case(const std::string& spec, FuzzCase* out,

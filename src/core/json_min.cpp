@@ -1,4 +1,4 @@
-#include "harness/json_min.hpp"
+#include "core/json_min.hpp"
 
 #include <cctype>
 #include <cstdio>
@@ -215,6 +215,12 @@ std::string number_to_string(double v) {
   if (v == static_cast<double>(static_cast<std::int64_t>(v)))
     return std::to_string(static_cast<std::int64_t>(v));
   char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string exact_number_to_string(double v) {
+  char buf[40];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
 }

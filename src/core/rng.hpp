@@ -6,6 +6,7 @@
 // standard-library engines, so traces are reproducible across platforms.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "core/assert.hpp"
@@ -64,6 +65,20 @@ class Rng {
   }
 
   bool next_bool() { return (next_u64() & 1u) != 0; }
+
+  /// Raw generator state, for checkpointing a mid-stream source. A
+  /// generator constructed from any seed and then set_state() to a saved
+  /// state() continues the exact sequence of the saved generator.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    // xoshiro256** requires a nonzero state; an all-zero state is never
+    // produced by seeding and would lock the generator at zero.
+    MR_REQUIRE_MSG(s[0] != 0 || s[1] != 0 || s[2] != 0 || s[3] != 0,
+                   "Rng state must not be all zero");
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -1,0 +1,138 @@
+#include "harness/checkpoint.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/json_min.hpp"
+
+namespace mr {
+namespace {
+
+bool get_int(const json::Value& obj, const char* key, std::int64_t* out) {
+  const json::Value* v = obj.find(key);
+  if (!v || !v->is_number()) return false;
+  *out = static_cast<std::int64_t>(v->number);
+  return true;
+}
+
+bool get_double(const json::Value& obj, const char* key, double* out) {
+  const json::Value* v = obj.find(key);
+  if (!v || !v->is_number()) return false;
+  *out = v->number;
+  return true;
+}
+
+bool get_bool(const json::Value& obj, const char* key, bool* out) {
+  const json::Value* v = obj.find(key);
+  if (!v || !v->is_bool()) return false;
+  *out = v->boolean;
+  return true;
+}
+
+}  // namespace
+
+std::string exact_double(double v) { return json::exact_number_to_string(v); }
+
+std::string run_result_to_json(const RunResult& r) {
+  std::ostringstream out;
+  out << "{\"format\": \"meshroute-run/1\""
+      << ", \"steps\": " << r.steps
+      << ", \"all_delivered\": " << (r.all_delivered ? "true" : "false")
+      << ", \"stalled\": " << (r.stalled ? "true" : "false")
+      << ", \"packets\": " << r.packets << ", \"delivered\": " << r.delivered
+      << ", \"max_queue\": " << r.max_queue
+      << ", \"total_moves\": " << r.total_moves
+      << ", \"latency\": {\"mean\": " << exact_double(r.latency.mean)
+      << ", \"p50\": " << r.latency.p50 << ", \"p95\": " << r.latency.p95
+      << ", \"p99\": " << r.latency.p99 << ", \"max\": " << r.latency.max
+      << "}, \"engine_mode\": \"" << to_string(r.engine_mode) << "\""
+      << ", \"telemetry_path\": \"" << json::escape(r.telemetry_path) << "\"";
+  if (r.phase_profile) {
+    out << ", \"phase_profile\": {\"seconds\": [";
+    for (int i = 0; i < kNumPhases; ++i) {
+      if (i) out << ", ";
+      out << exact_double(r.phase_profile->seconds[static_cast<std::size_t>(i)]);
+    }
+    out << "], \"total_seconds\": " << exact_double(r.phase_profile->total_seconds)
+        << ", \"steps\": " << r.phase_profile->steps << "}";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+bool run_result_from_json(const std::string& text, RunResult* result,
+                          std::string* error) {
+  const auto fail = [error](const std::string& what) {
+    if (error) *error = "meshroute-run/1: " + what;
+    return false;
+  };
+  std::string parse_error;
+  std::optional<json::Value> doc = json::parse(text, &parse_error);
+  if (!doc || !doc->is_object()) return fail("not a JSON object: " + parse_error);
+  const json::Value* format = doc->find("format");
+  if (!format || !format->is_string() || format->string != "meshroute-run/1")
+    return fail("missing or wrong \"format\"");
+
+  RunResult r;
+  std::int64_t steps = 0, packets = 0, delivered = 0, max_queue = 0,
+               total_moves = 0;
+  if (!get_int(*doc, "steps", &steps) || !get_int(*doc, "packets", &packets) ||
+      !get_int(*doc, "delivered", &delivered) ||
+      !get_int(*doc, "max_queue", &max_queue) ||
+      !get_int(*doc, "total_moves", &total_moves) ||
+      !get_bool(*doc, "all_delivered", &r.all_delivered) ||
+      !get_bool(*doc, "stalled", &r.stalled))
+    return fail("missing scalar field");
+  r.steps = steps;
+  r.packets = static_cast<std::size_t>(packets);
+  r.delivered = static_cast<std::size_t>(delivered);
+  r.max_queue = static_cast<int>(max_queue);
+  r.total_moves = total_moves;
+
+  const json::Value* latency = doc->find("latency");
+  if (!latency || !latency->is_object()) return fail("missing \"latency\"");
+  std::int64_t p50 = 0, p95 = 0, p99 = 0, max = 0;
+  if (!get_double(*latency, "mean", &r.latency.mean) ||
+      !get_int(*latency, "p50", &p50) || !get_int(*latency, "p95", &p95) ||
+      !get_int(*latency, "p99", &p99) || !get_int(*latency, "max", &max))
+    return fail("malformed \"latency\"");
+  r.latency.p50 = p50;
+  r.latency.p95 = p95;
+  r.latency.p99 = p99;
+  r.latency.max = max;
+
+  const json::Value* mode = doc->find("engine_mode");
+  if (!mode || !mode->is_string()) return fail("missing \"engine_mode\"");
+  const std::optional<EngineMode> parsed = parse_engine_mode(mode->string);
+  if (!parsed) return fail("unknown engine_mode \"" + mode->string + "\"");
+  r.engine_mode = *parsed;
+
+  const json::Value* path = doc->find("telemetry_path");
+  if (!path || !path->is_string()) return fail("missing \"telemetry_path\"");
+  r.telemetry_path = path->string;
+
+  if (const json::Value* profile = doc->find("phase_profile")) {
+    if (!profile->is_object()) return fail("malformed \"phase_profile\"");
+    PhaseProfile pp;
+    const json::Value* seconds = profile->find("seconds");
+    if (!seconds || !seconds->is_array() ||
+        seconds->array.size() != static_cast<std::size_t>(kNumPhases))
+      return fail("malformed \"phase_profile.seconds\"");
+    for (int i = 0; i < kNumPhases; ++i) {
+      const json::Value& s = seconds->array[static_cast<std::size_t>(i)];
+      if (!s.is_number()) return fail("malformed \"phase_profile.seconds\"");
+      pp.seconds[static_cast<std::size_t>(i)] = s.number;
+    }
+    std::int64_t profile_steps = 0;
+    if (!get_double(*profile, "total_seconds", &pp.total_seconds) ||
+        !get_int(*profile, "steps", &profile_steps))
+      return fail("malformed \"phase_profile\"");
+    pp.steps = profile_steps;
+    r.phase_profile = pp;
+  }
+
+  *result = std::move(r);
+  return true;
+}
+
+}  // namespace mr

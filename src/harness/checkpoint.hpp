@@ -1,0 +1,28 @@
+// Durable run records for the checkpoint store (meshroute-run/1).
+//
+// A finished run's RunResult is persisted as <key>.done.json so a resumed
+// sweep can short-circuit completed runs without re-executing them. The
+// record must round-trip bit-exactly — the crash-resume CI job diffs a
+// resumed sweep's final JSON against an uninterrupted run's — so doubles
+// are written with %.17g (enough digits to reproduce any IEEE double).
+#pragma once
+
+#include <string>
+
+#include "harness/runner.hpp"
+
+namespace mr {
+
+/// Serializes `result` as a one-object meshroute-run/1 JSON document.
+std::string run_result_to_json(const RunResult& result);
+
+/// Parses a meshroute-run/1 document. Returns false (with a message in
+/// *error when non-null) on malformed input; *result is untouched then.
+bool run_result_from_json(const std::string& text, RunResult* result,
+                          std::string* error);
+
+/// Formats a double with enough precision to round-trip exactly
+/// (%.17g). Shared by every checkpoint-grade JSON writer.
+std::string exact_double(double v);
+
+}  // namespace mr

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/types.hpp"
@@ -17,6 +18,22 @@
 namespace mr {
 
 class TrafficSource;
+
+/// How a run's engine actually stepped. Sharding can be requested but not
+/// honoured: a run carrying an interceptor falls back to the sequential
+/// engine (phase (b) is inherently sequential), reported as
+/// SequentialFallback.
+enum class EngineMode {
+  Sequential,
+  Sharded,
+  SequentialFallback,
+};
+
+/// Canonical wire names ("sequential", "sharded", "sequential-fallback"),
+/// used by the scenario JSON records and the fallback notice.
+const char* to_string(EngineMode mode);
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<EngineMode> parse_engine_mode(std::string_view name);
 
 /// Opt-in run observability. With `series` or `profile` set the runner
 /// attaches a TelemetryCollector / enables phase profiling itself — callers
@@ -36,16 +53,27 @@ struct TelemetrySpec {
 struct RunSpec {
   std::int32_t width = 0;   ///< router columns
   std::int32_t height = 0;  ///< router rows
+  /// DEPRECATED shim: torus = true is shorthand for topology = "torus" and
+  /// is only honoured while `topology` is empty. New code sets `topology`;
+  /// resolved_topology() is the single point both normalise through.
   bool torus = false;
   /// Registry topology name ("mesh", "torus", "cmesh-4", ...; see
-  /// src/topo/registry.hpp). Empty keeps the legacy mesh/torus selection
-  /// via the `torus` flag. width/height always describe the router grid.
+  /// src/topo/registry.hpp). Empty resolves via the deprecated `torus`
+  /// flag. width/height always describe the router grid.
   std::string topology;
   int queue_capacity = 1;  ///< k
   std::string algorithm;   ///< registry name
   Step max_steps = 0;      ///< 0 = auto (generous bound from mesh size)
   Step stall_limit = kDefaultStallLimit;
   TelemetrySpec telemetry;
+
+  /// Canonical topology selection: `topology` when set, else the legacy
+  /// `torus` flag normalised to "torus"/"mesh". The only resolution point;
+  /// run_workload builds the network from this name alone.
+  std::string resolved_topology() const {
+    if (!topology.empty()) return topology;
+    return torus ? "torus" : "mesh";
+  }
 
   /// Sharded stepping mode (Engine::Config::shards / ::threads; DESIGN.md
   /// §9). Results are bit-identical to the sequential engine for any
@@ -61,11 +89,26 @@ struct RunSpec {
   /// despite the pump's pending window.
   Step traffic_steps = 0;
   Step traffic_ahead = 32;
+
+  /// Durable-run store (sim/snapshot.hpp). When enabled, run_workload
+  /// writes a snapshot every `checkpoint.every` steps and the finished
+  /// result as <key>.done.json; started against an existing store it
+  /// resumes — a done record short-circuits, a snapshot restores the
+  /// engine (and, for open-loop runs, the traffic source and pump) and
+  /// continues bit-identically. Telemetry series on a mid-run resume cover
+  /// only the post-restore window.
+  CheckpointSpec checkpoint;
 };
 
 /// Optional extension points a scenario can attach to a run: an adversary
-/// interceptor (§3 step (b) hook) and extra observers/checkers. All
-/// pointers are non-owning and must outlive the run_workload call.
+/// interceptor (§3 step (b) hook) and extra observers/checkers.
+///
+/// Ownership/const contract: every pointer is NON-OWNING and must outlive
+/// the run_workload call. The hooks struct itself is read-only to the
+/// runner (passed by const reference and never mutated), but the pointed-to
+/// objects are live collaborators the engine calls back into — observers
+/// accumulate, the interceptor exchanges, the traffic source advances — so
+/// the pointees are deliberately non-const.
 struct RunHooks {
   StepInterceptor* interceptor = nullptr;
   std::vector<Observer*> observers;
@@ -88,18 +131,14 @@ struct RunResult {
   std::optional<PhaseProfile> phase_profile;
   /// JSONL path when RunSpec::telemetry exported artefacts, else empty.
   std::string telemetry_path;
-  /// How the engine actually stepped: "sequential", "sharded", or
-  /// "sequential-fallback" (sharding was requested but the run carries an
-  /// interceptor, whose phase (b) is inherently sequential).
-  std::string engine_mode = "sequential";
+  /// How the engine actually stepped (see EngineMode).
+  EngineMode engine_mode = EngineMode::Sequential;
 };
 
-/// Runs the workload to completion (or to max_steps / stall).
-RunResult run_workload(const RunSpec& spec, const Workload& workload);
-
-/// Same, with adversary/observer hooks attached to the engine.
+/// Runs the workload to completion (or to max_steps / stall), with
+/// optional adversary/observer hooks attached to the engine.
 RunResult run_workload(const RunSpec& spec, const Workload& workload,
-                       const RunHooks& hooks);
+                       const RunHooks& hooks = {});
 
 /// Convenience: default max step budget for an n×m mesh with queue size k —
 /// comfortably above the Theorem 15 upper bound.

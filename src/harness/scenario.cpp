@@ -11,7 +11,7 @@
 #include "core/assert.hpp"
 #include "core/parallel.hpp"
 #include "harness/csv_export.hpp"
-#include "harness/json_min.hpp"
+#include "core/json_min.hpp"
 #include "telemetry/phase_profile.hpp"
 
 namespace mr {
@@ -23,6 +23,17 @@ std::string lower(const std::string& s) {
   std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
     return static_cast<char>(std::tolower(c));
   });
+  return out;
+}
+
+/// Run labels go into checkpoint file stems; keep them filesystem-safe.
+std::string sanitize_key(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
   return out;
 }
 
@@ -109,7 +120,7 @@ std::string ScenarioResult::to_json() const {
        << ", \"latency_p95\": " << r.latency.p95
        << ", \"latency_p99\": " << r.latency.p99
        << ", \"latency_max\": " << r.latency.max
-       << ", \"engine_mode\": \"" << json::escape(r.engine_mode) << "\"";
+       << ", \"engine_mode\": \"" << to_string(r.engine_mode) << "\"";
     if (!r.telemetry_path.empty())
       os << ", \"telemetry\": \"" << json::escape(r.telemetry_path) << "\"";
     os << "}";
@@ -195,6 +206,8 @@ RunResult ScenarioReport::run(const std::string& run_label,
       !options_.topology.empty()) {
     effective.topology = options_.topology;
   }
+  if (!effective.checkpoint.enabled())
+    effective.checkpoint = checkpoint(run_label);
   const RunResult r = run_workload(effective, workload, hooks);
   record(run_label, r);
   if (r.phase_profile) {
@@ -202,6 +215,15 @@ RunResult ScenarioReport::run(const std::string& run_label,
     table(phase_profile_table(*r.phase_profile));
   }
   return r;
+}
+
+CheckpointSpec ScenarioReport::checkpoint(const std::string& label) const {
+  CheckpointSpec spec;
+  if (options_.checkpoint_dir.empty()) return spec;  // disabled
+  spec.dir = options_.checkpoint_dir;
+  spec.every = options_.checkpoint_every;
+  spec.key = lower(out_->id) + "_" + sanitize_key(label);
+  return spec;
 }
 
 // --- ScenarioRegistry ------------------------------------------------------
@@ -343,9 +365,11 @@ bool validate_scenario_json(const std::string& path, std::string* error) {
         return fail("runs[" + std::to_string(i) + "] missing or negative \"" +
                     key + "\"");
     }
-    // Optional (older records predate it), but shape-checked when present.
+    // Optional (older records predate it), but must name a real EngineMode
+    // when present.
     const json::Value* mode = r.find("engine_mode");
-    if (mode != nullptr && (!mode->is_string() || mode->string.empty()))
+    if (mode != nullptr &&
+        (!mode->is_string() || !parse_engine_mode(mode->string)))
       return fail("runs[" + std::to_string(i) + "] malformed \"engine_mode\"");
   }
 

@@ -113,6 +113,13 @@ struct ScenarioOptions {
   /// Scenarios that construct topology-specific workloads keep their own
   /// network. Empty = no override.
   std::string topology;
+  /// Checkpoint store for durable sweeps (meshroute_bench --resume=DIR).
+  /// When set, every ScenarioReport::run checkpoints/resumes under this
+  /// directory keyed "<lowercase id>_<run label>", and scenario bodies that
+  /// drive runs directly derive keys via ScenarioReport::checkpoint().
+  /// Empty = no checkpointing.
+  std::string checkpoint_dir;
+  Step checkpoint_every = 256;  ///< snapshot interval (--checkpoint-every)
 };
 
 /// The write handle a scenario body reports through.
@@ -135,11 +142,18 @@ class ScenarioReport {
   void record(const std::string& run_label, const RunResult& r);
 
   /// Convenience: run_workload + record() in one call. Applies the
-  /// ScenarioOptions telemetry/profile settings to the spec (without
-  /// overriding a spec whose own TelemetrySpec is already enabled) and, when
-  /// profiling, appends the phase table to the report.
+  /// ScenarioOptions telemetry/profile/checkpoint settings to the spec
+  /// (without overriding a spec whose own TelemetrySpec/CheckpointSpec is
+  /// already enabled) and, when profiling, appends the phase table to the
+  /// report.
   RunResult run(const std::string& run_label, const RunSpec& spec,
                 const Workload& workload, const RunHooks& hooks = {});
+
+  /// Checkpoint store slot for work the scenario drives itself (e.g. a
+  /// run_steady_state sweep): dir/interval from the options, key
+  /// "<lowercase id>_<label>" (label sanitised for filenames). Disabled
+  /// spec (empty dir) when the options carry no checkpoint store.
+  CheckpointSpec checkpoint(const std::string& label) const;
 
  private:
   ScenarioOptions options_;

@@ -1,0 +1,233 @@
+#include "service/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "core/json_min.hpp"
+#include "harness/checkpoint.hpp"
+#include "service/protocol.hpp"
+#include "sim/snapshot.hpp"
+
+namespace mr {
+namespace {
+
+std::string error_reply(const std::string& message) {
+  return "{\"ok\": false, \"error\": \"" + json::escape(message) + "\"}";
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+  if (options_.lanes < 1) options_.lanes = 1;
+  if (options_.work_dir.empty())
+    options_.work_dir = options_.socket_path + ".work";
+}
+
+Daemon::~Daemon() {
+  stop();
+  if (accept_thread_.joinable()) wait();
+}
+
+bool Daemon::start(std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.work_dir, ec);
+  if (ec) {
+    *error = "cannot create work dir " + options_.work_dir + ": " + ec.message();
+    return false;
+  }
+  listen_fd_ = listen_unix(options_.socket_path, error);
+  if (listen_fd_ < 0) return false;
+
+  pool_ = std::make_unique<WorkerPool>(options_.lanes);
+  driver_thread_ = std::thread([this] { drive_lanes(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Daemon::stop() {
+  if (stopping_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void Daemon::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Lanes drain every already-queued job before exiting; result frames for
+  // in-flight jobs are flushed before readers are torn down below.
+  if (driver_thread_.joinable()) driver_thread_.join();
+  {
+    // Wake readers blocked in read_frame so they can exit.
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    for (const std::shared_ptr<Connection>& conn : connections_)
+      if (conn->open.load()) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    readers.swap(readers_);
+  }
+  for (std::thread& t : readers)
+    if (t.joinable()) t.join();
+  {
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    for (const std::shared_ptr<Connection>& conn : connections_)
+      if (conn->fd >= 0) ::close(conn->fd);
+    connections_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+void Daemon::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;  // racing shutdown() surfaces as an error here
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    connections_.push_back(conn);
+    readers_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void Daemon::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string payload, error;
+  while (!stopping_.load() && read_frame(conn->fd, &payload, &error))
+    handle_request(conn, payload);
+  // EOF, a read error, or shutdown: no more requests. Lanes may still be
+  // streaming this connection's job frames, so only mark it; the fd is
+  // closed centrally in wait().
+  conn->open.store(false);
+}
+
+void Daemon::handle_request(const std::shared_ptr<Connection>& conn,
+                            const std::string& payload) {
+  std::string parse_error;
+  const std::optional<json::Value> doc = json::parse(payload, &parse_error);
+  if (!doc || !doc->is_object()) {
+    send_to(conn, error_reply("malformed request: " + parse_error));
+    return;
+  }
+  const json::Value* op = doc->find("op");
+  if (!op || !op->is_string()) {
+    send_to(conn, error_reply("missing \"op\""));
+    return;
+  }
+
+  if (op->string == "ping") {
+    send_to(conn, "{\"ok\": true}");
+    return;
+  }
+  if (op->string == "shutdown") {
+    send_to(conn, "{\"ok\": true}");
+    stop();
+    return;
+  }
+  if (op->string != "submit") {
+    send_to(conn, error_reply("unknown op \"" + op->string + "\""));
+    return;
+  }
+
+  const json::Value* job = doc->find("job");
+  if (!job) {
+    send_to(conn, error_reply("submit without \"job\""));
+    return;
+  }
+  QueuedJob queued;
+  std::string spec_error;
+  if (!parse_job_spec(*job, &queued.spec, &spec_error)) {
+    send_to(conn, error_reply(spec_error));
+    return;
+  }
+  queued.id = next_job_id_.fetch_add(1);
+  queued.conn = conn;
+  if (queued.spec.slug.empty())
+    queued.spec.slug = "job" + std::to_string(queued.id);
+
+  // Ack before enqueueing so the client always sees the submit reply ahead
+  // of the job's own frames.
+  send_to(conn, "{\"ok\": true, \"job\": " + std::to_string(queued.id) + "}");
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_closed_) {
+      send_to(conn, error_reply("daemon is shutting down"));
+      return;
+    }
+    queue_.push_back(std::move(queued));
+  }
+  queue_cv_.notify_one();
+}
+
+void Daemon::drive_lanes() {
+  pool_->run(options_.lanes, [this](std::size_t) {
+    for (;;) {
+      QueuedJob job;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        queue_cv_.wait(lock,
+                       [this] { return !queue_.empty() || queue_closed_; });
+        if (queue_.empty()) return;  // closed and drained
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      run_job(job);
+    }
+  });
+}
+
+void Daemon::run_job(const QueuedJob& job) {
+  const std::string tag = "{\"job\": " + std::to_string(job.id);
+  try {
+    const RunResult result = execute_job(job.spec, options_.work_dir);
+    std::string jsonl;
+    if (!result.telemetry_path.empty() &&
+        read_text_file(result.telemetry_path, &jsonl)) {
+      std::istringstream lines(jsonl);
+      std::string line;
+      while (std::getline(lines, line)) {
+        if (line.empty()) continue;
+        send_to(job.conn, tag + ", \"kind\": \"telemetry\", \"line\": \"" +
+                              json::escape(line) + "\"}");
+      }
+    }
+    std::string result_json = run_result_to_json(result);
+    while (!result_json.empty() && result_json.back() == '\n')
+      result_json.pop_back();
+    send_to(job.conn, tag + ", \"kind\": \"result\", \"result\": " +
+                          result_json + "}");
+  } catch (const std::exception& e) {
+    send_to(job.conn,
+            tag + ", \"kind\": \"error\", \"error\": \"" +
+                json::escape(e.what()) + "\"}");
+  }
+  jobs_completed_.fetch_add(1);
+}
+
+void Daemon::send_to(const std::shared_ptr<Connection>& conn,
+                     const std::string& payload) {
+  if (!conn->open.load()) return;
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  std::string error;
+  if (!write_frame(conn->fd, payload, &error)) conn->open.store(false);
+}
+
+}  // namespace mr

@@ -1,0 +1,122 @@
+// meshrouted — a serving daemon for routing jobs.
+//
+// Accepts length-prefixed JSON requests (service/protocol.hpp) over a
+// unix-domain socket, runs submitted jobs concurrently on a WorkerPool,
+// and streams each job's meshroute-telemetry/1 JSONL back to the
+// submitting connection followed by a meshroute-run/1 result frame.
+//
+// Thread structure:
+//   - accept thread: poll()s the listening socket with a 200 ms timeout so
+//     stop() is observed promptly; spawns one reader thread per connection.
+//   - reader threads: block on read_frame, enqueue submitted jobs, answer
+//     ping/shutdown inline.
+//   - driver thread: a single long-lived WorkerPool::run(lanes, ...) call
+//     where every lane loops popping jobs from the queue until it closes —
+//     the pool's lanes ARE the job concurrency.
+// Responses to one connection are serialised by a per-connection write
+// mutex; concurrent jobs interleave at frame granularity.
+//
+// Jobs whose connection has gone away still run to completion (their
+// frames are dropped) — a job is work, not a session.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/worker_pool.hpp"
+#include "service/job.hpp"
+
+namespace mr {
+
+struct DaemonOptions {
+  std::string socket_path;  ///< unix-domain socket to serve on (required)
+  /// Concurrent job lanes (WorkerPool size). Each lane runs one job at a
+  /// time; submissions beyond `lanes` queue.
+  std::size_t lanes = 2;
+  /// Scratch directory for telemetry artefacts; empty derives
+  /// "<socket_path>.work".
+  std::string work_dir;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the socket and starts the serving threads. Returns false with
+  /// *error when the socket cannot be created.
+  bool start(std::string* error);
+
+  /// Initiates shutdown: stops accepting, closes the job queue, wakes all
+  /// threads. Idempotent; safe from signal-driven contexts via a watcher
+  /// thread (not async-signal-safe itself).
+  void stop();
+
+  /// Blocks until every thread has exited (after stop(), or a client
+  /// shutdown request). start() must have succeeded.
+  void wait();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  const std::string& work_dir() const { return options_.work_dir; }
+  /// Jobs fully executed (result or error frame sent). For tests.
+  std::uint64_t jobs_completed() const { return jobs_completed_.load(); }
+
+ private:
+  /// One client connection, shared by its reader thread and any lanes still
+  /// streaming frames for its jobs.
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    std::atomic<bool> open{true};
+  };
+
+  struct QueuedJob {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    std::shared_ptr<Connection> conn;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void drive_lanes();
+  void run_job(const QueuedJob& job);
+  /// Frames `payload` to the job's connection if it is still open; errors
+  /// mark the connection closed rather than failing the job.
+  void send_to(const std::shared_ptr<Connection>& conn,
+               const std::string& payload);
+  void handle_request(const std::shared_ptr<Connection>& conn,
+                      const std::string& payload);
+
+  DaemonOptions options_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> next_job_id_{1};
+  std::atomic<std::uint64_t> jobs_completed_{0};
+
+  // Job queue: pushed by reader threads, popped by pool lanes. closed_
+  // makes pops return nothing once drained.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<QueuedJob> queue_;
+  bool queue_closed_ = false;
+
+  std::mutex readers_mutex_;
+  std::vector<std::thread> readers_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+
+  std::unique_ptr<WorkerPool> pool_;
+  std::thread accept_thread_;
+  std::thread driver_thread_;
+};
+
+}  // namespace mr

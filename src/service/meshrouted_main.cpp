@@ -1,0 +1,208 @@
+// meshrouted — serving daemon for routing jobs (see service/daemon.hpp).
+//
+// Server:
+//   meshrouted --socket=PATH [--lanes=N] [--work-dir=DIR]
+//     Serves until SIGINT/SIGTERM or a client {"op": "shutdown"}.
+//
+// Client (scripting mode, used by CI):
+//   meshrouted --client --socket=PATH --submit=JSON [--submit=JSON]...
+//              [--telemetry-out=FILE]
+//     Submits each job spec (inline JSON, or @FILE to read it from a
+//     file) over one connection, waits for every result, appends all
+//     streamed telemetry lines to FILE (jobs interleave; lines carry no
+//     job id — use one client per job for per-job JSONL), and prints each
+//     result frame to stdout. Exits non-zero if any job errors.
+//   meshrouted --client --socket=PATH --shutdown
+//     Asks the daemon to exit.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/json_min.hpp"
+#include "service/daemon.hpp"
+#include "service/protocol.hpp"
+#include "sim/snapshot.hpp"
+
+#include <unistd.h>
+
+namespace {
+
+mr::Daemon* g_daemon = nullptr;
+
+void handle_signal(int) {
+  // stop() only flips atomics / signals condvars; acceptable from a
+  // handler for this single-purpose binary.
+  if (g_daemon != nullptr) g_daemon->stop();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH [--lanes=N] [--work-dir=DIR]\n"
+               "       %s --client --socket=PATH --submit=JSON|@FILE "
+               "[--submit=...]... [--telemetry-out=FILE]\n"
+               "       %s --client --socket=PATH --shutdown\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+int run_client(const std::string& socket_path,
+               const std::vector<std::string>& submits,
+               const std::string& telemetry_out, bool shutdown) {
+  using namespace mr;
+  std::string error;
+  const int fd = connect_unix(socket_path, &error);
+  if (fd < 0) {
+    std::fprintf(stderr, "meshrouted: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (shutdown) {
+    std::string ack;
+    if (!write_frame(fd, "{\"op\": \"shutdown\"}", &error) ||
+        !read_frame(fd, &ack, &error)) {
+      std::fprintf(stderr, "meshrouted: shutdown: %s\n", error.c_str());
+      ::close(fd);
+      return 1;
+    }
+    ::close(fd);
+    return 0;
+  }
+
+  for (const std::string& submit : submits) {
+    std::string job_json = submit;
+    if (!job_json.empty() && job_json[0] == '@') {
+      if (!read_text_file(job_json.substr(1), &job_json)) {
+        std::fprintf(stderr, "meshrouted: cannot read %s\n",
+                     submit.c_str() + 1);
+        ::close(fd);
+        return 1;
+      }
+    }
+    if (!write_frame(fd, "{\"op\": \"submit\", \"job\": " + job_json + "}",
+                     &error)) {
+      std::fprintf(stderr, "meshrouted: submit: %s\n", error.c_str());
+      ::close(fd);
+      return 1;
+    }
+  }
+
+  std::FILE* telemetry = nullptr;
+  if (!telemetry_out.empty()) {
+    telemetry = std::fopen(telemetry_out.c_str(), "w");
+    if (telemetry == nullptr) {
+      std::fprintf(stderr, "meshrouted: cannot write %s\n",
+                   telemetry_out.c_str());
+      ::close(fd);
+      return 1;
+    }
+  }
+
+  // Drain frames until every submitted job has a terminal frame.
+  std::size_t pending = submits.size();
+  bool failed = false;
+  std::string payload;
+  while (pending > 0 && read_frame(fd, &payload, &error)) {
+    std::string parse_error;
+    const std::optional<json::Value> doc = json::parse(payload, &parse_error);
+    if (!doc || !doc->is_object()) {
+      std::fprintf(stderr, "meshrouted: bad frame: %s\n", parse_error.c_str());
+      failed = true;
+      break;
+    }
+    if (const json::Value* ok = doc->find("ok")) {
+      if (!ok->boolean) {
+        const json::Value* why = doc->find("error");
+        std::fprintf(stderr, "meshrouted: rejected: %s\n",
+                     why && why->is_string() ? why->string.c_str() : "?");
+        failed = true;
+        --pending;
+      }
+      continue;  // submit ack
+    }
+    const json::Value* kind = doc->find("kind");
+    if (!kind || !kind->is_string()) continue;
+    if (kind->string == "telemetry") {
+      const json::Value* line = doc->find("line");
+      if (telemetry != nullptr && line != nullptr && line->is_string())
+        std::fprintf(telemetry, "%s\n", line->string.c_str());
+    } else if (kind->string == "result") {
+      std::printf("%s\n", payload.c_str());
+      --pending;
+    } else if (kind->string == "error") {
+      const json::Value* why = doc->find("error");
+      std::fprintf(stderr, "meshrouted: job failed: %s\n",
+                   why && why->is_string() ? why->string.c_str() : "?");
+      failed = true;
+      --pending;
+    }
+  }
+  if (pending > 0 && !failed) {
+    std::fprintf(stderr, "meshrouted: connection lost: %s\n", error.c_str());
+    failed = true;
+  }
+  if (telemetry != nullptr) std::fclose(telemetry);
+  ::close(fd);
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path, work_dir, telemetry_out;
+  std::vector<std::string> submits;
+  std::size_t lanes = 2;
+  bool client = false, shutdown = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+    } else if (arg.rfind("--lanes=", 0) == 0) {
+      lanes = static_cast<std::size_t>(
+          std::strtoul(arg.substr(8).c_str(), nullptr, 10));
+      if (lanes < 1) return usage(argv[0]);
+    } else if (arg.rfind("--work-dir=", 0) == 0) {
+      work_dir = arg.substr(11);
+    } else if (arg == "--client") {
+      client = true;
+    } else if (arg.rfind("--submit=", 0) == 0) {
+      submits.push_back(arg.substr(9));
+    } else if (arg.rfind("--telemetry-out=", 0) == 0) {
+      telemetry_out = arg.substr(16);
+    } else if (arg == "--shutdown") {
+      shutdown = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty()) return usage(argv[0]);
+
+  if (client) {
+    if (submits.empty() && !shutdown) return usage(argv[0]);
+    return run_client(socket_path, submits, telemetry_out, shutdown);
+  }
+
+  mr::DaemonOptions options;
+  options.socket_path = socket_path;
+  options.lanes = lanes;
+  options.work_dir = work_dir;
+  mr::Daemon daemon(options);
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "meshrouted: %s\n", error.c_str());
+    return 1;
+  }
+  g_daemon = &daemon;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::fprintf(stderr, "meshrouted: serving on %s (%zu lane%s)\n",
+               socket_path.c_str(), options.lanes,
+               options.lanes == 1 ? "" : "s");
+  daemon.wait();
+  g_daemon = nullptr;
+  std::fprintf(stderr, "meshrouted: shut down\n");
+  return 0;
+}

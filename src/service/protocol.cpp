@@ -1,0 +1,144 @@
+#include "service/protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mr {
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Reads exactly `len` bytes; false on EOF-mid-read or error. *eof is set
+/// when zero bytes were read before the stream ended (clean close).
+bool read_exact(int fd, void* buf, std::size_t len, bool* eof,
+                std::string* error) {
+  auto* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, p + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0 && eof != nullptr) {
+        *eof = true;
+        return false;
+      }
+      *error = "connection closed mid-frame";
+      return false;
+    }
+    if (errno == EINTR) continue;
+    *error = errno_string("recv");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string* payload, std::string* error) {
+  error->clear();
+  unsigned char len_le[4];
+  bool eof = false;
+  if (!read_exact(fd, len_le, sizeof len_le, &eof, error))
+    return false;  // clean EOF leaves *error empty
+  const std::uint32_t len = static_cast<std::uint32_t>(len_le[0]) |
+                            static_cast<std::uint32_t>(len_le[1]) << 8 |
+                            static_cast<std::uint32_t>(len_le[2]) << 16 |
+                            static_cast<std::uint32_t>(len_le[3]) << 24;
+  if (len > kMaxFrameBytes) {
+    *error = "frame length " + std::to_string(len) + " exceeds limit";
+    return false;
+  }
+  payload->resize(len);
+  if (len == 0) return true;
+  return read_exact(fd, payload->data(), len, nullptr, error);
+}
+
+bool write_frame(int fd, const std::string& payload, std::string* error) {
+  if (payload.size() > kMaxFrameBytes) {
+    *error = "frame payload exceeds limit";
+    return false;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string buf;
+  buf.reserve(4 + payload.size());
+  buf.push_back(static_cast<char>(len & 0xFF));
+  buf.push_back(static_cast<char>((len >> 8) & 0xFF));
+  buf.push_back(static_cast<char>((len >> 16) & 0xFF));
+  buf.push_back(static_cast<char>((len >> 24) & 0xFF));
+  buf += payload;
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    const ssize_t n =
+        ::send(fd, buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    *error = errno_string("send");
+    return false;
+  }
+  return true;
+}
+
+int listen_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    *error = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = errno_string("socket");
+    return -1;
+  }
+  ::unlink(path.c_str());  // a stale file from a dead daemon blocks bind
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    *error = errno_string("bind");
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 16) < 0) {
+    *error = errno_string("listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    *error = "socket path too long: " + path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = errno_string("socket");
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    *error = errno_string("connect");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace mr

@@ -1,0 +1,53 @@
+// meshrouted wire protocol: length-prefixed JSON frames over a unix-domain
+// stream socket.
+//
+// Every message in either direction is one frame: a 4-byte little-endian
+// unsigned payload length followed by that many bytes of UTF-8 JSON (one
+// object per frame, no trailing newline required). Frames larger than
+// kMaxFrameBytes are rejected — a malformed length prefix must not make the
+// daemon allocate unbounded memory.
+//
+// Requests (client → daemon):
+//   {"op": "submit", "job": { ...job spec, see service/job.hpp... }}
+//   {"op": "shutdown"}
+//   {"op": "ping"}
+//
+// Responses (daemon → client), all carrying the job id once assigned:
+//   {"ok": true, "job": N}            submit accepted (N is the job id)
+//   {"ok": true}                      ping / shutdown acknowledged
+//   {"ok": false, "error": "..."}     request rejected
+//   {"job": N, "kind": "telemetry", "line": "..."}   one JSONL line of the
+//                                     job's meshroute-telemetry/1 stream
+//   {"job": N, "kind": "result", "result": { ...meshroute-run/1 object... }}
+//   {"job": N, "kind": "error", "error": "..."}
+//
+// A job's frames are written atomically per frame (the daemon holds the
+// connection's write mutex per frame), so concurrent jobs interleave at
+// frame granularity only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mr {
+
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;  // 16 MiB
+
+/// Reads one length-prefixed frame from `fd` into *payload. Returns true on
+/// success; false on clean EOF at a frame boundary (*error left empty) or on
+/// any failure (*error describes it). Blocks until the frame is complete.
+bool read_frame(int fd, std::string* payload, std::string* error);
+
+/// Writes one length-prefixed frame to `fd` (full payload, retrying short
+/// writes; SIGPIPE suppressed). Returns false with *error on failure.
+bool write_frame(int fd, const std::string& payload, std::string* error);
+
+/// Creates, binds and listens on a unix-domain socket at `path`, removing a
+/// stale socket file first. Returns the listening fd, or -1 with *error.
+int listen_unix(const std::string& path, std::string* error);
+
+/// Connects to the daemon socket at `path`. Returns the fd, or -1 with
+/// *error.
+int connect_unix(const std::string& path, std::string* error);
+
+}  // namespace mr

@@ -52,6 +52,7 @@
 #include "sim/algorithm.hpp"
 #include "sim/packet.hpp"
 #include "sim/sim.hpp"
+#include "sim/snapshot.hpp"
 #include "topo/topology.hpp"
 
 namespace mr {
@@ -190,6 +191,25 @@ class Engine : public Sim {
   /// Steps until all packets are delivered or max_steps executed or the
   /// stall limit trips. Returns the number of the last executed step.
   Step run(Step max_steps);
+
+  // --- checkpointing (sim/snapshot.hpp) ----------------------------------
+  /// Captures the complete between-steps state as an EngineSnapshot. Only
+  /// valid between steps (after prepare()); the snapshot carries the run
+  /// identity (topology/algorithm/k/layout/shards) for restore-time
+  /// validation. Pure observation: the engine is unchanged.
+  EngineSnapshot snapshot() const;
+
+  /// Resets this engine to the state `snap` describes. The engine must
+  /// have been constructed with the same topology, algorithm, queue
+  /// capacity and shard count as the snapshotting engine, or
+  /// SnapshotError{Mismatch} is thrown (naming the field); internally
+  /// inconsistent snapshot contents throw SnapshotError{Format}. Works on
+  /// a fresh engine (restore instead of prepare()) and on a prepared one
+  /// (rewind/fast-forward in place; attached observers stay attached).
+  /// Algorithm::init is NOT re-run: algorithm state lives in the node and
+  /// packet state words, which the snapshot carries. Continuation is
+  /// bit-identical to the run the snapshot was taken from.
+  void restore(const EngineSnapshot& snap);
 
   // --- Sim interface -----------------------------------------------------
   /// Nodes currently holding at least one packet, ascending by NodeId.

@@ -43,6 +43,20 @@ void MetricsObserver::on_deliver(const Sim& e, const Packet& p) {
   ++delivered_so_far_;
 }
 
+LatencySummary latency_summary_from_packets(const std::vector<Packet>& packets) {
+  Histogram h;
+  for (const Packet& p : packets)
+    if (p.delivered()) h.add(p.delivered_at - p.injected_at);
+  LatencySummary s;
+  if (h.total() == 0) return s;
+  s.mean = h.mean();
+  s.p50 = h.percentile(0.5);
+  s.p95 = h.percentile(0.95);
+  s.p99 = h.percentile(0.99);
+  s.max = h.max();
+  return s;
+}
+
 LatencySummary MetricsObserver::latency_summary() const {
   LatencySummary s;
   s.mean = latency_.mean();

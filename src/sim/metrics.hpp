@@ -20,6 +20,13 @@ struct LatencySummary {
   Step max = 0;
 };
 
+/// LatencySummary over the delivered packets of `packets`
+/// (delivered_at - injected_at each). Computed from final packet records
+/// rather than streamed deliveries, so it is order-insensitive and a run
+/// restored from a checkpoint reproduces the uninterrupted run's summary
+/// exactly.
+LatencySummary latency_summary_from_packets(const std::vector<Packet>& packets);
+
 class MetricsObserver : public Observer {
  public:
   /// sample_every: occupancy distribution is sampled on every N-th step

@@ -8,7 +8,7 @@
 
 #include "core/table.hpp"
 #include "harness/csv_export.hpp"
-#include "harness/json_min.hpp"
+#include "core/json_min.hpp"
 #include "telemetry/phase_profile.hpp"
 
 namespace mr {

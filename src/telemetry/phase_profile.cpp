@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "harness/json_min.hpp"
+#include "core/json_min.hpp"
 
 namespace mr {
 

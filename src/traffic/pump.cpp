@@ -1,6 +1,7 @@
 #include "traffic/pump.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "core/assert.hpp"
 
@@ -49,6 +50,39 @@ void TrafficPump::advance() {
   // actually injects, so step_once can advance the clock again.
   while (engine_.all_delivered() && !exhausted())
     emit_one(/*pre_prepare=*/false);
+}
+
+std::string TrafficPump::save_state() const {
+  std::string out = "pump/1 " + std::to_string(emitted_) + " " +
+                    std::to_string(primed_ ? 1 : 0) + " " +
+                    std::to_string(offered_) + " " +
+                    std::to_string(offered_per_step_.size());
+  for (std::int32_t c : offered_per_step_) {
+    out += " ";
+    out += std::to_string(c);
+  }
+  return out;
+}
+
+void TrafficPump::restore_state(const std::string& blob) {
+  const auto bad = [](const char* what) {
+    throw SnapshotError(SnapshotError::Kind::Format,
+                        std::string("pump state blob: ") + what);
+  };
+  std::istringstream in(blob);
+  std::string tag;
+  long long emitted = 0, primed = 0, offered = 0, count = 0;
+  if (!(in >> tag >> emitted >> primed >> offered >> count) || tag != "pump/1")
+    bad("not a pump/1 record");
+  if (emitted < 0 || offered < 0 || count != emitted)
+    bad("inconsistent counters");
+  std::vector<std::int32_t> per_step(static_cast<std::size_t>(count));
+  for (std::int32_t& c : per_step)
+    if (!(in >> c) || c < 0) bad("truncated per-step counts");
+  emitted_ = emitted;
+  primed_ = primed != 0;
+  offered_ = offered;
+  offered_per_step_ = std::move(per_step);
 }
 
 std::int64_t TrafficPump::offered_between(Step first, Step last) const {

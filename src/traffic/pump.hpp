@@ -19,7 +19,12 @@
 
 namespace mr {
 
-class TrafficPump {
+/// Snapshottable (sim/snapshot.hpp): the pump's blob carries the emission
+/// window (emitted-through step, primed flag) and the offered-load
+/// counters, but NOT the engine or source — restore those from the same
+/// checkpoint separately, then restore_state() the pump constructed over
+/// them. Do not call prime() on a restored pump.
+class TrafficPump : public Snapshottable {
  public:
   /// The source will be emitted for steps 1..inject_steps; `ahead` >= 1 is
   /// the generation-ahead window.
@@ -45,6 +50,9 @@ class TrafficPump {
   std::int64_t offered() const { return offered_; }
   /// Demands emitted with injection step in [first, last].
   std::int64_t offered_between(Step first, Step last) const;
+
+  std::string save_state() const override;
+  void restore_state(const std::string& blob) override;
 
  private:
   void emit_one(bool pre_prepare);

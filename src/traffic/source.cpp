@@ -1,10 +1,21 @@
 #include "traffic/source.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
 
 #include "core/assert.hpp"
 
 namespace mr {
+namespace {
+
+[[noreturn]] void bad_blob(const char* what) {
+  throw SnapshotError(SnapshotError::Kind::Format,
+                      std::string("traffic source state blob: ") + what);
+}
+
+}  // namespace
 
 BernoulliSource::BernoulliSource(const Topology& topo, const TrafficSpec& spec)
     : topo_(topo), spec_(spec), rng_(spec.seed) {
@@ -30,6 +41,31 @@ void BernoulliSource::emit(Step step, std::vector<Demand>& out) {
   }
 }
 
+std::string BernoulliSource::save_state() const {
+  const std::array<std::uint64_t, 4> s = rng_.state();
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "bernoulli/1 %016" PRIx64 " %016" PRIx64 " %016" PRIx64
+                " %016" PRIx64 " %" PRId64 " %" PRId64,
+                s[0], s[1], s[2], s[3], static_cast<std::int64_t>(last_step_),
+                offered_);
+  return buf;
+}
+
+void BernoulliSource::restore_state(const std::string& blob) {
+  std::array<std::uint64_t, 4> s{};
+  std::int64_t last = 0, offered = 0;
+  if (std::sscanf(blob.c_str(),
+                  "bernoulli/1 %" SCNx64 " %" SCNx64 " %" SCNx64 " %" SCNx64
+                  " %" SCNd64 " %" SCNd64,
+                  &s[0], &s[1], &s[2], &s[3], &last, &offered) != 6)
+    bad_blob("not a bernoulli/1 record");
+  if (last < 0 || offered < 0) bad_blob("negative counter");
+  rng_.set_state(s);
+  last_step_ = last;
+  offered_ = offered;
+}
+
 ReplaySource::ReplaySource(Workload demands) : demands_(std::move(demands)) {
   std::stable_sort(demands_.begin(), demands_.end(),
                    [](const Demand& a, const Demand& b) {
@@ -48,6 +84,24 @@ void ReplaySource::emit(Step step, std::vector<Demand>& out) {
   while (cursor_ < demands_.size() &&
          demands_[cursor_].injected_at == step)
     out.push_back(demands_[cursor_++]);
+}
+
+std::string ReplaySource::save_state() const {
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "replay/1 %zu %" PRId64, cursor_,
+                static_cast<std::int64_t>(last_step_));
+  return buf;
+}
+
+void ReplaySource::restore_state(const std::string& blob) {
+  std::uint64_t cursor = 0;
+  std::int64_t last = 0;
+  if (std::sscanf(blob.c_str(), "replay/1 %" SCNu64 " %" SCNd64, &cursor,
+                  &last) != 2)
+    bad_blob("not a replay/1 record");
+  if (cursor > demands_.size()) bad_blob("replay cursor past the workload end");
+  cursor_ = static_cast<std::size_t>(cursor);
+  last_step_ = last;
 }
 
 Workload materialize_traffic(TrafficSource& source, Step first, Step last) {

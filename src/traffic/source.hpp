@@ -9,14 +9,20 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "sim/snapshot.hpp"
 #include "traffic/pattern.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr {
 
-class TrafficSource {
+/// Every source is Snapshottable (sim/snapshot.hpp): save_state() captures
+/// the emission position — for the stochastic source the raw RNG state,
+/// the last emitted step and the offered counter — so a checkpointed
+/// open-loop run restores its source and continues the exact demand
+/// stream bit for bit.
+class TrafficSource : public Snapshottable {
  public:
-  virtual ~TrafficSource() = default;
+  ~TrafficSource() override = default;
   /// Appends all demands injected at `step` (each with injected_at ==
   /// step) to `out`. Must be called with strictly increasing steps.
   virtual void emit(Step step, std::vector<Demand>& out) = 0;
@@ -38,6 +44,9 @@ class BernoulliSource : public TrafficSource {
   /// Demands emitted so far (offered load counter).
   std::int64_t offered() const { return offered_; }
 
+  std::string save_state() const override;
+  void restore_state(const std::string& blob) override;
+
  private:
   const Topology& topo_;
   TrafficSpec spec_;
@@ -55,6 +64,11 @@ class ReplaySource : public TrafficSource {
   /// `demands` need not be sorted; they are stable-sorted by injected_at.
   explicit ReplaySource(Workload demands);
   void emit(Step step, std::vector<Demand>& out) override;
+
+  /// Position only; the restoring ReplaySource must be constructed from
+  /// the same workload.
+  std::string save_state() const override;
+  void restore_state(const std::string& blob) override;
 
  private:
   Workload demands_;

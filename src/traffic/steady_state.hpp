@@ -15,6 +15,7 @@
 #include <string>
 
 #include "sim/metrics.hpp"
+#include "sim/snapshot.hpp"
 #include "traffic/pattern.hpp"
 #include "traffic/source.hpp"
 
@@ -23,12 +24,20 @@ namespace mr {
 struct SteadyStateSpec {
   std::int32_t width = 0;   ///< router columns
   std::int32_t height = 0;  ///< router rows
+  /// DEPRECATED shim, as in RunSpec: honoured only while `topology` is
+  /// empty; resolved_topology() is the single normalisation point.
   bool torus = false;
-  /// Registry topology name ("mesh", "torus", "cmesh-4", ...). Empty keeps
-  /// the legacy mesh/torus selection via the `torus` flag. Rates are per
-  /// TERMINAL: on a concentrated topology offered/accepted_rate divide by
+  /// Registry topology name ("mesh", "torus", "cmesh-4", ...). Empty
+  /// resolves via the deprecated `torus` flag. Rates are per TERMINAL: on
+  /// a concentrated topology offered/accepted_rate divide by
   /// num_terminals(), not routers.
   std::string topology;
+
+  /// Canonical topology selection (see RunSpec::resolved_topology).
+  std::string resolved_topology() const {
+    if (!topology.empty()) return topology;
+    return torus ? "torus" : "mesh";
+  }
   int queue_capacity = 1;  ///< k
   std::string algorithm;   ///< registry name
   TrafficSpec traffic;
@@ -48,6 +57,12 @@ struct SteadyStateSpec {
 
   int stationarity_windows = 4;          ///< measurement-phase split
   double stationarity_tolerance = 0.25;  ///< relative drift allowed
+
+  /// Durable-run store (sim/snapshot.hpp): run_steady_state snapshots the
+  /// engine + source + pump + phase accounting every `checkpoint.every`
+  /// steps and records the finished result as <key>.done.json; against an
+  /// existing store it short-circuits or resumes bit-identically.
+  CheckpointSpec checkpoint;
 };
 
 /// Per-phase accounting. offered counts source emissions dated inside the
@@ -98,5 +113,13 @@ SteadyStateResult run_steady_state(const SteadyStateSpec& spec);
 /// Same, with a caller-provided source (e.g. a ReplaySource).
 SteadyStateResult run_steady_state(const SteadyStateSpec& spec,
                                    TrafficSource& source);
+
+/// Durable-record round-trip (meshroute-steady/1), used by the checkpoint
+/// store's .done.json short-circuit. Serialisation is exact: parsing a
+/// serialised result reproduces every field bit for bit.
+std::string steady_state_result_to_json(const SteadyStateResult& result);
+bool steady_state_result_from_json(const std::string& text,
+                                   SteadyStateResult* result,
+                                   std::string* error);
 
 }  // namespace mr

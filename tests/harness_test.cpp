@@ -1,11 +1,15 @@
-// Harness-level tests: run driver semantics, budgets, sweep determinism.
+// Harness-level tests: run driver semantics, budgets, sweep determinism,
+// and the durable-run checkpoint store.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 
+#include "harness/checkpoint.hpp"
 #include "harness/runner.hpp"
 #include "harness/sweep.hpp"
 #include "topo/mesh.hpp"
+#include "traffic/source.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr {
@@ -86,11 +90,11 @@ TEST(Runner, EngineModeSequentialAndSharded) {
   const Workload w = random_permutation(mesh, 3);
 
   const RunResult seq = run_workload(spec, w);
-  EXPECT_EQ(seq.engine_mode, "sequential");
+  EXPECT_EQ(seq.engine_mode, EngineMode::Sequential);
 
   spec.engine_shards = 2;
   const RunResult sharded = run_workload(spec, w);
-  EXPECT_EQ(sharded.engine_mode, "sharded");
+  EXPECT_EQ(sharded.engine_mode, EngineMode::Sharded);
   EXPECT_EQ(sharded.steps, seq.steps);
   EXPECT_EQ(sharded.total_moves, seq.total_moves);
 }
@@ -114,13 +118,34 @@ TEST(Runner, InterceptorForcesSequentialFallback) {
   RunHooks hooks;
   hooks.interceptor = &noop;
   const RunResult r = run_workload(spec, w, hooks);
-  EXPECT_EQ(r.engine_mode, "sequential-fallback");
+  EXPECT_EQ(r.engine_mode, EngineMode::SequentialFallback);
   EXPECT_TRUE(r.all_delivered);
   // Without the sharding request the same run is plain "sequential".
   spec.engine_shards = spec.engine_threads = 1;
   const RunResult plain = run_workload(spec, w, hooks);
-  EXPECT_EQ(plain.engine_mode, "sequential");
+  EXPECT_EQ(plain.engine_mode, EngineMode::Sequential);
   EXPECT_EQ(plain.steps, r.steps);
+}
+
+TEST(Runner, EngineModeRoundTrips) {
+  for (const EngineMode mode : {EngineMode::Sequential, EngineMode::Sharded,
+                                EngineMode::SequentialFallback}) {
+    const std::optional<EngineMode> parsed = parse_engine_mode(to_string(mode));
+    ASSERT_TRUE(parsed.has_value()) << to_string(mode);
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(parse_engine_mode("parallel").has_value());
+  EXPECT_FALSE(parse_engine_mode("").has_value());
+}
+
+TEST(Runner, ResolvedTopologyNormalisesLegacyFlag) {
+  RunSpec spec;
+  EXPECT_EQ(spec.resolved_topology(), "mesh");
+  spec.torus = true;
+  EXPECT_EQ(spec.resolved_topology(), "torus");
+  // An explicit topology always wins over the deprecated flag.
+  spec.topology = "cmesh-4";
+  EXPECT_EQ(spec.resolved_topology(), "cmesh-4");
 }
 
 TEST(Runner, TopologyNameMatchesLegacyTorusFlag) {
@@ -162,6 +187,67 @@ TEST(Runner, UnknownTopologyThrows) {
   spec.topology = "hypercube";
   spec.algorithm = "dimension-order";
   EXPECT_THROW(run_workload(spec, {}), InvariantViolation);
+}
+
+TEST(Runner, RunResultJsonRoundTrips) {
+  const Mesh mesh = Mesh::square(8);
+  RunSpec spec;
+  spec.width = spec.height = 8;
+  spec.queue_capacity = 2;
+  spec.algorithm = "bounded-dimension-order";
+  const RunResult r = run_workload(spec, random_permutation(mesh, 6));
+  RunResult parsed;
+  std::string error;
+  ASSERT_TRUE(run_result_from_json(run_result_to_json(r), &parsed, &error))
+      << error;
+  // Exact round trip: re-serialisation is byte-identical.
+  EXPECT_EQ(run_result_to_json(parsed), run_result_to_json(r));
+  EXPECT_FALSE(run_result_from_json("{\"format\": \"wrong/1\"}", &parsed,
+                                    &error));
+}
+
+TEST(Runner, CheckpointStoreResumesBitIdentically) {
+  const std::string dir = ::testing::TempDir() + "runner_ckpt_store";
+  std::filesystem::remove_all(dir);
+  const Mesh mesh = Mesh::square(8);
+  TrafficSpec traffic;
+  traffic.rate = 0.1;
+  traffic.seed = 21;
+
+  RunSpec spec;
+  spec.width = spec.height = 8;
+  spec.queue_capacity = 2;
+  spec.algorithm = "bounded-dimension-order";
+  spec.traffic_steps = 64;
+  spec.stall_limit = 4096;
+
+  const auto run_open_loop = [&](const RunSpec& s) {
+    BernoulliSource source(mesh, traffic);
+    RunHooks hooks;
+    hooks.traffic = &source;
+    return run_workload(s, {}, hooks);
+  };
+
+  // Checkpointing must not perturb the run at all.
+  const RunResult baseline = run_open_loop(spec);
+  spec.checkpoint.dir = dir;
+  spec.checkpoint.key = "open_loop";
+  spec.checkpoint.every = 8;
+  const RunResult stored = run_open_loop(spec);
+  EXPECT_EQ(run_result_to_json(stored), run_result_to_json(baseline));
+  ASSERT_TRUE(std::filesystem::exists(spec.checkpoint.done_path()));
+  ASSERT_TRUE(std::filesystem::exists(spec.checkpoint.snapshot_path()));
+
+  // A finished store short-circuits without re-running.
+  const RunResult cached = run_open_loop(spec);
+  EXPECT_EQ(run_result_to_json(cached), run_result_to_json(baseline));
+
+  // Crash simulation: the done record is gone, a mid-run snapshot remains.
+  // The resumed run (fresh source; its RNG state comes from the snapshot's
+  // aux blobs) must reproduce the uninterrupted result bit for bit.
+  std::filesystem::remove(spec.checkpoint.done_path());
+  const RunResult resumed = run_open_loop(spec);
+  EXPECT_EQ(run_result_to_json(resumed), run_result_to_json(baseline));
 }
 
 TEST(Sweep, ResultsArePositionAddressed) {

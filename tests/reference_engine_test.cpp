@@ -137,9 +137,10 @@ TEST(FuzzCase, SpecRoundTrips) {
   FuzzCase c;
   c.algorithm = "bounded-dimension-order";
   c.n = 7;
-  c.torus = true;
+  c.topo = "torus";
   c.k = 4;
   c.budget = 512;
+  c.ckpt = 9;
   c.demands = {{3, 41, 0}, {9, 2, 5}};
   const std::string spec = format_fuzz_case(c);
 
@@ -148,9 +149,10 @@ TEST(FuzzCase, SpecRoundTrips) {
   ASSERT_TRUE(parse_fuzz_case(spec, &parsed, &error)) << error;
   EXPECT_EQ(parsed.algorithm, c.algorithm);
   EXPECT_EQ(parsed.n, c.n);
-  EXPECT_EQ(parsed.torus, c.torus);
+  EXPECT_EQ(parsed.topo, c.topo);
   EXPECT_EQ(parsed.k, c.k);
   EXPECT_EQ(parsed.budget, c.budget);
+  EXPECT_EQ(parsed.ckpt, c.ckpt);
   ASSERT_EQ(parsed.demands.size(), c.demands.size());
   for (std::size_t i = 0; i < c.demands.size(); ++i) {
     EXPECT_EQ(parsed.demands[i].source, c.demands[i].source);
@@ -174,12 +176,18 @@ TEST(FuzzCase, TopoKeyRoundTrips) {
   std::string error;
   ASSERT_TRUE(parse_fuzz_case(spec, &parsed, &error)) << error;
   EXPECT_EQ(parsed.topo, "cmesh-2");
-  // The legacy spelling (no topo key) still parses to an empty topo.
+  // The legacy spellings still parse: torus=0 leaves topo empty (mesh),
+  // torus=1 normalises to topo=torus.
   ASSERT_TRUE(parse_fuzz_case(
       "algo=dimension-order n=4 torus=0 k=1 budget=64 demands=0-15", &parsed,
       &error))
       << error;
   EXPECT_TRUE(parsed.topo.empty());
+  ASSERT_TRUE(parse_fuzz_case(
+      "algo=dimension-order n=4 torus=1 k=1 budget=64 demands=0-15", &parsed,
+      &error))
+      << error;
+  EXPECT_EQ(parsed.topo, "torus");
 }
 
 TEST(FuzzCase, RunFuzzCaseOnRegistryTopologies) {

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "core/assert.hpp"
-#include "harness/json_min.hpp"
+#include "core/json_min.hpp"
 #include "harness/scenario.hpp"
 #include "scenarios.hpp"
 #include "topo/mesh.hpp"
