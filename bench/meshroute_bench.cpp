@@ -37,6 +37,16 @@
 //                                          cmesh-N) applied to every
 //                                          scenario run that does not pick
 //                                          its own network; see --list
+//   meshroute_bench --faults=SPEC          timed link/node fault schedule
+//                                          ("node:<id>@<down>[-<up>]" /
+//                                          "link:<node>:<N|E|S|W>@<down>
+//                                          [-<up>]", comma-separated)
+//                                          installed on every scenario run
+//                                          that does not carry its own
+//   meshroute_bench --adversary            attach the online greedy
+//                                          destination-exchange adversary
+//                                          to every scenario run (forces
+//                                          the sequential engine)
 //   meshroute_bench --validate=PATH        only validate an existing JSON
 //                                          record (scenario .json or
 //                                          telemetry .jsonl)
@@ -80,7 +90,8 @@ int usage(const char* argv0) {
                "usage: %s [--list] [--run <id|label>]... [--json=DIR] "
                "[--telemetry=DIR] [--profile] [--smoke] [--jobs=N] "
                "[--seed=S] [--engine-shards=S] [--engine-threads=T] "
-               "[--topology=NAME] [--resume=DIR] [--checkpoint-every=N] "
+               "[--topology=NAME] [--faults=SPEC] [--adversary] "
+               "[--resume=DIR] [--checkpoint-every=N] "
                "[--validate=PATH] [--throughput-guard=PATH] "
                "[--fuzz=N] [--fuzz-seed=S] [--fuzz-case=SPEC]\n",
                argv0);
@@ -162,6 +173,15 @@ int main(int argc, char** argv) {
                      options.topology.c_str());
         return 2;
       }
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      std::string error;
+      if (!parse_fault_schedule(arg.substr(9), &options.faults, &error)) {
+        std::fprintf(stderr, "error: malformed --faults schedule: %s\n",
+                     error.c_str());
+        return 2;
+      }
+    } else if (arg == "--adversary") {
+      options.adversary = true;
     } else if (arg.rfind("--validate=", 0) == 0) {
       const std::string path = arg.substr(11);
       std::string error;

@@ -22,6 +22,7 @@ void register_all(ScenarioRegistry& registry) {
   register_e17(registry);
   register_e18(registry);
   register_e19(registry);
+  register_e20(registry);
 }
 
 ScenarioRegistry& builtin() {

@@ -1,4 +1,4 @@
-// The built-in experiment suite (E01–E19) as scenario registrations.
+// The built-in experiment suite (E01–E20) as scenario registrations.
 //
 // Each e*.cpp file in this directory registers exactly one ScenarioSpec;
 // the meshroute_bench driver (and the tests) get the whole suite through
@@ -29,8 +29,9 @@ void register_e16(ScenarioRegistry& registry);
 void register_e17(ScenarioRegistry& registry);
 void register_e18(ScenarioRegistry& registry);
 void register_e19(ScenarioRegistry& registry);
+void register_e20(ScenarioRegistry& registry);
 
-/// Registers E01..E19 in order.
+/// Registers E01..E20 in order.
 void register_all(ScenarioRegistry& registry);
 
 /// The shared registry preloaded with the full suite (built on first use).

@@ -11,8 +11,10 @@
 #include "routing/registry.hpp"
 #include "topo/registry.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/trace.hpp"
 #include "topo/mesh.hpp"
+#include "traffic/burst.hpp"
 #include "traffic/source.hpp"
 #include "workload/patterns.hpp"
 
@@ -35,7 +37,9 @@ std::unique_ptr<Topology> fuzz_topology(const FuzzCase& c) {
 }
 
 /// Expands the case's traffic stream into the explicit demand list both
-/// engines receive. Deterministic in (traffic, rate, tseed, tsteps, n).
+/// engines receive. Deterministic in (traffic, rate, tseed, tsteps, n,
+/// burst) — bursty streams go through the same make_traffic_source
+/// factory the harness uses, so a burst= repro line replays bit for bit.
 Workload traffic_demands(const FuzzCase& c) {
   if (!has_traffic(c)) return {};
   const std::unique_ptr<Topology> topo = fuzz_topology(c);
@@ -44,8 +48,9 @@ Workload traffic_demands(const FuzzCase& c) {
                  "unknown traffic pattern '" << c.traffic << "'");
   spec.rate = c.rate;
   spec.seed = c.tseed;
-  BernoulliSource source(*topo, spec);
-  return materialize_traffic(source, 1, c.tsteps);
+  const std::unique_ptr<TrafficSource> source =
+      make_traffic_source(*topo, spec, c.burst);
+  return materialize_traffic(*source, 1, c.tsteps);
 }
 
 }  // namespace
@@ -66,9 +71,12 @@ std::string format_fuzz_case(const FuzzCase& c) {
      << " budget=" << c.budget;
   if (!c.topo.empty()) os << " topo=" << c.topo;
   if (c.ckpt >= 0) os << " ckpt=" << c.ckpt;
-  if (has_traffic(c))
+  if (has_traffic(c)) {
     os << " traffic=" << c.traffic << " rate=" << c.rate
        << " tseed=" << c.tseed << " tsteps=" << c.tsteps;
+    if (!c.burst.stationary()) os << " burst=" << format_burst_spec(c.burst);
+  }
+  if (!c.faults.empty()) os << " fault=" << format_fault_schedule(c.faults);
   if (c.shards != 1) os << " shards=" << c.shards;
   if (c.threads != 1) os << " threads=" << c.threads;
   os << " demands=";
@@ -121,6 +129,18 @@ bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
       c.tseed = std::strtoull(value.c_str(), &end, 10);
     } else if (key == "tsteps") {
       c.tsteps = std::strtoll(value.c_str(), &end, 10);
+    } else if (key == "burst") {
+      std::string berr;
+      if (!parse_burst_spec(value, &c.burst, &berr)) {
+        if (error) *error = "malformed burst spec: " + berr;
+        return false;
+      }
+    } else if (key == "fault") {
+      std::string ferr;
+      if (!parse_fault_schedule(value, &c.faults, &ferr)) {
+        if (error) *error = "malformed fault schedule: " + ferr;
+        return false;
+      }
     } else if (key == "shards") {
       c.shards = static_cast<int>(std::strtol(value.c_str(), &end, 10));
     } else if (key == "threads") {
@@ -175,6 +195,14 @@ bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
     if (error) *error = "unknown topology '" + c.topo + "'";
     return false;
   }
+  if (!c.faults.empty()) {
+    const std::string ferr =
+        validate_fault_schedule(c.faults, *fuzz_topology(c));
+    if (!ferr.empty()) {
+      if (error) *error = ferr;
+      return false;
+    }
+  }
   if (c.traffic != "none") {
     TrafficPattern pattern;
     if (!parse_traffic_pattern(c.traffic, &pattern)) {
@@ -212,6 +240,15 @@ std::string run_fuzz_case(const FuzzCase& c) {
     config.threads = c.threads;
     Engine opt(*topo, config, [&] { return make_algorithm(c.algorithm); });
     ReferenceEngine ref(*topo, c.k, kFuzzStallLimit, *algo_ref);
+
+    // Same fault schedule in both engines: the reroute-or-stall decisions
+    // (dropped moves, deferred injections, availability-masked planning)
+    // must be bit-identical, and both land in the step digest the hashers
+    // compare below.
+    if (!c.faults.empty()) {
+      opt.set_fault_schedule(c.faults);
+      ref.set_fault_schedule(c.faults);
+    }
 
     for (const Demand& d : c.demands) {
       opt.add_packet(d.source, d.dest, d.injected_at);
@@ -300,7 +337,8 @@ std::string run_fuzz_case(const FuzzCase& c) {
     // Offline pass: the recorded trace must replay cleanly too.
     const std::string trace_error =
         run_trace_oracles(trace.events(), *topo, opt.all_packets(), c.k,
-                          algo_opt->queue_layout());
+                          algo_opt->queue_layout(),
+                          c.faults.empty() ? nullptr : &c.faults);
     if (!trace_error.empty()) {
       err << "trace replay: " << trace_error;
       return err.str();
@@ -313,19 +351,25 @@ std::string run_fuzz_case(const FuzzCase& c) {
   return {};
 }
 
-FuzzCase shrink_fuzz_case(const FuzzCase& c) {
-  if (run_fuzz_case(c).empty()) return c;
+FuzzCase shrink_fuzz_case(const FuzzCase& c, const FuzzRunner& failing) {
+  const FuzzRunner runner =
+      failing ? failing : FuzzRunner([](const FuzzCase& x) {
+        return run_fuzz_case(x);
+      });
+  if (runner(c).empty()) return c;
   FuzzCase cur = c;
   // Flatten an active traffic stream into explicit demands (the expansion
-  // is deterministic, so the flattened case fails identically); ddmin then
-  // shrinks the whole list.
+  // is deterministic — bursty streams included, via make_traffic_source —
+  // so the flattened case fails identically); ddmin then shrinks the
+  // whole list.
   if (has_traffic(cur)) {
     FuzzCase flat = cur;
     const Workload stream = traffic_demands(flat);
     flat.demands.insert(flat.demands.end(), stream.begin(), stream.end());
     flat.traffic = "none";
     flat.tsteps = 0;
-    if (!run_fuzz_case(flat).empty()) cur = std::move(flat);
+    flat.burst = BurstSpec{};
+    if (!runner(flat).empty()) cur = std::move(flat);
   }
   // ddmin over the demand list: drop chunks while the case still fails,
   // halving the chunk size when no chunk can be dropped.
@@ -347,7 +391,7 @@ FuzzCase shrink_fuzz_case(const FuzzCase& c) {
       candidate.demands.erase(begin, end);
       ++attempts;
       if (candidate.demands.empty()) continue;
-      if (!run_fuzz_case(candidate).empty()) {
+      if (!runner(candidate).empty()) {
         cur = std::move(candidate);
         reduced = true;
         break;
@@ -358,6 +402,37 @@ FuzzCase shrink_fuzz_case(const FuzzCase& c) {
       chunk = std::max<std::size_t>(1, chunk / 2);
     } else {
       chunk = std::min(chunk, std::max<std::size_t>(1, cur.demands.size() / 2));
+    }
+  }
+  // Shrink the fault schedule: try dropping it wholesale (most failures
+  // are not fault-dependent), then a drop-one-event pass iterated to a
+  // fixed point — schedules are a handful of events, so full ddmin
+  // machinery buys nothing here.
+  if (!cur.faults.empty()) {
+    FuzzCase bare = cur;
+    bare.faults.events.clear();
+    ++attempts;
+    if (!runner(bare).empty()) {
+      cur = std::move(bare);
+    } else {
+      bool dropped = true;
+      while (dropped && cur.faults.events.size() > 1 &&
+             attempts < kMaxAttempts) {
+        dropped = false;
+        for (std::size_t i = 0; i < cur.faults.events.size(); ++i) {
+          FuzzCase candidate = cur;
+          candidate.faults.events.erase(
+              candidate.faults.events.begin() +
+              static_cast<std::ptrdiff_t>(i));
+          ++attempts;
+          if (!runner(candidate).empty()) {
+            cur = std::move(candidate);
+            dropped = true;
+            break;
+          }
+          if (attempts >= kMaxAttempts) break;
+        }
+      }
     }
   }
   return cur;
@@ -393,6 +468,40 @@ FuzzCase sample_case(Rng& rng) {
     constexpr int kThreadChoices[] = {1, 2, 4};
     c.threads = kThreadChoices[rng.next_below(3)];
   }
+  // A quarter of the cases install a timed fault schedule: one or two
+  // windows over interior elements (all four link directions exist there
+  // on every registry topology), mostly transient so the run can drain
+  // after the window, with an occasional permanent fault — a stall is a
+  // legitimate outcome both engines must reach identically.
+  if (rng.next_below(4) == 0) {
+    const auto interior = [&] {
+      return static_cast<std::int32_t>(1 + rng.next_below(
+          static_cast<std::uint64_t>(c.n - 2)));
+    };
+    const int events = 1 + static_cast<int>(rng.next_below(2));
+    for (int i = 0; i < events; ++i) {
+      FaultEvent ev;
+      ev.node = interior() * c.n + interior();
+      if (rng.next_below(2) == 0) {
+        ev.kind = FaultEvent::Kind::Node;
+      } else {
+        ev.kind = FaultEvent::Kind::Link;
+        constexpr Dir kDirs[] = {Dir::North, Dir::East, Dir::South,
+                                 Dir::West};
+        ev.dir = kDirs[rng.next_below(4)];
+      }
+      ev.down_at = static_cast<Step>(1 + rng.next_below(8));
+      ev.up_at = rng.next_below(8) == 0
+                     ? kStepNever
+                     : ev.down_at + static_cast<Step>(4 + rng.next_below(29));
+      c.faults.events.push_back(ev);
+    }
+    // Concentrated topologies may reject a direction at a router the plain
+    // interior heuristic assumed; a sampled schedule is best-effort, so an
+    // invalid draw simply degrades to a fault-free case.
+    if (!validate_fault_schedule(c.faults, *fuzz_topology(c)).empty())
+      c.faults.events.clear();
+  }
 
   const Mesh mesh = Mesh::square(c.n, c.topo == "torus");
   const std::uint64_t wseed = rng.next_u64() | 1;
@@ -407,6 +516,29 @@ FuzzCase sample_case(Rng& rng) {
     c.rate = kRates[rng.next_below(4)];
     c.tseed = wseed;
     c.tsteps = static_cast<Step>(8 + rng.next_below(33));  // 8..40
+    // A third of the traffic cases modulate the stream with a burst
+    // process (traffic/burst.hpp), so the time-varying sources get
+    // differential coverage through the same factory the harness uses.
+    if (rng.next_below(3) == 0) {
+      switch (rng.next_below(3)) {
+        case 0:
+          c.burst.kind = "onoff";
+          c.burst.on_steps = static_cast<Step>(2 + rng.next_below(7));
+          c.burst.off_steps = static_cast<Step>(2 + rng.next_below(7));
+          break;
+        case 1: {
+          c.burst.kind = "mmpp";
+          constexpr double kP[] = {0.1, 0.2, 0.5};
+          c.burst.p01 = kP[rng.next_below(3)];
+          c.burst.p10 = kP[rng.next_below(3)];
+          break;
+        }
+        default:
+          c.burst.kind = "drift";
+          c.burst.drift_period = static_cast<Step>(4 + rng.next_below(13));
+          break;
+      }
+    }
     return c;
   }
   switch (rng.next_below(9)) {
@@ -472,6 +604,9 @@ FuzzReport run_fuzz(std::size_t num_cases, std::uint64_t seed,
     if (c.traffic != "none")
       log << " traffic=" << c.traffic << " rate=" << c.rate
           << " tsteps=" << c.tsteps;
+    if (!c.burst.stationary()) log << " burst=" << format_burst_spec(c.burst);
+    if (!c.faults.empty())
+      log << " fault=" << format_fault_schedule(c.faults);
     if (c.shards != 1)
       log << " shards=" << c.shards << " threads=" << c.threads;
     if (error.empty()) {

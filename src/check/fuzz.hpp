@@ -9,9 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
+#include "sim/fault.hpp"
+#include "traffic/burst.hpp"
 #include "workload/permutation.hpp"
 
 namespace mr {
@@ -42,6 +45,17 @@ struct FuzzCase {
   double rate = 0.1;
   std::uint64_t tseed = 1;
   Step tsteps = 0;
+  /// Burst process modulating the traffic stream (traffic/burst.hpp);
+  /// stationary ("none") by default. Only meaningful with an active
+  /// traffic stream — the stream expansion goes through
+  /// make_traffic_source, so bursty cases replay bit for bit from
+  /// (traffic, rate, tseed, tsteps, burst).
+  BurstSpec burst;
+
+  /// Timed link/node fault schedule (sim/fault.hpp) installed in BOTH
+  /// engines before prepare(), so a shrunk fault= repro replays the same
+  /// reroute-or-stall decisions differentially. Empty disables.
+  FaultSchedule faults;
 
   /// Sharded stepping mode for the optimized engine (DESIGN.md §9). The
   /// reference engine always runs sequentially, so any shards > 1 case is
@@ -56,9 +70,13 @@ bool supports_torus(const std::string& algorithm);
 
 /// Spec-line round trip: "algo=<name> n=<n> k=<k> budget=<B>
 /// [topo=<name>] [ckpt=<step>] [traffic=<pattern> rate=<r> tseed=<s>
-/// tsteps=<t>] [shards=<s> threads=<t>] demands=<src>-<dst>@<step>,...".
-/// topo is emitted only when set; ckpt only when >= 0; shards/threads only
-/// when != 1. The legacy "torus=1" key parses as topo=torus.
+/// tsteps=<t> [burst=<spec>]] [fault=<schedule>] [shards=<s> threads=<t>]
+/// demands=<src>-<dst>@<step>,...".
+/// topo is emitted only when set; ckpt only when >= 0; burst only when
+/// non-stationary (traffic/burst.hpp grammar); fault only when the
+/// schedule is non-empty (sim/fault.hpp grammar, comma-separated, no
+/// spaces); shards/threads only when != 1. The legacy "torus=1" key
+/// parses as topo=torus.
 std::string format_fuzz_case(const FuzzCase& c);
 /// Parses a spec line; returns false and sets *error on malformed input.
 bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
@@ -69,9 +87,16 @@ bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
 /// invariant violation.
 std::string run_fuzz_case(const FuzzCase& c);
 
-/// Shrinks a failing case to a locally minimal demand list that still
-/// fails (ddmin). Returns the shrunk case; no-op if `c` passes.
-FuzzCase shrink_fuzz_case(const FuzzCase& c);
+/// Predicate deciding whether a case "fails": "" means pass, anything
+/// else is the failure description. run_fuzz_case is the production
+/// predicate; tests substitute their own to exercise the shrinker.
+using FuzzRunner = std::function<std::string(const FuzzCase&)>;
+
+/// Shrinks a failing case to a locally minimal repro that still fails
+/// under `failing` (run_fuzz_case when empty): ddmin over the demand
+/// list, then the fault-event list (whole-schedule drop first, then a
+/// drop-one fixed point). Returns the shrunk case; no-op if `c` passes.
+FuzzCase shrink_fuzz_case(const FuzzCase& c, const FuzzRunner& failing = {});
 
 struct FuzzReport {
   std::size_t cases_run = 0;

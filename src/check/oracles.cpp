@@ -280,12 +280,15 @@ void DigestHasher::mix(const StepDigest& d) {
   for (std::int64_t c : d.moves_by_dir) mix64(static_cast<std::uint64_t>(c));
   mix64(static_cast<std::uint64_t>(d.exchanges));
   mix64(static_cast<std::uint64_t>(d.stall_run));
+  mix64(static_cast<std::uint64_t>(d.fault_blocked));
+  mix64(static_cast<std::uint64_t>(d.fault_deferred));
 }
 
 std::string run_trace_oracles(const std::vector<TraceEvent>& events,
                               const Topology& mesh,
                               const std::vector<Packet>& packets,
-                              int queue_capacity, QueueLayout layout) {
+                              int queue_capacity, QueueLayout layout,
+                              const FaultSchedule* faults) {
   std::ostringstream err;
   // Delivery step per packet (a packet delivers at most once).
   std::vector<Step> deliver_step(packets.size(), -1);
@@ -333,6 +336,9 @@ std::string run_trace_oracles(const std::vector<TraceEvent>& events,
     for (std::size_t id = 0; id < packets.size(); ++id) {
       const Packet& pk = packets[id];
       if (entered[id] || pk.injected_at > t) continue;
+      // A down source defers injection entirely (even source == dest
+      // deliveries), mirroring the engines' fault rule.
+      if (faults != nullptr && faults->node_down_at(pk.source, t)) continue;
       if (pk.source == pk.dest) {
         entered[id] = 1;  // delivered at injection, never queued
         continue;

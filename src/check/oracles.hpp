@@ -148,12 +148,16 @@ class DigestHasher : public StepObserver {
 /// (Sim::all_packets()). Injection timing is replayed with the engines'
 /// waiting rule; since that derives a packet's inlink tag from its
 /// destination, the replay assumes an exchange-free run (destinations as
-/// recorded are the ones the packets always carried). Returns the empty
-/// string when every check passes, else a description of the first
-/// violation.
+/// recorded are the ones the packets always carried). When the run
+/// carried a fault schedule, pass it as `faults` so the replay mirrors
+/// the engines' injection deferral at down nodes (the schedule does not
+/// otherwise change the replayed checks — dropped moves simply never
+/// appear in the trace). Returns the empty string when every check
+/// passes, else a description of the first violation.
 std::string run_trace_oracles(const std::vector<TraceEvent>& events,
                               const Topology& mesh,
                               const std::vector<Packet>& packets,
-                              int queue_capacity, QueueLayout layout);
+                              int queue_capacity, QueueLayout layout,
+                              const FaultSchedule* faults = nullptr);
 
 }  // namespace mr

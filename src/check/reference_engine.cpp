@@ -84,6 +84,12 @@ void ReferenceEngine::inject_due_packets() {
         pk.injected_at > step_) {
       continue;
     }
+    // A down source defers injection entirely — even source == dest
+    // deliveries (mirror of Engine::inject_packet_list).
+    if (!node_available(pk.source)) {
+      ++fault_deferred_this_step_;
+      continue;
+    }
     if (pk.source == pk.dest) {
       pk.delivered_at = step_;
       ++delivered_count_;
@@ -169,6 +175,9 @@ bool ReferenceEngine::step_once() {
 
   injected_this_step_ = 0;
   injected_deliveries_.clear();
+  fault_blocked_this_step_ = 0;
+  fault_deferred_this_step_ = 0;
+  apply_faults(step_);
   const auto exchanges_before = static_cast<std::int64_t>(exchange_count_);
   inject_due_packets();
 
@@ -193,6 +202,20 @@ bool ReferenceEngine::step_once() {
       if (p == kInvalidPacket) continue;
       moves.push_back(ScheduledMove{p, u, topology().neighbor(u, d), d});
     }
+  }
+
+  // Reroute-or-stall (mirror of Engine::filter_faulted_moves): drop every
+  // scheduled move over a link a fault took down, before the adversary and
+  // the delivery classification see the move list.
+  if (faults_active()) {
+    std::vector<ScheduledMove> surviving;
+    for (const ScheduledMove& m : moves) {
+      if (mask_has(available_mask(m.from), m.dir))
+        surviving.push_back(m);
+      else
+        ++fault_blocked_this_step_;
+    }
+    moves.swap(surviving);
   }
 
   // ----- (b) adversary exchanges ----------------------------------------
@@ -333,6 +356,8 @@ bool ReferenceEngine::step_once() {
     digest.exchanges =
         static_cast<std::int64_t>(exchange_count_) - exchanges_before;
     digest.stall_run = stall_run_;
+    digest.fault_blocked = fault_blocked_this_step_;
+    digest.fault_deferred = fault_deferred_this_step_;
     for (StepObserver* ob : observers_) ob->on_step(*this, digest);
   }
   return true;

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "check/adversary.hpp"
 #include "harness/checkpoint.hpp"
 #include "routing/registry.hpp"
 #include "telemetry/export.hpp"
@@ -58,6 +59,14 @@ RunResult run_workload(const RunSpec& spec, const Workload& workload,
   const std::unique_ptr<Topology> topo = make_topology(ts);
 
   const bool open_loop = hooks.traffic != nullptr;
+  // The spec-level adversary flag materialises a GreedyAdversary unless
+  // the caller attached its own interceptor (an explicit hook wins).
+  std::optional<GreedyAdversary> greedy;
+  StepInterceptor* interceptor = hooks.interceptor;
+  if (interceptor == nullptr && spec.adversary) {
+    greedy.emplace();
+    interceptor = &*greedy;
+  }
   Engine::Config config;
   config.queue_capacity = spec.queue_capacity;
   config.stall_limit = spec.stall_limit;
@@ -67,9 +76,9 @@ RunResult run_workload(const RunSpec& spec, const Workload& workload,
   // only wall-clock differs). The fallback is surfaced through
   // RunResult::engine_mode rather than silently dropped.
   const bool wanted_sharded = spec.engine_shards > 1 || spec.engine_threads > 1;
-  const bool fallback = hooks.interceptor != nullptr && wanted_sharded;
-  config.shards = hooks.interceptor != nullptr ? 1 : spec.engine_shards;
-  config.threads = hooks.interceptor != nullptr ? 1 : spec.engine_threads;
+  const bool fallback = interceptor != nullptr && wanted_sharded;
+  config.shards = interceptor != nullptr ? 1 : spec.engine_shards;
+  config.threads = interceptor != nullptr ? 1 : spec.engine_threads;
   Engine engine(*topo, config,
                 [&] { return make_algorithm(spec.algorithm); });
 
@@ -92,7 +101,8 @@ RunResult run_workload(const RunSpec& spec, const Workload& workload,
                  spec.traffic_ahead);
   }
 
-  if (hooks.interceptor != nullptr) engine.set_interceptor(hooks.interceptor);
+  if (!spec.faults.empty()) engine.set_fault_schedule(spec.faults);
+  if (interceptor != nullptr) engine.set_interceptor(interceptor);
 
   const TelemetrySpec& telemetry = spec.telemetry;
   std::optional<TelemetryCollector> collector;

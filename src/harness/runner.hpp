@@ -90,6 +90,18 @@ struct RunSpec {
   Step traffic_steps = 0;
   Step traffic_ahead = 32;
 
+  /// Timed link/node fault schedule (sim/fault.hpp) installed on the
+  /// engine before prepare()/restore(); empty = no faults. Validated
+  /// against the resolved topology (set_fault_schedule throws on a
+  /// schedule naming nodes or links the network does not have).
+  FaultSchedule faults;
+
+  /// Attach the online GreedyAdversary (check/adversary.hpp) as the run's
+  /// interceptor. Forces the sequential engine like any interceptor;
+  /// ignored when RunHooks::interceptor is already set (an explicit hook
+  /// wins).
+  bool adversary = false;
+
   /// Durable-run store (sim/snapshot.hpp). When enabled, run_workload
   /// writes a snapshot every `checkpoint.every` steps and the finished
   /// result as <key>.done.json; started against an existing store it

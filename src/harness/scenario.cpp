@@ -206,6 +206,9 @@ RunResult ScenarioReport::run(const std::string& run_label,
       !options_.topology.empty()) {
     effective.topology = options_.topology;
   }
+  if (effective.faults.empty() && !options_.faults.empty())
+    effective.faults = options_.faults;
+  if (!effective.adversary && options_.adversary) effective.adversary = true;
   if (!effective.checkpoint.enabled())
     effective.checkpoint = checkpoint(run_label);
   const RunResult r = run_workload(effective, workload, hooks);

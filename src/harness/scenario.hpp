@@ -113,6 +113,15 @@ struct ScenarioOptions {
   /// Scenarios that construct topology-specific workloads keep their own
   /// network. Empty = no override.
   std::string topology;
+  /// Fault schedule applied to every ScenarioReport::run whose spec did
+  /// not set its own (meshroute_bench --faults=SPEC). Scenarios that need
+  /// a pristine network keep their spec's empty schedule untouched only if
+  /// they set one explicitly; otherwise the override applies. Empty = no
+  /// faults.
+  FaultSchedule faults;
+  /// Attach the online GreedyAdversary to every ScenarioReport::run that
+  /// did not set its own adversary flag (meshroute_bench --adversary).
+  bool adversary = false;
   /// Checkpoint store for durable sweeps (meshroute_bench --resume=DIR).
   /// When set, every ScenarioReport::run checkpoints/resumes under this
   /// directory keyed "<lowercase id>_<run label>", and scenario bodies that

@@ -70,12 +70,22 @@ void BoundedDimensionOrderRouter::dx_plan_in(
   // Occupancy per inlink queue at the start of the step, precomputed by
   // the engine's incremental counters.
   const std::array<int, kNumDirs>& occupancy = ctx.inlink_occupancy;
+  // The Theorem 15 guarantee behind unconditional column acceptance — a
+  // non-empty column queue always ejects one packet this very step — is
+  // void for the whole run once a fault schedule is installed, not just
+  // while a window is active or at degraded nodes: an upstream fault
+  // strips a packet's row bit from its masked profitable dirs, the packet
+  // reroutes through a column link, and it arrives at a fully-healthy
+  // node as a row-phase resident of a column queue — where it competes
+  // for a row outlink instead of ejecting, and where it may still sit
+  // after the window lifts. In fault mode the router falls back to
+  // capacity-checked acceptance on every queue (reroute-or-stall: the
+  // sender retries next step); fault-free runs are bit-identical.
+  const bool guaranteed_eject = !ctx.fault_mode;
   for (std::size_t i = 0; i < offers.size(); ++i) {
     const Dir travel = offers[i].travel_dir;
     const int queue = dir_index(opposite(travel));
-    if (travel == Dir::North || travel == Dir::South) {
-      // Column queues always accept (§5 Theorem 15 proof): a non-empty
-      // column queue is guaranteed to eject one packet this very step.
+    if (guaranteed_eject && (travel == Dir::North || travel == Dir::South)) {
       plan.accept[i] = true;
     } else {
       plan.accept[i] = occupancy[queue] < ctx.capacity;

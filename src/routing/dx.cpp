@@ -12,6 +12,10 @@ DxAlgorithm::NodeCtx DxAlgorithm::make_ctx(const Sim& e, NodeId u) const {
   ctx.step = e.step();
   ctx.capacity = e.queue_capacity();
   ctx.state = e.node_state(u);
+  // The default avail mask (all links up) keeps the fault-free hot path
+  // free of per-node availability lookups.
+  ctx.fault_mode = !e.fault_schedule().empty();
+  if (e.faults_active()) ctx.avail = e.available_mask(u);
   if (e.queue_layout() == QueueLayout::PerInlink) {
     for (int t = 0; t < kNumDirs; ++t)
       ctx.inlink_occupancy[t] = e.occupancy(u, static_cast<QueueTag>(t));

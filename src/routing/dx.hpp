@@ -66,6 +66,35 @@ class DxAlgorithm : public Algorithm {
     /// rescan the queue.
     std::array<int, kNumDirs> inlink_occupancy{};
 
+    /// True when a non-empty fault schedule (sim/fault.hpp) is installed
+    /// for this run — whether or not a window is active at this step.
+    /// Policies whose acceptance rule rests on a guaranteed departure
+    /// (Theorem 15) must fall back to conservative acceptance whenever
+    /// this is set, for the WHOLE run: fault rerouting pushes row-phase
+    /// packets through column links, and such a packet stays parked in a
+    /// column queue after the window lifts, so the queue-phase structure
+    /// those guarantees rest on is void globally and outlives every
+    /// window. Environmental knowledge, not destination-derived, so
+    /// exchange-equivariance is unaffected.
+    bool fault_mode = false;
+
+    /// Outlinks of this node usable under the current fault set. Bits for
+    /// non-existent links may be set — consult has_outlink first; what
+    /// matters is that a fault CLEARS the bit of an existing link.
+    /// §2-legal: a router observes the state of its own links, never a
+    /// destination.
+    DirMask avail = dir_bit(Dir::North) | dir_bit(Dir::East) |
+                    dir_bit(Dir::South) | dir_bit(Dir::West);
+
+    /// True when at least one existing outlink is currently down.
+    bool degraded() const {
+      for (int i = 0; i < kNumDirs; ++i) {
+        const Dir d = static_cast<Dir>(i);
+        if (has_outlink(d) && !mask_has(avail, d)) return true;
+      }
+      return false;
+    }
+
     /// True if the outlink in direction d exists from this node.
     bool has_outlink(Dir d) const {
       if (torus) return true;

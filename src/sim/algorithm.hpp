@@ -144,6 +144,11 @@ struct StepDigest {
   std::array<std::int64_t, kNumDirs> moves_by_dir{};  ///< link utilisation
   std::int64_t exchanges = 0;   ///< adversary exchanges during phase (b)
   Step stall_run = 0;  ///< consecutive no-progress steps including this one
+
+  // Fault-injection counters (sim/fault.hpp); zero unless a fault
+  // schedule is installed and active.
+  std::int64_t fault_blocked = 0;   ///< scheduled moves dropped on down links
+  std::int64_t fault_deferred = 0;  ///< injections deferred at down sources
 };
 
 /// The observation interface: one digest per executed step. Observation

@@ -203,9 +203,16 @@ void Engine::inject_packet_list(const std::vector<PacketId>& due,
                                 std::vector<NodeId>& active_out,
                                 std::vector<PacketId>* injected_deliveries_out,
                                 std::int64_t& injected, std::int64_t& delivered,
-                                int& peak) {
+                                std::int64_t& fault_deferred, int& peak) {
   for (PacketId p : due) {
     Packet& pk = packets_[p];
+    // A down source defers injection entirely — even source == dest
+    // deliveries, which model an ejection at the (dead) node.
+    if (!node_available(pk.source)) {
+      waiting_out.push_back(p);
+      ++fault_deferred;
+      continue;
+    }
     if (pk.source == pk.dest) {
       pk.delivered_at = step_;
       ++delivered;
@@ -245,8 +252,24 @@ void Engine::inject_due_packets() {
   std::int64_t delivered = 0;
   inject_packet_list(due_, waiting_injections_, active_,
                      observers_.empty() ? nullptr : &injected_deliveries_,
-                     injected_this_step_, delivered, max_occupancy_seen_);
+                     injected_this_step_, delivered,
+                     fault_deferred_this_step_, max_occupancy_seen_);
   delivered_count_ += static_cast<std::size_t>(delivered);
+}
+
+void Engine::filter_faulted_moves(std::vector<ScheduledMove>& moves,
+                                  std::int64_t& blocked) {
+  if (!faults_active_) return;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const ScheduledMove& m = moves[i];
+    if (mask_has(fault_avail_[static_cast<std::size_t>(m.from)], m.dir)) {
+      moves[w++] = moves[i];
+    } else {
+      ++blocked;
+    }
+  }
+  moves.resize(w);
 }
 
 QueueTag Engine::injection_queue_tag(PacketId p) const {
@@ -350,6 +373,9 @@ bool Engine::step_once() {
   const bool observed = !observers_.empty();
   injected_this_step_ = 0;
   injected_deliveries_.clear();
+  fault_blocked_this_step_ = 0;
+  fault_deferred_this_step_ = 0;
+  apply_faults(step_);
   exchanges_before_step_ = static_cast<std::int64_t>(exchange_count_);
   inject_due_packets();
   merge_active();
@@ -371,6 +397,9 @@ bool Engine::step_once() {
   // Clear the double-schedule flags set by validate_out_plan: exactly the
   // scheduled packets, so this is O(moves) instead of O(all packets).
   for (const ScheduledMove& m : moves_) packet_scheduled_[m.packet] = 0;
+  // Reroute-or-stall: moves over links a fault took down are dropped (the
+  // packet stays queued and is re-planned next step on the masked mask).
+  filter_faulted_moves(moves_, fault_blocked_this_step_);
   phase_end(StepPhase::PlanOut);
 
   // ----- (b) adversary exchanges ----------------------------------------
@@ -546,6 +575,8 @@ bool Engine::step_once() {
     digest.exchanges =
         static_cast<std::int64_t>(exchange_count_) - exchanges_before_step_;
     digest.stall_run = stall_run_;
+    digest.fault_blocked = fault_blocked_this_step_;
+    digest.fault_deferred = fault_deferred_this_step_;
     for (StepObserver* ob : observers_) ob->on_step(*this, digest);
   }
 
@@ -595,6 +626,12 @@ bool Engine::step_parallel() {
 
   const bool observed = !observers_.empty();
   exchanges_before_step_ = static_cast<std::int64_t>(exchange_count_);
+  // Fault windows open/close on the coordinator before any band runs; the
+  // availability masks are read-only for the rest of the step, so the
+  // bands' concurrent reads are race-free.
+  fault_blocked_this_step_ = 0;
+  fault_deferred_this_step_ = 0;
+  apply_faults(step_);
   const auto self = [this](std::size_t si) { return static_cast<int>(si); };
 
   // Injection staging (coordinator): the shared cursor hands each newly due
@@ -619,11 +656,14 @@ bool Engine::step_parallel() {
     sh.moved = 0;
     sh.delivered = 0;
     sh.arrivals = 0;
+    sh.fault_blocked = 0;
+    sh.fault_deferred = 0;
     sh.injected_deliveries.clear();
     std::sort(sh.due.begin(), sh.due.end());
     inject_packet_list(sh.due, sh.waiting, sh.active,
                        observed ? &sh.injected_deliveries : nullptr,
-                       sh.injected, sh.delivered, sh.max_occupancy);
+                       sh.injected, sh.delivered, sh.fault_deferred,
+                       sh.max_occupancy);
     {  // merge the band active list (mirror of merge_active())
       const auto mid =
           sh.active.begin() + static_cast<std::ptrdiff_t>(sh.active_sorted);
@@ -645,6 +685,10 @@ bool Engine::step_parallel() {
       }
     }
     for (const ScheduledMove& m : sh.moves) packet_scheduled_[m.packet] = 0;
+    // Reroute-or-stall (mirror of the sequential fault filter): all of a
+    // band's moves originate at nodes it owns, so the per-band counters
+    // partition the global count.
+    filter_faulted_moves(sh.moves, sh.fault_blocked);
 
     // Classify: deliveries are sender-side operations wherever the target
     // node lives; surviving offers go to the own-band direction buckets or,
@@ -834,6 +878,8 @@ bool Engine::step_parallel() {
     delivered_this_step += sh.delivered;
     arrivals_this_step += sh.arrivals;
     injected_this_step_ += sh.injected;
+    fault_blocked_this_step_ += sh.fault_blocked;
+    fault_deferred_this_step_ += sh.fault_deferred;
     max_occupancy_seen_ = std::max(max_occupancy_seen_, sh.max_occupancy);
   }
   delivered_count_ += static_cast<std::size_t>(delivered_this_step);
@@ -879,6 +925,8 @@ bool Engine::step_parallel() {
     digest.exchanges =
         static_cast<std::int64_t>(exchange_count_) - exchanges_before_step_;
     digest.stall_run = stall_run_;
+    digest.fault_blocked = fault_blocked_this_step_;
+    digest.fault_deferred = fault_deferred_this_step_;
     for (StepObserver* ob : observers_) ob->on_step(*this, digest);
   }
 

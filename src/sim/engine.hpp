@@ -274,6 +274,8 @@ class Engine : public Sim {
     std::int64_t moved = 0;
     std::int64_t delivered = 0;
     std::int64_t arrivals = 0;
+    std::int64_t fault_blocked = 0;
+    std::int64_t fault_deferred = 0;
     int max_occupancy = 0;
   };
 
@@ -314,7 +316,14 @@ class Engine : public Sim {
                           std::vector<NodeId>& active_out,
                           std::vector<PacketId>* injected_deliveries_out,
                           std::int64_t& injected, std::int64_t& delivered,
-                          int& peak);
+                          std::int64_t& fault_deferred, int& peak);
+  /// Drops scheduled moves over unavailable links (down link, down
+  /// endpoint) in place, counting them into `blocked`. No-op unless a
+  /// fault is active. Runs after phase (a) — before the adversary and the
+  /// delivery classification — so a non-minimal router's deflection onto a
+  /// dead link is caught too.
+  void filter_faulted_moves(std::vector<ScheduledMove>& moves,
+                            std::int64_t& blocked);
   /// Distributes the post-prepare() active/waiting state to the bands.
   void distribute_to_shards();
   /// Runs fn(s) for every band, on the pool when one exists. A full

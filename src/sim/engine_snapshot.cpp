@@ -188,6 +188,13 @@ void Engine::restore(const EngineSnapshot& snap) {
   active_sorted_ = active_.size();  // queued was location-ordered
   packet_scheduled_.assign(packets_.size(), 0);
 
+  // Fault availability is derived state: snapshots carry no fault fields,
+  // the installed schedule is simply re-applied for the restored step.
+  fault_epoch_ = -1;
+  fault_blocked_this_step_ = 0;
+  fault_deferred_this_step_ = 0;
+  apply_faults(step_);
+
   prepared_ = true;
   if (num_shards_ > 1) distribute_to_shards();
   active_cache_valid_ = true;

@@ -1,0 +1,81 @@
+// Timed link/node fault schedules for the step engines.
+//
+// A FaultSchedule is a list of down/up windows over mesh elements: a node
+// fault freezes the node (its packets cannot move, neighbours cannot send
+// to it, its source cannot inject) and a link fault removes one
+// bidirectional link. Engines re-derive the availability state from
+// (schedule, step) at every window boundary — the schedule itself is the
+// only state, so snapshot restore needs no extra wire format: the harness
+// re-installs the schedule and the engine recomputes availability for the
+// restored step.
+//
+// Semantics are reroute-or-stall (cf. the fault-tolerant adaptive routing
+// literature): minimal algorithms see the masked Sim::profitable_mask and
+// route around the fault when an alternative profitable link survives;
+// when none does the packet waits in place, and a fault window longer than
+// the engine's stall limit reads as a stall. The §2 queue-bound and
+// minimality invariants must hold on the surviving topology, which the
+// oracles check unchanged (the masked mask is a subset of the topology
+// mask).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mr {
+
+class Topology;
+
+/// up_at value meaning the element never comes back up.
+inline constexpr Step kStepNever = std::numeric_limits<Step>::max();
+
+/// One down/up window: the element is unavailable for every step t with
+/// down_at <= t < up_at.
+struct FaultEvent {
+  enum class Kind : std::uint8_t { Node, Link };
+  Kind kind = Kind::Link;
+  /// The faulty node, or the tail node of the faulty link.
+  NodeId node = kInvalidNode;
+  /// Link faults only: the outgoing direction at `node`. The link is
+  /// removed in both directions.
+  Dir dir = Dir::North;
+  Step down_at = 1;
+  Step up_at = kStepNever;
+};
+
+/// A batch of fault windows, applied independently (windows may overlap).
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  /// True when at least one window covers step t.
+  bool active_at(Step t) const;
+  /// True when a node fault window over u covers step t (link faults do
+  /// not take the node down). Offline mirror of the engines' injection
+  /// deferral, for trace replay and other post-hoc checks.
+  bool node_down_at(NodeId u, Step t) const;
+  /// Number of window boundaries (down_at or finite up_at) at or before
+  /// step t. Monotone in t; equal epochs imply an identical active set,
+  /// so engines rebuild availability only when the epoch moves.
+  std::int64_t epoch_at(Step t) const;
+};
+
+/// Parses "node:<id>@<down>[-<up>]" / "link:<node>:<N|E|S|W>@<down>[-<up>]"
+/// events, comma-separated; an omitted <up> means the element never
+/// recovers. Structural and range validation only (down >= 1, up > down);
+/// node ids are validated against a topology by validate_fault_schedule.
+bool parse_fault_schedule(const std::string& text, FaultSchedule* out,
+                          std::string* error = nullptr);
+/// Canonical spelling of the grammar above; parse(format(s)) == s.
+std::string format_fault_schedule(const FaultSchedule& schedule);
+
+/// Checks every event against `topo` (node id in range; link direction
+/// exists). Returns "" when valid, else a description of the first
+/// offending event.
+std::string validate_fault_schedule(const FaultSchedule& schedule,
+                                    const Topology& topo);
+
+}  // namespace mr

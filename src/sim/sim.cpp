@@ -65,6 +65,63 @@ PacketId Sim::register_packet(NodeId source, NodeId dest, Step injected_at) {
   return pk.id;
 }
 
+void Sim::set_fault_schedule(FaultSchedule schedule) {
+  const std::string error = validate_fault_schedule(schedule, *topo_);
+  MR_REQUIRE_MSG(error.empty(), error);
+  fault_schedule_ = std::move(schedule);
+  fault_epoch_ = -1;
+  faults_active_ = false;
+}
+
+DirMask Sim::available_mask(NodeId u) const {
+  if (faults_active_) return fault_avail_[static_cast<std::size_t>(u)];
+  DirMask m = 0;
+  for (Dir d : kAllDirs)
+    if (topo_->neighbor(u, d) != kInvalidNode) m |= dir_bit(d);
+  return m;
+}
+
+void Sim::apply_faults(Step t) {
+  if (fault_schedule_.empty()) return;
+  const std::int64_t epoch = fault_schedule_.epoch_at(t);
+  if (epoch == fault_epoch_) return;
+  fault_epoch_ = epoch;
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  node_down_.assign(n, 0);
+  // Down outlink bits per node; a link fault removes both directions.
+  std::vector<DirMask> link_down(n, 0);
+  faults_active_ = false;
+  for (const FaultEvent& e : fault_schedule_.events) {
+    if (!(e.down_at <= t && t < e.up_at)) continue;
+    faults_active_ = true;
+    if (e.kind == FaultEvent::Kind::Node) {
+      node_down_[static_cast<std::size_t>(e.node)] = 1;
+    } else {
+      link_down[static_cast<std::size_t>(e.node)] |= dir_bit(e.dir);
+      const NodeId v = topo_->neighbor(e.node, e.dir);
+      if (v != kInvalidNode)
+        link_down[static_cast<std::size_t>(v)] |= dir_bit(opposite(e.dir));
+    }
+  }
+  if (!faults_active_) {
+    fault_avail_.clear();
+    return;
+  }
+  fault_avail_.assign(n, 0);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    if (node_down_[static_cast<std::size_t>(u)]) continue;
+    DirMask m = 0;
+    for (Dir d : kAllDirs) {
+      const NodeId v = topo_->neighbor(u, d);
+      if (v == kInvalidNode || node_down_[static_cast<std::size_t>(v)] ||
+          mask_has(link_down[static_cast<std::size_t>(u)], d))
+        continue;
+      m |= dir_bit(d);
+    }
+    fault_avail_[static_cast<std::size_t>(u)] = m;
+  }
+}
+
 std::uint64_t Sim::fingerprint(bool include_dest) const {
   Fnv f;
   for (NodeId u = 0; u < num_nodes_; ++u) {

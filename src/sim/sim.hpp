@@ -32,6 +32,7 @@
 
 #include "core/assert.hpp"
 #include "core/types.hpp"
+#include "sim/fault.hpp"
 #include "sim/node_queues.hpp"
 #include "sim/packet.hpp"
 #include "topo/topology.hpp"
@@ -98,11 +99,46 @@ class Sim {
 
   /// Profitable outlinks of packet p from its current node (§2's only
   /// destination-derived information). Reads the per-packet cache when the
-  /// implementation maintains one, else recomputes from the mesh.
+  /// implementation maintains one, else recomputes from the mesh. While a
+  /// fault schedule has active events the mask is further intersected with
+  /// the node's availability mask, so minimal algorithms route around
+  /// faults (or hold the packet) without ever seeing the fault state
+  /// directly.
   DirMask profitable_mask(PacketId p) const {
     const Packet& pk = packets_[p];
-    if (masks_cached_) return pk.profitable;
-    return topo_->profitable_dirs(pk.location, pk.dest);
+    DirMask m = masks_cached_ ? pk.profitable
+                              : topo_->profitable_dirs(pk.location, pk.dest);
+    if (faults_active_ && pk.location != kInvalidNode)
+      m &= fault_avail_[static_cast<std::size_t>(pk.location)];
+    return m;
+  }
+
+  // --- fault injection ---------------------------------------------------
+  /// Installs a timed link/node fault schedule (sim/fault.hpp). Must be
+  /// set before prepare()/restore(); availability is re-derived from
+  /// (schedule, step) at every window boundary, so the schedule is the
+  /// only fault state and snapshots need no extra fields.
+  void set_fault_schedule(FaultSchedule schedule);
+  const FaultSchedule& fault_schedule() const { return fault_schedule_; }
+  /// True while at least one scheduled fault window covers the current
+  /// step.
+  bool faults_active() const { return faults_active_; }
+  /// Usable outlinks of node u under the current fault set: bit d set iff
+  /// the link exists and the link and both endpoints are up (all zero for
+  /// a down node). Falls back to the topology's existing links when no
+  /// fault is active.
+  DirMask available_mask(NodeId u) const;
+  bool node_available(NodeId u) const {
+    return !faults_active_ || node_down_[static_cast<std::size_t>(u)] == 0;
+  }
+  /// Scheduled moves dropped (fault_blocked) and injections deferred
+  /// (fault_deferred) by faults during the current step; also surfaced per
+  /// step in StepDigest and cumulatively in telemetry.
+  std::int64_t fault_blocked_this_step() const {
+    return fault_blocked_this_step_;
+  }
+  std::int64_t fault_deferred_this_step() const {
+    return fault_deferred_this_step_;
   }
 
   std::uint64_t node_state(NodeId u) const { return node_state_[u]; }
@@ -139,6 +175,13 @@ class Sim {
   /// Validates and appends a new packet record (shared add_packet core).
   PacketId register_packet(NodeId source, NodeId dest, Step injected_at);
 
+  /// Rebuilds the availability masks for step t. Cheap no-op unless t
+  /// crossed a fault window boundary since the last call (epochs compare
+  /// equal otherwise), so the schedule-free hot path pays one branch.
+  /// Engines call this at prepare(), at the top of every step, and after
+  /// restore().
+  void apply_faults(Step t);
+
   /// Owned clone of the construction-time topology (Sim is non-copyable,
   /// so a unique_ptr suffices). Hot paths read the cached scalars below
   /// instead of chasing this pointer.
@@ -172,6 +215,17 @@ class Sim {
   bool stalled_ = false;
   std::size_t exchange_count_ = 0;
   bool in_interceptor_ = false;
+
+  // --- fault state (derived from fault_schedule_ by apply_faults) -------
+  FaultSchedule fault_schedule_;
+  /// Per-node usable-outlink masks; sized only while faults_active_.
+  std::vector<DirMask> fault_avail_;
+  std::vector<std::uint8_t> node_down_;
+  bool faults_active_ = false;
+  /// Epoch of the last apply_faults rebuild; -1 forces the first build.
+  std::int64_t fault_epoch_ = -1;
+  std::int64_t fault_blocked_this_step_ = 0;
+  std::int64_t fault_deferred_this_step_ = 0;
 
   int max_occupancy_seen_ = 0;
   std::int64_t total_moves_ = 0;

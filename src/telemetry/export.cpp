@@ -34,7 +34,8 @@ const char* layout_name(QueueLayout layout) {
 
 Table series_table(const TelemetryCollector& collector) {
   Table table({"step", "span", "moves", "deliveries", "injections",
-               "stall_run", "moves_n", "moves_e", "moves_s", "moves_w"});
+               "stall_run", "moves_n", "moves_e", "moves_s", "moves_w",
+               "fault_blocked", "fault_deferred"});
   for (const TelemetrySeriesRow& row : collector.series()) {
     table.row()
         .add(row.step)
@@ -46,7 +47,9 @@ Table series_table(const TelemetryCollector& collector) {
         .add(row.moves_by_dir[dir_index(Dir::North)])
         .add(row.moves_by_dir[dir_index(Dir::East)])
         .add(row.moves_by_dir[dir_index(Dir::South)])
-        .add(row.moves_by_dir[dir_index(Dir::West)]);
+        .add(row.moves_by_dir[dir_index(Dir::West)])
+        .add(row.fault_blocked)
+        .add(row.fault_deferred);
   }
   return table;
 }
@@ -103,7 +106,9 @@ std::string telemetry_to_jsonl(const TelemetryCollector& collector,
        << ", \"injections\": " << row.injections
        << ", \"stall_run\": " << row.stall_run << ", \"moves_by_dir\": ["
        << row.moves_by_dir[0] << ", " << row.moves_by_dir[1] << ", "
-       << row.moves_by_dir[2] << ", " << row.moves_by_dir[3] << "]}\n";
+       << row.moves_by_dir[2] << ", " << row.moves_by_dir[3]
+       << "], \"fault_blocked\": " << row.fault_blocked
+       << ", \"fault_deferred\": " << row.fault_deferred << "}\n";
   }
 
   const std::int64_t samples = collector.heat_samples();
@@ -138,7 +143,9 @@ std::string telemetry_to_jsonl(const TelemetryCollector& collector,
      << ", \"delivered\": " << info.delivered << ", \"stalled\": "
      << (info.stalled ? "true" : "false") << ", \"moves_by_dir\": ["
      << totals.moves_by_dir[0] << ", " << totals.moves_by_dir[1] << ", "
-     << totals.moves_by_dir[2] << ", " << totals.moves_by_dir[3] << "]}\n";
+     << totals.moves_by_dir[2] << ", " << totals.moves_by_dir[3]
+     << "], \"fault_blocked\": " << totals.fault_blocked
+     << ", \"fault_deferred\": " << totals.fault_deferred << "}\n";
   return os.str();
 }
 

@@ -36,6 +36,8 @@ void TelemetryCollector::compact_rows() {
       for (int dir = 0; dir < kNumDirs; ++dir)
         merged.moves_by_dir[dir] += b.moves_by_dir[dir];
       merged.stall_run = std::max(merged.stall_run, b.stall_run);
+      merged.fault_blocked += b.fault_blocked;
+      merged.fault_deferred += b.fault_deferred;
     }
     rows_[out] = merged;
   }
@@ -70,6 +72,8 @@ void TelemetryCollector::on_step(const Sim& e, const StepDigest& d) {
   for (int dir = 0; dir < kNumDirs; ++dir)
     totals_.moves_by_dir[dir] += d.moves_by_dir[dir];
   totals_.max_stall_run = std::max(totals_.max_stall_run, d.stall_run);
+  totals_.fault_blocked += d.fault_blocked;
+  totals_.fault_deferred += d.fault_deferred;
 
   if (!pending_open_) {
     pending_ = TelemetrySeriesRow{};
@@ -84,6 +88,8 @@ void TelemetryCollector::on_step(const Sim& e, const StepDigest& d) {
   for (int dir = 0; dir < kNumDirs; ++dir)
     pending_.moves_by_dir[dir] += d.moves_by_dir[dir];
   pending_.stall_run = std::max(pending_.stall_run, d.stall_run);
+  pending_.fault_blocked += d.fault_blocked;
+  pending_.fault_deferred += d.fault_deferred;
   if (pending_.span >= stride_) {
     // After a compaction the (doubled) stride may exceed the pending span;
     // the bucket then simply keeps filling to the new width.

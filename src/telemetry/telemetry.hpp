@@ -46,6 +46,8 @@ struct TelemetrySeriesRow {
   std::int64_t injections = 0;
   std::array<std::int64_t, kNumDirs> moves_by_dir{};
   Step stall_run = 0;  ///< max stall-run length observed in the bucket
+  std::int64_t fault_blocked = 0;   ///< moves dropped on faulted links
+  std::int64_t fault_deferred = 0;  ///< injections deferred at down nodes
 };
 
 /// Accumulated queue-pressure sample for one node. `sum`/`max` cover the
@@ -68,6 +70,8 @@ struct TelemetryTotals {
   std::int64_t exchanges = 0;
   std::array<std::int64_t, kNumDirs> moves_by_dir{};
   Step max_stall_run = 0;
+  std::int64_t fault_blocked = 0;
+  std::int64_t fault_deferred = 0;
 };
 
 class TelemetryCollector : public StepObserver {

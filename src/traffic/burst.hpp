@@ -1,0 +1,146 @@
+// Time-varying (bursty) open-loop traffic sources layered on the same
+// spatial patterns as BernoulliSource: a deterministic on-off duty cycle,
+// a two-state MMPP (Markov-modulated Poisson process, discretised to one
+// Bernoulli trial per terminal per step), and a drifting-hotspot source
+// whose sink walks the terminal space on a fixed period. Every source is
+// Snapshottable with its own "<kind>/1" aux-blob wire format, so
+// checkpointed runs resume the exact stream bit for bit.
+//
+// A BurstSpec is the declarative description ("none", "onoff:<on>:<off>",
+// "mmpp:<p01>:<p10>", "drift:<period>") used by the fuzzer's burst= spec
+// key, the steady-state harness and the CLI; make_traffic_source is the
+// registry-style factory mirroring make_topology / make_algorithm.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "traffic/source.hpp"
+
+namespace mr {
+
+/// Declarative burst-process selector layered over a TrafficSpec. The
+/// default ("none") is the stationary Bernoulli process; every other kind
+/// modulates the per-step injection probability over time, so the offered
+/// load is a function of the step, not a constant.
+struct BurstSpec {
+  /// "" or "none" (stationary), "onoff", "mmpp", "drift".
+  std::string kind;
+  /// onoff: steps spent injecting at spec.rate / silent, per cycle.
+  Step on_steps = 8;
+  Step off_steps = 8;
+  /// mmpp: per-step transition probabilities low->high and high->low.
+  double p01 = 0.1;
+  double p10 = 0.1;
+  /// drift: steps between hotspot-sink moves.
+  Step drift_period = 64;
+
+  /// True when the offered load is constant over time (kind none): the
+  /// saturation search and any other stationarity-assuming consumer may
+  /// treat TrafficSpec::rate as the long-run offered load.
+  bool stationary() const { return kind.empty() || kind == "none"; }
+};
+
+/// Parses "none" / "onoff:<on>:<off>" / "mmpp:<p01>:<p10>" /
+/// "drift:<period>" into `out`; returns false (with a message in *error
+/// when non-null) on malformed or out-of-range specs.
+bool parse_burst_spec(const std::string& text, BurstSpec* out,
+                      std::string* error = nullptr);
+/// Canonical spelling; format(parse(format(s))) == format(s).
+std::string format_burst_spec(const BurstSpec& spec);
+
+/// Long-run offered load per terminal per step implied by (spec, rate):
+/// rate for the stationary process, rate * duty-cycle for on-off, rate *
+/// stationary high-state probability for MMPP, rate for drift (the drift
+/// moves the destination distribution, not the injection rate).
+double long_run_rate(const BurstSpec& spec, double rate);
+
+/// Deterministic duty cycle: ON for on_steps, OFF for off_steps,
+/// repeating from step 1. While ON every terminal injects with
+/// probability spec.rate (same draw order as BernoulliSource); while OFF
+/// the source is silent and consumes no randomness.
+class OnOffSource : public TrafficSource {
+ public:
+  OnOffSource(const Topology& topo, const TrafficSpec& spec,
+              const BurstSpec& burst);
+  void emit(Step step, std::vector<Demand>& out) override;
+
+  std::int64_t offered() const { return offered_; }
+
+  std::string save_state() const override;
+  void restore_state(const std::string& blob) override;
+
+ private:
+  const Topology& topo_;
+  TrafficSpec spec_;
+  Step on_steps_;
+  Step off_steps_;
+  Rng rng_;
+  Step last_step_ = 0;
+  std::int64_t offered_ = 0;
+};
+
+/// Two-state Markov-modulated source: a per-step chain (low -> high with
+/// probability p01, high -> low with p10, one transition draw per elapsed
+/// step so gaps in the emit sequence stay deterministic) gates the
+/// injection rate — silent in the low state, spec.rate in the high state.
+/// Long-run offered load is spec.rate * p01 / (p01 + p10).
+class MmppSource : public TrafficSource {
+ public:
+  MmppSource(const Topology& topo, const TrafficSpec& spec,
+             const BurstSpec& burst);
+  void emit(Step step, std::vector<Demand>& out) override;
+
+  std::int64_t offered() const { return offered_; }
+  bool high() const { return state_ == 1; }
+
+  std::string save_state() const override;
+  void restore_state(const std::string& blob) override;
+
+ private:
+  const Topology& topo_;
+  TrafficSpec spec_;
+  double p01_;
+  double p10_;
+  Rng rng_;
+  Step last_step_ = 0;
+  std::int64_t offered_ = 0;
+  int state_ = 0;  // 0 = low (silent), 1 = high (spec.rate)
+};
+
+/// Hotspot traffic whose sink drifts deterministically: every
+/// drift_period steps the sink advances to the next terminal id (mod the
+/// terminal count), starting from the spec's resolved hotspot sink. The
+/// injection process itself is the stationary Bernoulli(rate) trial, so
+/// only the destination distribution is time-varying.
+class DriftingHotspotSource : public TrafficSource {
+ public:
+  DriftingHotspotSource(const Topology& topo, const TrafficSpec& spec,
+                        const BurstSpec& burst);
+  void emit(Step step, std::vector<Demand>& out) override;
+
+  std::int64_t offered() const { return offered_; }
+  /// The sink terminal in effect at `step`.
+  NodeId sink_at(Step step) const;
+
+  std::string save_state() const override;
+  void restore_state(const std::string& blob) override;
+
+ private:
+  const Topology& topo_;
+  TrafficSpec spec_;
+  Step drift_period_;
+  NodeId base_sink_;
+  Rng rng_;
+  Step last_step_ = 0;
+  std::int64_t offered_ = 0;
+};
+
+/// Factory over the burst registry: kind none -> BernoulliSource, onoff /
+/// mmpp / drift -> the matching source above. Throws InvariantViolation
+/// on an unknown kind (parse_burst_spec is the validating front door).
+std::unique_ptr<TrafficSource> make_traffic_source(const Topology& topo,
+                                                   const TrafficSpec& spec,
+                                                   const BurstSpec& burst);
+
+}  // namespace mr

@@ -29,6 +29,13 @@ bool sustained(const SaturationSpec& spec, const SteadyStateResult& r) {
 }
 
 SaturationResult find_saturation_rate(const SaturationSpec& spec) {
+  if (!spec.base.burst.stationary()) {
+    throw NonStationaryTrafficError(
+        "find_saturation_rate: probe template has burst process '" +
+        format_burst_spec(spec.base.burst) +
+        "'; the sustainability predicate assumes the stationary Bernoulli "
+        "source (sweep run_steady_state directly for bursty load curves)");
+  }
   MR_REQUIRE_MSG(spec.min_rate > 0 && spec.min_rate <= spec.max_rate &&
                      spec.max_rate <= 1.0,
                  "need 0 < min_rate <= max_rate <= 1");

@@ -9,11 +9,24 @@
 // same spec seed, so the whole search is deterministic.
 #pragma once
 
+#include <stdexcept>
 #include <vector>
 
 #include "traffic/steady_state.hpp"
 
 namespace mr {
+
+/// Thrown by find_saturation_rate when the probe template carries a
+/// non-stationary burst process: the search's sustainability predicate
+/// compares accepted throughput against TrafficSpec::rate as the long-run
+/// offered load, which only holds for the stationary Bernoulli source.
+/// Callers who want a bursty load curve should sweep run_steady_state
+/// directly and read offered_rate from each result instead.
+class NonStationaryTrafficError : public std::invalid_argument {
+ public:
+  explicit NonStationaryTrafficError(const std::string& what_arg)
+      : std::invalid_argument(what_arg) {}
+};
 
 struct SaturationSpec {
   /// Template for each probe; base.traffic.rate is overwritten per probe.
@@ -42,6 +55,8 @@ struct SaturationResult {
 /// True when `r` counts as sustaining its offered load under `spec`.
 bool sustained(const SaturationSpec& spec, const SteadyStateResult& r);
 
+/// Throws NonStationaryTrafficError when spec.base.burst is not
+/// stationary (see above).
 SaturationResult find_saturation_rate(const SaturationSpec& spec);
 
 }  // namespace mr

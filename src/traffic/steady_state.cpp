@@ -260,8 +260,9 @@ SteadyStateResult run_steady_state(const SteadyStateSpec& spec,
 
 SteadyStateResult run_steady_state(const SteadyStateSpec& spec) {
   const std::unique_ptr<Topology> topo = steady_state_topology(spec);
-  BernoulliSource source(*topo, spec.traffic);
-  return run_steady_state(spec, source);
+  const std::unique_ptr<TrafficSource> source =
+      make_traffic_source(*topo, spec.traffic, spec.burst);
+  return run_steady_state(spec, *source);
 }
 
 namespace {

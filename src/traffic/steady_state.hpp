@@ -16,6 +16,7 @@
 
 #include "sim/metrics.hpp"
 #include "sim/snapshot.hpp"
+#include "traffic/burst.hpp"
 #include "traffic/pattern.hpp"
 #include "traffic/source.hpp"
 
@@ -41,6 +42,11 @@ struct SteadyStateSpec {
   int queue_capacity = 1;  ///< k
   std::string algorithm;   ///< registry name
   TrafficSpec traffic;
+  /// Burst process modulating the source (traffic/burst.hpp). The default
+  /// (stationary "none") keeps the plain Bernoulli source; any other kind
+  /// makes the offered load time-varying, which stationarity-assuming
+  /// consumers (the saturation search) must reject.
+  BurstSpec burst;
 
   Step warmup_steps = 256;
   Step measure_steps = 1024;
@@ -106,8 +112,9 @@ struct SteadyStateResult {
 /// empty.
 std::unique_ptr<Topology> steady_state_topology(const SteadyStateSpec& spec);
 
-/// Runs the protocol with a fresh BernoulliSource built from
-/// spec.traffic.
+/// Runs the protocol with a fresh source built from (spec.traffic,
+/// spec.burst) through make_traffic_source — the plain BernoulliSource
+/// when spec.burst is stationary.
 SteadyStateResult run_steady_state(const SteadyStateSpec& spec);
 
 /// Same, with a caller-provided source (e.g. a ReplaySource).
