@@ -82,6 +82,7 @@
 #include "scenarios.hpp"
 #include "telemetry/export.hpp"
 #include "topo/registry.hpp"
+#include "workload/catalog.hpp"
 
 namespace {
 
@@ -249,6 +250,12 @@ int main(int argc, char** argv) {
     for (const TopologyInfo& info : topology_catalog())
       std::printf("  %-24s [%-10s] %s\n", info.name.c_str(),
                   info.wraps ? "wrapping" : "flat", info.description.c_str());
+    std::printf("\nworkloads:\n");
+    for (const WorkloadInfo& info : workload_catalog())
+      std::printf("  %-24s [%-9s] %s%s%s%s\n", info.name.c_str(),
+                  info.kind.c_str(), info.description.c_str(),
+                  info.params.empty() ? "" : " (",
+                  info.params.c_str(), info.params.empty() ? "" : ")");
     return 0;
   }
 

@@ -23,6 +23,8 @@ void register_all(ScenarioRegistry& registry) {
   register_e18(registry);
   register_e19(registry);
   register_e20(registry);
+  register_e21(registry);
+  register_e22(registry);
 }
 
 ScenarioRegistry& builtin() {

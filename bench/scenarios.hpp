@@ -1,4 +1,4 @@
-// The built-in experiment suite (E01–E20) as scenario registrations.
+// The built-in experiment suite (E01–E22) as scenario registrations.
 //
 // Each e*.cpp file in this directory registers exactly one ScenarioSpec;
 // the meshroute_bench driver (and the tests) get the whole suite through
@@ -30,8 +30,10 @@ void register_e17(ScenarioRegistry& registry);
 void register_e18(ScenarioRegistry& registry);
 void register_e19(ScenarioRegistry& registry);
 void register_e20(ScenarioRegistry& registry);
+void register_e21(ScenarioRegistry& registry);
+void register_e22(ScenarioRegistry& registry);
 
-/// Registers E01..E20 in order.
+/// Registers E01..E22 in order.
 void register_all(ScenarioRegistry& registry);
 
 /// The shared registry preloaded with the full suite (built on first use).

@@ -16,6 +16,7 @@
 #include "topo/mesh.hpp"
 #include "traffic/burst.hpp"
 #include "traffic/source.hpp"
+#include "workload/lk.hpp"
 #include "workload/patterns.hpp"
 
 namespace mr {
@@ -53,6 +54,16 @@ Workload traffic_demands(const FuzzCase& c) {
   return materialize_traffic(*source, 1, c.tsteps);
 }
 
+/// Expands the case's lk= workload (empty when the key is absent).
+/// Deterministic in (lk, n, topo) — the spec string carries its own seed.
+Workload lk_demands(const FuzzCase& c) {
+  if (c.lk.empty()) return {};
+  LkSpec spec;
+  std::string err;
+  MR_REQUIRE_MSG(parse_lk_spec(c.lk, &spec, &err), err);
+  return make_lk_workload(*fuzz_topology(c), spec);
+}
+
 }  // namespace
 
 bool supports_torus(const std::string& algorithm) {
@@ -60,7 +71,8 @@ bool supports_torus(const std::string& algorithm) {
     if (info.name != algorithm) continue;
     // The stray rectangle and the farthest-first distance order are not
     // defined across wrap links; everything else runs on the torus.
-    return info.dx_minimal || info.name == "bounded-dimension-order";
+    return info.dx_minimal || info.name == "bounded-dimension-order" ||
+           info.name == "emps";
   }
   return false;
 }
@@ -71,6 +83,7 @@ std::string format_fuzz_case(const FuzzCase& c) {
      << " budget=" << c.budget;
   if (!c.topo.empty()) os << " topo=" << c.topo;
   if (c.ckpt >= 0) os << " ckpt=" << c.ckpt;
+  if (!c.lk.empty()) os << " lk=" << c.lk;
   if (has_traffic(c)) {
     os << " traffic=" << c.traffic << " rate=" << c.rate
        << " tseed=" << c.tseed << " tsteps=" << c.tsteps;
@@ -121,6 +134,14 @@ bool parse_fuzz_case(const std::string& spec, FuzzCase* out,
       c.budget = std::strtoll(value.c_str(), &end, 10);
     } else if (key == "ckpt") {
       c.ckpt = std::strtoll(value.c_str(), &end, 10);
+    } else if (key == "lk") {
+      LkSpec lk;
+      std::string lerr;
+      if (!parse_lk_spec(value, &lk, &lerr)) {
+        if (error) *error = "malformed lk spec: " + lerr;
+        return false;
+      }
+      c.lk = value;
     } else if (key == "traffic") {
       c.traffic = value;
     } else if (key == "rate") {
@@ -254,6 +275,10 @@ std::string run_fuzz_case(const FuzzCase& c) {
       opt.add_packet(d.source, d.dest, d.injected_at);
       ref.add_packet(d.source, d.dest, d.injected_at);
     }
+    for (const Demand& d : lk_demands(c)) {
+      opt.add_packet(d.source, d.dest, d.injected_at);
+      ref.add_packet(d.source, d.dest, d.injected_at);
+    }
     for (const Demand& d : traffic_demands(c)) {
       opt.add_packet(d.source, d.dest, d.injected_at);
       ref.add_packet(d.source, d.dest, d.injected_at);
@@ -358,6 +383,17 @@ FuzzCase shrink_fuzz_case(const FuzzCase& c, const FuzzRunner& failing) {
       });
   if (runner(c).empty()) return c;
   FuzzCase cur = c;
+  // Flatten an lk= workload into explicit demands (the expansion is
+  // deterministic — the spec string carries its own seed — so the
+  // flattened case fails identically); ddmin then shrinks the whole list.
+  if (!cur.lk.empty()) {
+    FuzzCase flat = cur;
+    const Workload expansion = lk_demands(flat);
+    flat.demands.insert(flat.demands.end(), expansion.begin(),
+                        expansion.end());
+    flat.lk.clear();
+    if (!runner(flat).empty()) cur = std::move(flat);
+  }
   // Flatten an active traffic stream into explicit demands (the expansion
   // is deterministic — bursty streams included, via make_traffic_source —
   // so the flattened case fails identically); ddmin then shrinks the
@@ -541,6 +577,20 @@ FuzzCase sample_case(Rng& rng) {
     }
     return c;
   }
+  // A fifth of the batch cases draw an (l,k) workload through the lk=
+  // spec key instead of an explicit pattern, so the spec-line expansion
+  // path (and the clustered/worst-case degree profiles) fuzz too.
+  if (rng.next_below(5) == 0) {
+    LkSpec lk;
+    constexpr const char* kVariants[] = {"uniform", "clustered",
+                                         "worst-case"};
+    lk.variant = kVariants[rng.next_below(3)];
+    lk.l = static_cast<int>(1 + rng.next_below(3));
+    lk.k = static_cast<int>(1 + rng.next_below(3));
+    lk.seed = wseed;
+    c.lk = format_lk_spec(lk);
+    return c;
+  }
   switch (rng.next_below(9)) {
     case 0: c.demands = random_permutation(mesh, wseed); break;
     case 1:
@@ -601,6 +651,7 @@ FuzzReport run_fuzz(std::size_t num_cases, std::uint64_t seed,
         << (!c.topo.empty() ? c.topo : "mesh") << " k=" << c.k
         << " demands=" << c.demands.size();
     if (c.ckpt >= 0) log << " ckpt=" << c.ckpt;
+    if (!c.lk.empty()) log << " lk=" << c.lk;
     if (c.traffic != "none")
       log << " traffic=" << c.traffic << " rate=" << c.rate
           << " tsteps=" << c.tsteps;

@@ -36,6 +36,12 @@ struct FuzzCase {
   Step ckpt = -1;
   Workload demands;         ///< materialized workload (with injection steps)
 
+  /// Optional (l,k) workload on top of `demands`: an lk spec string
+  /// ("variant:l:k:seed", workload/lk.hpp) expanded deterministically at
+  /// run time. Empty disables. Shrinking flattens it into explicit
+  /// demands first, like the traffic stream.
+  std::string lk;
+
   /// Optional open-loop traffic workload on top of `demands`: a seeded
   /// Bernoulli stream (traffic pattern name, per-node rate, steps
   /// 1..tsteps) expanded deterministically at run time. "none" disables
@@ -69,14 +75,14 @@ struct FuzzCase {
 bool supports_torus(const std::string& algorithm);
 
 /// Spec-line round trip: "algo=<name> n=<n> k=<k> budget=<B>
-/// [topo=<name>] [ckpt=<step>] [traffic=<pattern> rate=<r> tseed=<s>
-/// tsteps=<t> [burst=<spec>]] [fault=<schedule>] [shards=<s> threads=<t>]
-/// demands=<src>-<dst>@<step>,...".
-/// topo is emitted only when set; ckpt only when >= 0; burst only when
-/// non-stationary (traffic/burst.hpp grammar); fault only when the
-/// schedule is non-empty (sim/fault.hpp grammar, comma-separated, no
-/// spaces); shards/threads only when != 1. The legacy "torus=1" key
-/// parses as topo=torus.
+/// [topo=<name>] [ckpt=<step>] [lk=<variant:l:k:seed>] [traffic=<pattern>
+/// rate=<r> tseed=<s> tsteps=<t> [burst=<spec>]] [fault=<schedule>]
+/// [shards=<s> threads=<t>] demands=<src>-<dst>@<step>,...".
+/// topo is emitted only when set; ckpt only when >= 0; lk only when set
+/// (workload/lk.hpp grammar); burst only when non-stationary
+/// (traffic/burst.hpp grammar); fault only when the schedule is non-empty
+/// (sim/fault.hpp grammar, comma-separated, no spaces); shards/threads
+/// only when != 1. The legacy "torus=1" key parses as topo=torus.
 std::string format_fuzz_case(const FuzzCase& c);
 /// Parses a spec line; returns false and sets *error on malformed input.
 bool parse_fuzz_case(const std::string& spec, FuzzCase* out,

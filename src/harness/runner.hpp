@@ -53,13 +53,9 @@ struct TelemetrySpec {
 struct RunSpec {
   std::int32_t width = 0;   ///< router columns
   std::int32_t height = 0;  ///< router rows
-  /// DEPRECATED shim: torus = true is shorthand for topology = "torus" and
-  /// is only honoured while `topology` is empty. New code sets `topology`;
-  /// resolved_topology() is the single point both normalise through.
-  bool torus = false;
   /// Registry topology name ("mesh", "torus", "cmesh-4", ...; see
-  /// src/topo/registry.hpp). Empty resolves via the deprecated `torus`
-  /// flag. width/height always describe the router grid.
+  /// src/topo/registry.hpp). Empty means "mesh". width/height always
+  /// describe the router grid.
   std::string topology;
   int queue_capacity = 1;  ///< k
   std::string algorithm;   ///< registry name
@@ -67,12 +63,11 @@ struct RunSpec {
   Step stall_limit = kDefaultStallLimit;
   TelemetrySpec telemetry;
 
-  /// Canonical topology selection: `topology` when set, else the legacy
-  /// `torus` flag normalised to "torus"/"mesh". The only resolution point;
-  /// run_workload builds the network from this name alone.
+  /// Canonical topology selection: `topology` when set, else "mesh". The
+  /// only resolution point; run_workload builds the network from this name
+  /// alone.
   std::string resolved_topology() const {
-    if (!topology.empty()) return topology;
-    return torus ? "torus" : "mesh";
+    return topology.empty() ? "mesh" : topology;
   }
 
   /// Sharded stepping mode (Engine::Config::shards / ::threads; DESIGN.md

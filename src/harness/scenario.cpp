@@ -202,8 +202,7 @@ RunResult ScenarioReport::run(const std::string& run_label,
     effective.engine_shards = options_.engine_shards;
     effective.engine_threads = options_.engine_threads;
   }
-  if (effective.topology.empty() && !effective.torus &&
-      !options_.topology.empty()) {
+  if (effective.topology.empty() && !options_.topology.empty()) {
     effective.topology = options_.topology;
   }
   if (effective.faults.empty() && !options_.faults.empty())

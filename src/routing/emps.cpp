@@ -1,0 +1,85 @@
+#include "routing/emps.hpp"
+
+#include <array>
+#include <cstdlib>
+
+namespace mr {
+
+namespace {
+
+constexpr DirMask kHorizontal = dir_bit(Dir::East) | dir_bit(Dir::West);
+
+/// The outlink this packet wants under one-bend row-first routing, plus
+/// its remaining distance in that dimension. East/North win wrap ties,
+/// matching bounded-dimension-order so torus runs stay deterministic.
+bool wanted_dir(DirMask profitable, const Delta& delta, Dir& out,
+                std::int32_t& dist) {
+  if ((profitable & kHorizontal) != 0) {
+    out = mask_has(profitable, Dir::East) ? Dir::East : Dir::West;
+    dist = std::abs(delta.east);
+    return true;
+  }
+  if (mask_has(profitable, Dir::North)) {
+    out = Dir::North;
+  } else if (mask_has(profitable, Dir::South)) {
+    out = Dir::South;
+  } else {
+    return false;  // at destination; engine delivers it
+  }
+  dist = std::abs(delta.north);
+  return true;
+}
+
+}  // namespace
+
+void EmpsRouter::plan_out(Sim& e, NodeId u, OutPlan& plan) {
+  const Topology& mesh = e.mesh();
+  // Two tiers per outlink: packets continuing in the link's dimension
+  // (arrived on the opposite inlink) outrank packets entering it; within a
+  // tier, farthest-to-go first, then earliest arrival, then queue order.
+  struct Best {
+    PacketId p = kInvalidPacket;
+    std::int32_t dist = -1;
+    Step arrived = 0;
+  };
+  std::array<Best, kNumDirs> continuing, entering;
+  for (PacketId p : e.packets_at(u)) {
+    const Packet& pk = e.packet(p);
+    Dir d;
+    std::int32_t dist;
+    if (!wanted_dir(e.profitable_mask(p), mesh.delta(u, pk.dest), d, dist))
+      continue;
+    const bool straight =
+        pk.arrival_inlink == static_cast<std::uint8_t>(dir_index(opposite(d)));
+    Best& slot = straight ? continuing[dir_index(d)] : entering[dir_index(d)];
+    if (slot.p == kInvalidPacket || dist > slot.dist ||
+        (dist == slot.dist && pk.arrived_at < slot.arrived)) {
+      slot.p = p;
+      slot.dist = dist;
+      slot.arrived = pk.arrived_at;
+    }
+  }
+  for (Dir d : kAllDirs) {
+    const int i = dir_index(d);
+    if (continuing[i].p != kInvalidPacket) {
+      plan.schedule(d, continuing[i].p);
+    } else if (entering[i].p != kInvalidPacket) {
+      plan.schedule(d, entering[i].p);
+    }
+  }
+}
+
+void EmpsRouter::plan_in(Sim& e, NodeId v, std::span<const Offer> offers,
+                         InPlan& plan) {
+  // Capacity-checked acceptance per inlink queue. At most one offer maps
+  // to each inlink (one per directed link), so start-of-step occupancy is
+  // exact — no guaranteed-departure assumption, hence no fault-mode
+  // special case.
+  for (std::size_t i = 0; i < offers.size(); ++i) {
+    const QueueTag queue =
+        static_cast<QueueTag>(dir_index(opposite(offers[i].dir)));
+    plan.accept[i] = e.occupancy(v, queue) < e.queue_capacity();
+  }
+}
+
+}  // namespace mr

@@ -6,6 +6,7 @@
 #include "routing/adaptive.hpp"
 #include "routing/bounded_dimension_order.hpp"
 #include "routing/dimension_order.hpp"
+#include "routing/emps.hpp"
 #include "routing/farthest_first.hpp"
 #include "routing/stray.hpp"
 #include "routing/west_first.hpp"
@@ -35,6 +36,10 @@ const std::vector<AlgorithmInfo>& algorithm_catalog() {
       {"bounded-dimension-order",
        "Theorem 15 router: per-inlink queues, straight-priority outqueue",
        QueueLayout::PerInlink, false},
+      {"emps",
+       "Even–Medina–Patt-Shamir online grid router: one-bend paths, "
+       "per-link buffers, farthest-to-go line routing",
+       QueueLayout::PerInlink, false},
   };
   return catalog;
 }
@@ -59,6 +64,7 @@ std::unique_ptr<Algorithm> make_algorithm(const AlgorithmSpec& spec) {
   if (name == "greedy-match") return std::make_unique<GreedyMatchRouter>();
   if (name == "west-first") return std::make_unique<WestFirstRouter>();
   if (name == "farthest-first") return std::make_unique<FarthestFirstRouter>();
+  if (name == "emps") return std::make_unique<EmpsRouter>();
   if (name == "bounded-dimension-order")
     return std::make_unique<BoundedDimensionOrderRouter>();
   if (name == "stray" || name.rfind("stray-", 0) == 0) {

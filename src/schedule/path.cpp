@@ -1,0 +1,46 @@
+#include "schedule/path.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace mr {
+
+PathSet build_paths(const Topology& topo, const Workload& w) {
+  PathSet set;
+  set.paths.reserve(w.size());
+  std::vector<int> load(
+      static_cast<std::size_t>(topo.num_nodes()) * kNumDirs, 0);
+  for (const Demand& demand : w) {
+    PacketPath path;
+    path.nodes.push_back(demand.source);
+    NodeId cur = demand.source;
+    while (cur != demand.dest) {
+      const DirMask m = topo.profitable_dirs(cur, demand.dest);
+      Dir d;
+      if (mask_has(m, Dir::East)) {
+        d = Dir::East;
+      } else if (mask_has(m, Dir::West)) {
+        d = Dir::West;
+      } else if (mask_has(m, Dir::North)) {
+        d = Dir::North;
+      } else {
+        MR_REQUIRE_MSG(mask_has(m, Dir::South),
+                       "no profitable direction from " << cur);
+        d = Dir::South;
+      }
+      const int used = ++load[link_index(cur, d)];
+      set.congestion = std::max(set.congestion, used);
+      cur = topo.neighbor(cur, d);
+      MR_REQUIRE(cur != kInvalidNode);
+      path.nodes.push_back(cur);
+      path.dirs.push_back(d);
+    }
+    set.dilation =
+        std::max(set.dilation, static_cast<int>(path.hops()));
+    set.paths.push_back(std::move(path));
+  }
+  return set;
+}
+
+}  // namespace mr

@@ -1,0 +1,45 @@
+// Path system for store-and-forward schedulers (Rothvoß, arXiv:1206.3718;
+// Leighton–Maggs–Rao): fixed per-packet shortest paths plus the two
+// parameters every O(congestion + dilation) result is stated in —
+// congestion C (the maximum number of paths through any directed link) and
+// dilation D (the longest path length in hops).
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "workload/permutation.hpp"
+
+namespace mr {
+
+/// One packet's fixed path: the node sequence plus the direction of every
+/// hop (dirs[i] leads from nodes[i] to nodes[i+1]), so schedulers and the
+/// replay driver never re-derive geometry. A source==dest demand has a
+/// single-node path and no hops.
+struct PacketPath {
+  std::vector<NodeId> nodes;
+  std::vector<Dir> dirs;
+
+  std::size_t hops() const { return dirs.size(); }
+};
+
+/// Fixed paths for one workload, demand-indexed: paths[i] belongs to w[i].
+struct PathSet {
+  std::vector<PacketPath> paths;
+  int congestion = 0;  ///< C: max paths over any directed link
+  int dilation = 0;    ///< D: max hops over any path
+};
+
+/// Directed-link index of (u, d), for per-link bookkeeping.
+inline std::size_t link_index(NodeId u, Dir d) {
+  return static_cast<std::size_t>(u) * kNumDirs +
+         static_cast<std::size_t>(dir_index(d));
+}
+
+/// One-bend dimension-order paths (row segment, then column segment) —
+/// minimal on every registry topology, with East/North winning wrap ties
+/// like the built-in routers, so torus paths are deterministic too.
+/// Computes C and D over the built set.
+PathSet build_paths(const Topology& topo, const Workload& w);
+
+}  // namespace mr

@@ -1,0 +1,177 @@
+#include "schedule/schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/assert.hpp"
+#include "core/rng.hpp"
+
+namespace mr {
+
+namespace {
+
+/// Key of one (directed link, step) reservation slot.
+std::uint64_t slot_key(std::size_t link, Step t) {
+  return static_cast<std::uint64_t>(link) << 32 |
+         static_cast<std::uint64_t>(t);
+}
+
+/// Key of one (node, step) residency cell.
+std::uint64_t cell_key(NodeId u, Step t) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32 |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(t));
+}
+
+Schedule schedule_shell(const PathSet& paths) {
+  Schedule s;
+  s.congestion = paths.congestion;
+  s.dilation = paths.dilation;
+  s.packets.resize(paths.paths.size());
+  for (std::size_t i = 0; i < paths.paths.size(); ++i)
+    s.packets[i].path = paths.paths[i];
+  return s;
+}
+
+void finalize_makespan(Schedule& s) {
+  s.makespan = 0;
+  for (const PacketSchedule& p : s.packets)
+    s.makespan = std::max(s.makespan, p.finish());
+}
+
+}  // namespace
+
+Schedule random_delay_schedule(const PathSet& paths, std::uint64_t seed) {
+  Schedule s = schedule_shell(paths);
+  Rng rng(seed);
+  // Seeded initial delays in [0, C), drawn in demand order so the
+  // timetable is a pure function of (paths, seed).
+  std::vector<Step> delay(s.packets.size(), 0);
+  if (paths.congestion > 1)
+    for (Step& d : delay)
+      d = static_cast<Step>(
+          rng.next_below(static_cast<std::uint64_t>(paths.congestion)));
+  // Reservation order: by delay, then demand index — the packets that
+  // start earliest claim their slots first.
+  std::vector<std::size_t> order(s.packets.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(
+      order.begin(), order.end(),
+      [&](std::size_t a, std::size_t b) { return delay[a] < delay[b]; });
+  std::unordered_set<std::uint64_t> reserved;
+  for (const std::size_t i : order) {
+    PacketSchedule& p = s.packets[i];
+    p.depart.reserve(p.path.hops());
+    Step t = delay[i];  // hop h executes no earlier than step t + 1
+    for (std::size_t h = 0; h < p.path.hops(); ++h) {
+      const std::size_t link = link_index(p.path.nodes[h], p.path.dirs[h]);
+      ++t;
+      while (!reserved.insert(slot_key(link, t)).second) ++t;
+      p.depart.push_back(t);
+    }
+  }
+  finalize_makespan(s);
+  return s;
+}
+
+Schedule greedy_schedule(const PathSet& paths) {
+  Schedule s = schedule_shell(paths);
+  std::vector<std::size_t> hop(s.packets.size(), 0);
+  std::size_t active = 0;
+  for (const PacketSchedule& p : s.packets)
+    if (p.path.hops() > 0) ++active;
+  // Per step, every waiting packet bids for its next link; each link goes
+  // to the bidder with the most remaining hops (ties to the lower demand
+  // index). At least one packet advances per step, so this terminates.
+  std::unordered_map<std::size_t, std::size_t> grant;  // link -> packet
+  for (Step t = 1; active > 0; ++t) {
+    grant.clear();
+    for (std::size_t i = 0; i < s.packets.size(); ++i) {
+      const PacketPath& path = s.packets[i].path;
+      if (hop[i] >= path.hops()) continue;
+      const std::size_t link =
+          link_index(path.nodes[hop[i]], path.dirs[hop[i]]);
+      const auto [it, fresh] = grant.try_emplace(link, i);
+      if (fresh) continue;
+      const std::size_t held = it->second;
+      if (path.hops() - hop[i] >
+          s.packets[held].path.hops() - hop[held])
+        it->second = i;
+    }
+    for (const auto& [link, i] : grant) {
+      s.packets[i].depart.push_back(t);
+      if (++hop[i] == s.packets[i].path.hops()) --active;
+    }
+  }
+  finalize_makespan(s);
+  return s;
+}
+
+std::string validate_schedule(const Topology& topo, const Schedule& s) {
+  std::unordered_set<std::uint64_t> reserved;
+  for (std::size_t i = 0; i < s.packets.size(); ++i) {
+    const PacketSchedule& p = s.packets[i];
+    std::ostringstream err;
+    err << "packet " << i << ": ";
+    if (p.path.nodes.empty()) return err.str() + "empty path";
+    if (p.path.nodes.size() != p.path.dirs.size() + 1 ||
+        p.depart.size() != p.path.dirs.size()) {
+      err << "shape mismatch: " << p.path.nodes.size() << " nodes, "
+          << p.path.dirs.size() << " dirs, " << p.depart.size()
+          << " departures";
+      return err.str();
+    }
+    for (std::size_t h = 0; h < p.path.hops(); ++h) {
+      if (topo.neighbor(p.path.nodes[h], p.path.dirs[h]) !=
+          p.path.nodes[h + 1]) {
+        err << "hop " << h << " (" << p.path.nodes[h] << " "
+            << dir_name(p.path.dirs[h]) << ") does not reach "
+            << p.path.nodes[h + 1];
+        return err.str();
+      }
+      if (p.depart[h] < 1 || (h > 0 && p.depart[h] <= p.depart[h - 1])) {
+        err << "hop " << h << " departs at step " << p.depart[h]
+            << ", not strictly after "
+            << (h > 0 ? p.depart[h - 1] : Step{0});
+        return err.str();
+      }
+      const std::size_t link = link_index(p.path.nodes[h], p.path.dirs[h]);
+      if (!reserved.insert(slot_key(link, p.depart[h])).second) {
+        err << "link (" << p.path.nodes[h] << " "
+            << dir_name(p.path.dirs[h]) << ") double-booked at step "
+            << p.depart[h];
+        return err.str();
+      }
+    }
+  }
+  return "";
+}
+
+int required_queue_capacity(const Schedule& s) {
+  // End-of-step residency: a packet sits at intermediate node j at the
+  // end of steps depart[j-1] .. depart[j]-1. It is injected at its
+  // source at the start of its first departure step (and leaves that
+  // same step), and is delivered — hence gone — the step it reaches its
+  // destination.
+  std::unordered_map<std::uint64_t, int> resident;
+  std::unordered_map<std::uint64_t, int> injected;
+  int peak = s.packets.empty() ? 0 : 1;
+  for (const PacketSchedule& p : s.packets) {
+    ++injected[cell_key(p.path.nodes.front(), p.start())];
+    for (std::size_t j = 1; j + 1 < p.path.nodes.size(); ++j)
+      for (Step t = p.depart[j - 1]; t < p.depart[j]; ++t)
+        peak = std::max(peak, ++resident[cell_key(p.path.nodes[j], t)]);
+  }
+  // Start-of-step occupancy at (u, t) is end-of-step residency at
+  // (u, t-1) plus fresh injections at (u, t); both must fit so the
+  // engine never parks an injection in its external waiting buffer.
+  for (const auto& [key, count] : injected) {
+    const auto it = resident.find(key - (std::uint64_t{1}));
+    peak = std::max(peak, count + (it == resident.end() ? 0 : it->second));
+  }
+  return peak;
+}
+
+}  // namespace mr

@@ -1,0 +1,70 @@
+// Store-and-forward path scheduling: given a PathSet, produce a feasible
+// timetable — every packet follows its fixed path, at most one packet
+// crosses each directed link per step — and measure its makespan against
+// the C + D yardstick (max(C, D) is a trivial lower bound; Rothvoß,
+// arXiv:1206.3718, shows O(C + D) schedules exist with constant-size
+// buffers).
+//
+// Two schedulers:
+//   * random_delay_schedule — the Leighton–Maggs–Rao/Rothvoß recipe made
+//     deterministic: every packet draws a seeded initial delay in [0, C),
+//     then packets (in delay order) reserve each link of their path at the
+//     earliest free step. Feasible by construction, and the spread-out
+//     start times keep reservation conflicts — and hence the makespan —
+//     near C + D.
+//   * greedy_schedule — the farthest-to-go baseline: a time-stepped sweep
+//     where every contended link goes to the packet with the most
+//     remaining hops. No delays, no randomness; the baseline the
+//     random-delay ratio is judged against.
+#pragma once
+
+#include <string>
+
+#include "schedule/path.hpp"
+
+namespace mr {
+
+/// One packet's timetable. depart[i] is the 1-based engine step during
+/// which hop i (path.nodes[i] -> path.nodes[i+1]) executes; strictly
+/// increasing, one entry per hop (empty for a source==dest packet).
+struct PacketSchedule {
+  PacketPath path;
+  std::vector<Step> depart;
+
+  Step start() const { return depart.empty() ? 1 : depart.front(); }
+  Step finish() const { return depart.empty() ? 0 : depart.back(); }
+};
+
+struct Schedule {
+  std::vector<PacketSchedule> packets;  ///< demand-indexed, like PathSet
+  Step makespan = 0;  ///< max finish() — steps until the last delivery
+  int congestion = 0;
+  int dilation = 0;
+
+  /// makespan / (C + D), the quality figure E21 reports per instance.
+  double ratio() const {
+    const int denom = congestion + dilation;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(makespan) / denom;
+  }
+};
+
+/// Seeded random-delay scheduler (deterministic in `seed`).
+Schedule random_delay_schedule(const PathSet& paths, std::uint64_t seed);
+
+/// Greedy farthest-to-go baseline.
+Schedule greedy_schedule(const PathSet& paths);
+
+/// Structural feasibility check: paths walk real links, departure times
+/// are strictly increasing and start >= 1, and no two packets reserve the
+/// same directed link at the same step. Returns "" when feasible, else a
+/// description of the first violation.
+std::string validate_schedule(const Topology& topo, const Schedule& s);
+
+/// Smallest per-node queue capacity under which the engine replays this
+/// schedule without deferring an injection or overflowing a queue
+/// (central layout): the peak over all (node, step) of end-of-step
+/// residency and start-of-step residency-plus-injections.
+int required_queue_capacity(const Schedule& s);
+
+}  // namespace mr

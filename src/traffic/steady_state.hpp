@@ -25,19 +25,14 @@ namespace mr {
 struct SteadyStateSpec {
   std::int32_t width = 0;   ///< router columns
   std::int32_t height = 0;  ///< router rows
-  /// DEPRECATED shim, as in RunSpec: honoured only while `topology` is
-  /// empty; resolved_topology() is the single normalisation point.
-  bool torus = false;
-  /// Registry topology name ("mesh", "torus", "cmesh-4", ...). Empty
-  /// resolves via the deprecated `torus` flag. Rates are per TERMINAL: on
-  /// a concentrated topology offered/accepted_rate divide by
-  /// num_terminals(), not routers.
+  /// Registry topology name ("mesh", "torus", "cmesh-4", ...). Empty means
+  /// "mesh". Rates are per TERMINAL: on a concentrated topology
+  /// offered/accepted_rate divide by num_terminals(), not routers.
   std::string topology;
 
   /// Canonical topology selection (see RunSpec::resolved_topology).
   std::string resolved_topology() const {
-    if (!topology.empty()) return topology;
-    return torus ? "torus" : "mesh";
+    return topology.empty() ? "mesh" : topology;
   }
   int queue_capacity = 1;  ///< k
   std::string algorithm;   ///< registry name

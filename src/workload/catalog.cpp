@@ -1,0 +1,57 @@
+#include "workload/catalog.hpp"
+
+namespace mr {
+
+const std::vector<WorkloadInfo>& workload_catalog() {
+  static const std::vector<WorkloadInfo> catalog = {
+      {"random-permutation", "batch", "seed",
+       "uniform random full permutation (every node sends and receives one)"},
+      {"partial-permutation", "batch", "fraction, seed",
+       "random partial permutation with the given sending fraction"},
+      {"transpose", "batch", "",
+       "(c, r) -> (r, c) on a square mesh"},
+      {"bit-reversal", "batch", "",
+       "coordinate bit-reversal (square, power-of-two side)"},
+      {"rotation", "batch", "dc, dr",
+       "rotation by (dc, dr) with wrap-around"},
+      {"mirror", "batch", "",
+       "west half <-> mirrored east half; heavy bisection load"},
+      {"random-hh", "batch", "h, seed",
+       "h-h relation: every node sends and receives exactly h packets"},
+      {"row-to-column", "batch", "row, col",
+       "one row floods one column; all packets turn at a single node"},
+      {"corner-flood", "batch", "w, h",
+       "origin corner block into the mirrored far-corner block"},
+      {"hotspot", "batch", "sink, count",
+       "count packets converging on one sink node"},
+      {"diagonal-shift", "batch", "s",
+       "full permutation (c, r) -> ((c+s) mod n, (r+s) mod n)"},
+      {"half-transpose", "batch", "",
+       "transpose below the diagonal only; monotone, deadlock-free"},
+      {"lk-uniform", "batch", "l, k, seed",
+       "(l,k)-routing, degree-balanced: min(l,k) sends/node, receives <= k"},
+      {"lk-clustered", "batch", "l, k, seed",
+       "(l,k)-routing between opposite corner blocks, lopsided degrees"},
+      {"lk-worst-case", "batch", "l, k",
+       "(l,k) bisection flood: west half to east mirror, min(l,k) copies"},
+      {"uniform", "open-loop", "rate, seed",
+       "destination uniform over all other terminals"},
+      {"transpose", "open-loop", "rate",
+       "terminal-space transpose; diagonal terminals idle"},
+      {"bitcomp", "open-loop", "rate",
+       "bit-complement (c, r) -> (W-1-c, H-1-r)"},
+      {"tornado", "open-loop", "rate",
+       "half-width rotation in both dimensions"},
+      {"hotspot", "open-loop", "rate, fraction, sink, seed",
+       "uniform stream with a probability mass on one sink terminal"},
+  };
+  return catalog;
+}
+
+bool known_workload(const std::string& name) {
+  for (const WorkloadInfo& info : workload_catalog())
+    if (info.name == name) return true;
+  return false;
+}
+
+}  // namespace mr

@@ -1,0 +1,32 @@
+// Discoverability catalog for workload generators, mirroring
+// algorithm_catalog() (routing/registry.hpp) and topology_catalog()
+// (topo/registry.hpp): one row per batch generator or open-loop traffic
+// pattern, printed by `meshroute_bench --list`. The catalog is
+// documentation-shaped — construction still goes through the typed
+// generator functions (permutation.hpp, patterns.hpp, lk.hpp) or
+// make_traffic_source; only the (l,k) family has a string spec
+// (parse_lk_spec) because fuzz-case lines need one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mr {
+
+struct WorkloadInfo {
+  std::string name;    ///< catalog key, e.g. "random-hh", "lk-uniform"
+  /// "batch" (explicit demand list, injected at fixed steps) or
+  /// "open-loop" (continuous-injection traffic pattern for traffic=/rate=).
+  std::string kind;
+  std::string params;  ///< parameter signature, e.g. "h, seed"
+  std::string description;
+};
+
+/// Every workload generator and traffic pattern, batch generators first.
+/// Ordering is stable (append-only), like the other catalogs.
+const std::vector<WorkloadInfo>& workload_catalog();
+
+/// True iff `name` appears in workload_catalog().
+bool known_workload(const std::string& name);
+
+}  // namespace mr

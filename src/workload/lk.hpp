@@ -1,0 +1,58 @@
+// (l,k)-routing workloads (Huc–Sau, arXiv:0803.2759): every node is the
+// source of at most l packets and the destination of at most k packets.
+// Permutation routing is (1,1); h-h relations are (h,h). The generators
+// here produce the three instance archetypes the competitive experiments
+// (E22) sweep: degree-balanced random instances, clustered corner-to-corner
+// instances, and a deterministic bisection-flood worst case.
+#pragma once
+
+#include <string>
+
+#include "workload/permutation.hpp"
+
+namespace mr {
+
+/// One (l,k) generator selection, parseable from the compact spec string
+/// "variant:l:k[:seed]" used by `--fuzz-case` lines and bench tooling
+/// (e.g. "uniform:2:3:42"). Variants: "uniform", "clustered", "worst-case"
+/// (the latter ignores the seed — it is deterministic).
+struct LkSpec {
+  std::string variant = "uniform";
+  int l = 1;
+  int k = 1;
+  std::uint64_t seed = 1;
+
+  friend bool operator==(const LkSpec&, const LkSpec&) = default;
+};
+
+/// Parses "variant:l:k[:seed]". Returns false (with *error set) on an
+/// unknown variant or non-positive degree bound.
+bool parse_lk_spec(const std::string& text, LkSpec* out, std::string* error);
+
+/// Inverse of parse_lk_spec; always prints all four fields.
+std::string format_lk_spec(const LkSpec& spec);
+
+/// Degree-balanced random instance: every node sends exactly min(l,k)
+/// packets; destinations are drawn from a shuffled slot pool holding each
+/// node k times, so receive degrees stay ≤ k (and average min(l,k)).
+Workload lk_uniform(const Topology& mesh, int l, int k, std::uint64_t seed);
+
+/// Clustered instance: sources in the ⌈w/2⌉×⌈h/2⌉ block at the origin,
+/// destinations in the mirrored block at the far corner. Senders use their
+/// full budget l and receivers their full budget k until the smaller side
+/// is exhausted — the degree profile is deliberately lopsided when l ≠ k.
+Workload lk_clustered(const Topology& mesh, int l, int k, std::uint64_t seed);
+
+/// Deterministic bisection flood: every west-half node sends min(l,k)
+/// packets to its east-mirror node. The middle column links carry
+/// Θ(min(l,k)·w) packets per row — congestion dominates dilation, the
+/// regime where schedule quality (E21/E22) is actually visible.
+Workload lk_worst_case(const Topology& mesh, int l, int k);
+
+/// Dispatches on spec.variant.
+Workload make_lk_workload(const Topology& mesh, const LkSpec& spec);
+
+/// True iff no node sends more than l packets or receives more than k.
+bool is_lk(const Topology& mesh, const Workload& w, int l, int k);
+
+}  // namespace mr

@@ -128,6 +128,16 @@ TEST(ParallelEngine, BoundedDimensionOrderMatchesOnTorus) {
   }
 }
 
+TEST(ParallelEngine, EmpsMatchesOnTorus) {
+  // The EMPS competitor is full-information and per-inlink; its wrap-tie
+  // handling (East/North win) must survive band handoffs unchanged.
+  const Trace seq = trace("emps", 8, true, 2, 37, 40, Mode{1, 1});
+  for (const Mode& m : {Mode{2, 2}, Mode{3, 2}, Mode{8, 4}}) {
+    const Trace par = trace("emps", 8, true, 2, 37, 40, m);
+    expect_identical(seq, par, label_of("emps", true, m));
+  }
+}
+
 TEST(ParallelEngine, ShardsClampToMeshHeight) {
   // More shards than rows must degrade gracefully to one band per row.
   const Trace seq = trace("dimension-order", 4, false, 2, 31, 30, Mode{1, 1});

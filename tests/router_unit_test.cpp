@@ -175,6 +175,47 @@ TEST(BoundedDimensionOrder, RowQueueRefusalBlocksSender) {
   (void)chaser;
 }
 
+// ---- emps (Even–Medina–Patt-Shamir online grid router) -------------------
+
+TEST(Emps, FarthestToGoWinsTheLine) {
+  // Line-routing discipline: on a shared row link the packet with the
+  // farther remaining row distance goes first.
+  Micro m("emps");
+  const PacketId nearp = m.add(0, 0, 3, 0);
+  const PacketId farp = m.add(0, 0, 7, 0);
+  m.run();
+  ASSERT_TRUE(m.engine->all_delivered());
+  ASSERT_FALSE(m.trace.events().empty());
+  EXPECT_EQ(m.trace.events()[0].packet, farp);
+  EXPECT_GE(m.engine->packet(nearp).delivered_at, 4);
+}
+
+TEST(Emps, ContinuingBeatsEntering) {
+  // A packet already travelling north outranks one turning into the column
+  // at the same node, whatever their distances — the per-dimension
+  // in-transit priority of the EMPS phase structure.
+  Micro m("emps", /*k=*/2);
+  const PacketId straight = m.add(3, 0, 3, 7);  // north through (3,2)
+  const PacketId turner = m.add(1, 2, 3, 6);    // turns north at (3,2)
+  m.run();
+  ASSERT_TRUE(m.engine->all_delivered());
+  EXPECT_EQ(m.engine->packet(straight).delivered_at,
+            m.mesh.distance(m.mesh.id_of(3, 0), m.mesh.id_of(3, 7)));
+  (void)turner;
+}
+
+TEST(Emps, RefusesOverfullInlinkQueue) {
+  // k = 1 per-inlink queues with capacity-checked acceptance: occupancy
+  // never exceeds 1 even under a row convoy.
+  Micro m("emps", /*k=*/1);
+  m.add(0, 0, 7, 0);
+  m.add(1, 0, 6, 0);
+  m.add(2, 0, 7, 1);
+  m.run();
+  ASSERT_TRUE(m.engine->all_delivered());
+  EXPECT_LE(m.engine->max_occupancy_seen(), 1);
+}
+
 // ---- stray (nonminimal, §5) ----------------------------------------------
 
 TEST(Stray, ZeroDeltaIsMinimal) {

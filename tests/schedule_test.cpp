@@ -1,0 +1,243 @@
+// Path scheduling subsystem: shortest-path construction with C/D
+// measurement, the random-delay and greedy schedulers' feasibility and
+// quality, and scheduled-mode replay on the production engine.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "schedule/path.hpp"
+#include "schedule/replay.hpp"
+#include "schedule/schedule.hpp"
+#include "topo/mesh.hpp"
+#include "workload/lk.hpp"
+#include "workload/patterns.hpp"
+#include "workload/permutation.hpp"
+
+namespace mr {
+namespace {
+
+std::int64_t total_hops(const PathSet& set) {
+  std::int64_t h = 0;
+  for (const PacketPath& p : set.paths) h += static_cast<std::int64_t>(p.hops());
+  return h;
+}
+
+/// Engine::total_moves() counts non-delivering hops only (the final hop of
+/// every travelling packet is a delivery, tracked separately).
+std::int64_t expected_moves(const PathSet& set) {
+  std::int64_t m = 0;
+  for (const PacketPath& p : set.paths)
+    if (p.hops() > 0) m += static_cast<std::int64_t>(p.hops()) - 1;
+  return m;
+}
+
+TEST(BuildPaths, PathsAreMinimalAndOneBend) {
+  const Mesh mesh = Mesh::square(8);
+  const Workload w = random_hh(mesh, 2, 17);
+  const PathSet set = build_paths(mesh, w);
+  ASSERT_EQ(set.paths.size(), w.size());
+  int max_dist = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const PacketPath& p = set.paths[i];
+    ASSERT_EQ(p.nodes.front(), w[i].source);
+    ASSERT_EQ(p.nodes.back(), w[i].dest);
+    EXPECT_EQ(static_cast<std::int64_t>(p.hops()),
+              mesh.distance(w[i].source, w[i].dest));
+    max_dist = std::max(max_dist,
+                        static_cast<int>(mesh.distance(w[i].source, w[i].dest)));
+    // One-bend: once a column direction appears, no row direction follows.
+    bool column_phase = false;
+    for (const Dir d : p.dirs) {
+      const bool column = d == Dir::North || d == Dir::South;
+      if (column) column_phase = true;
+      EXPECT_TRUE(column || !column_phase)
+          << "row hop after a column hop in path " << i;
+    }
+  }
+  EXPECT_EQ(set.dilation, max_dist);
+  EXPECT_GE(set.congestion, 1);
+}
+
+TEST(BuildPaths, CongestionCountsSharedLinks) {
+  const Mesh mesh = Mesh::square(4);
+  // Three packets out of the same source along the same first link.
+  Workload w;
+  const NodeId src = mesh.id_of(0, 0);
+  w.push_back({src, mesh.id_of(3, 0)});
+  w.push_back({src, mesh.id_of(2, 0)});
+  w.push_back({src, mesh.id_of(1, 0)});
+  const PathSet set = build_paths(mesh, w);
+  EXPECT_EQ(set.congestion, 3);  // all three cross (0,0) -> East
+  EXPECT_EQ(set.dilation, 3);
+}
+
+TEST(BuildPaths, TorusPathsUseWrapLinks) {
+  const Mesh mesh(8, 8, /*torus=*/true);
+  Workload w{{mesh.id_of(0, 0), mesh.id_of(7, 7)}};
+  const PathSet set = build_paths(mesh, w);
+  // Wrap distance is 1 + 1, not 7 + 7.
+  EXPECT_EQ(set.paths[0].hops(), 2u);
+  EXPECT_EQ(set.dilation, 2);
+}
+
+TEST(RandomDelay, FeasibleAndDeterministic) {
+  const Mesh mesh = Mesh::square(8);
+  const Workload w = random_hh(mesh, 4, 23);
+  const PathSet set = build_paths(mesh, w);
+  const Schedule a = random_delay_schedule(set, 99);
+  EXPECT_EQ(validate_schedule(mesh, a), "");
+  EXPECT_GE(a.makespan, set.dilation);
+  const Schedule b = random_delay_schedule(set, 99);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); ++i)
+    EXPECT_EQ(a.packets[i].depart, b.packets[i].depart);
+}
+
+TEST(RandomDelay, MakespanWithinConstantOfCPlusD) {
+  // The E21 named check in miniature: over several instance families the
+  // random-delay makespan stays within a small constant of C + D.
+  const Mesh mesh = Mesh::square(8);
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    for (const int h : {1, 4}) {
+      const PathSet set = build_paths(mesh, random_hh(mesh, h, seed));
+      const Schedule s = random_delay_schedule(set, seed * 31);
+      EXPECT_EQ(validate_schedule(mesh, s), "");
+      EXPECT_LE(s.makespan, 3 * (set.congestion + set.dilation))
+          << "h=" << h << " seed=" << seed << " C=" << set.congestion
+          << " D=" << set.dilation << " makespan=" << s.makespan;
+    }
+  }
+}
+
+TEST(Greedy, FeasibleAndCoversAllHops) {
+  const Mesh mesh = Mesh::square(8);
+  const PathSet set = build_paths(mesh, mirror(mesh));
+  const Schedule s = greedy_schedule(set);
+  EXPECT_EQ(validate_schedule(mesh, s), "");
+  std::int64_t scheduled = 0;
+  for (const PacketSchedule& p : s.packets) {
+    EXPECT_EQ(p.depart.size(), p.path.hops());
+    scheduled += static_cast<std::int64_t>(p.depart.size());
+  }
+  EXPECT_EQ(scheduled, total_hops(set));
+  EXPECT_GE(s.makespan, set.dilation);
+}
+
+TEST(Validate, RejectsDoubleBookedLink) {
+  const Mesh mesh = Mesh::square(4);
+  Workload w;
+  w.push_back({mesh.id_of(0, 0), mesh.id_of(2, 0)});
+  w.push_back({mesh.id_of(0, 0), mesh.id_of(3, 0)});
+  const PathSet set = build_paths(mesh, w);
+  Schedule s = greedy_schedule(set);
+  ASSERT_EQ(validate_schedule(mesh, s), "");
+  // Force both packets over the shared first link in the same step.
+  s.packets[1].depart = s.packets[0].depart;
+  EXPECT_NE(validate_schedule(mesh, s), "");
+}
+
+TEST(Validate, RejectsNonIncreasingDepartures) {
+  const Mesh mesh = Mesh::square(4);
+  Workload w{{mesh.id_of(0, 0), mesh.id_of(2, 2)}};
+  Schedule s = greedy_schedule(build_paths(mesh, w));
+  ASSERT_EQ(validate_schedule(mesh, s), "");
+  s.packets[0].depart[1] = s.packets[0].depart[0];
+  EXPECT_NE(validate_schedule(mesh, s), "");
+}
+
+TEST(QueueCapacity, SinglePacketNeedsOne) {
+  const Mesh mesh = Mesh::square(4);
+  Workload w{{mesh.id_of(0, 0), mesh.id_of(3, 3)}};
+  const Schedule s = greedy_schedule(build_paths(mesh, w));
+  EXPECT_EQ(required_queue_capacity(s), 1);
+}
+
+TEST(QueueCapacity, CountsWaitingPackets) {
+  const Mesh mesh = Mesh::square(4);
+  // Two packets that merge at (1,0) and share the link (1,0) -> East:
+  // under the greedy schedule one of them waits there while the other
+  // crosses, so node (1,0) must buffer it.
+  Workload w;
+  w.push_back({mesh.id_of(0, 0), mesh.id_of(3, 0)});
+  w.push_back({mesh.id_of(1, 0), mesh.id_of(3, 1)});
+  const PathSet set = build_paths(mesh, w);
+  const Schedule greedy = greedy_schedule(set);
+  EXPECT_EQ(validate_schedule(mesh, greedy), "");
+  EXPECT_GE(required_queue_capacity(greedy), 1);
+}
+
+TEST(Replay, RandomDelayRunsOnTime) {
+  const Mesh mesh = Mesh::square(8);
+  const PathSet set = build_paths(mesh, random_hh(mesh, 2, 41));
+  const Schedule s = random_delay_schedule(set, 7);
+  ASSERT_EQ(validate_schedule(mesh, s), "");
+  const ReplayReport r = replay_schedule(mesh, s);
+  EXPECT_TRUE(r.all_delivered);
+  EXPECT_TRUE(r.on_time);
+  EXPECT_EQ(r.steps, s.makespan);
+  EXPECT_EQ(r.total_moves, expected_moves(set));
+}
+
+TEST(Replay, GreedyRunsOnTime) {
+  const Mesh mesh = Mesh::square(8);
+  const PathSet set = build_paths(mesh, mirror(mesh));
+  const Schedule s = greedy_schedule(set);
+  const ReplayReport r = replay_schedule(mesh, s);
+  EXPECT_TRUE(r.all_delivered);
+  EXPECT_TRUE(r.on_time);
+  EXPECT_EQ(r.steps, s.makespan);
+  EXPECT_EQ(r.total_moves, expected_moves(set));
+}
+
+TEST(Replay, TorusScheduleRunsOnTime) {
+  const Mesh mesh(6, 6, /*torus=*/true);
+  const PathSet set = build_paths(mesh, random_hh(mesh, 2, 5));
+  const Schedule s = random_delay_schedule(set, 11);
+  ASSERT_EQ(validate_schedule(mesh, s), "");
+  const ReplayReport r = replay_schedule(mesh, s);
+  EXPECT_TRUE(r.all_delivered);
+  EXPECT_TRUE(r.on_time);
+}
+
+TEST(Replay, LkWorkloadRunsOnTime) {
+  const Mesh mesh = Mesh::square(8);
+  const Workload w = make_lk_workload(mesh, {"clustered", 2, 3, 9});
+  const PathSet set = build_paths(mesh, w);
+  const Schedule s = random_delay_schedule(set, 13);
+  const ReplayReport r = replay_schedule(mesh, s);
+  EXPECT_TRUE(r.all_delivered);
+  EXPECT_TRUE(r.on_time);
+}
+
+TEST(Replay, ZeroHopDemandDelivers) {
+  const Mesh mesh = Mesh::square(4);
+  Workload w;
+  w.push_back({mesh.id_of(1, 1), mesh.id_of(1, 1)});
+  w.push_back({mesh.id_of(0, 0), mesh.id_of(2, 0)});
+  const Schedule s = greedy_schedule(build_paths(mesh, w));
+  const ReplayReport r = replay_schedule(mesh, s);
+  EXPECT_TRUE(r.all_delivered);
+  EXPECT_TRUE(r.on_time);
+}
+
+TEST(Replay, CapacityBoundIsTight) {
+  // Replay runs with exactly required_queue_capacity(s); the engine's §2
+  // capacity check would throw if the bound under-counted, so a clean
+  // high-congestion run is evidence the bound is an upper bound, and
+  // max_occupancy == capacity on at least one instance shows tightness.
+  const Mesh mesh = Mesh::square(6);
+  bool saw_multi = false;
+  for (const std::uint64_t seed : {3ULL, 8ULL, 21ULL}) {
+    const PathSet set = build_paths(mesh, random_hh(mesh, 4, seed));
+    const Schedule s = greedy_schedule(set);
+    const ReplayReport r = replay_schedule(mesh, s);
+    EXPECT_TRUE(r.all_delivered);
+    EXPECT_TRUE(r.on_time);
+    if (r.queue_capacity > 1) saw_multi = true;
+  }
+  EXPECT_TRUE(saw_multi) << "greedy h=4 never needed a buffer > 1?";
+}
+
+}  // namespace
+}  // namespace mr
